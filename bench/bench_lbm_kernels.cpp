@@ -1,0 +1,83 @@
+// google-benchmark microbenchmarks of the real LBM kernels on the host:
+// every propagation x layout x precision variant of the solver, plus the
+// mesh build. These are the kernels whose byte counts feed Eq. 9.
+#include <benchmark/benchmark.h>
+
+#include "geometry/generators.hpp"
+#include "lbm/mesh.hpp"
+#include "lbm/solver.hpp"
+
+namespace {
+
+using namespace hemo;
+
+const lbm::FluidMesh& bench_mesh() {
+  static const lbm::FluidMesh mesh = [] {
+    const auto geo = geometry::make_cylinder({.radius = 8, .length = 48});
+    return lbm::FluidMesh::build(geo.grid);
+  }();
+  return mesh;
+}
+
+const geometry::Geometry& bench_geometry() {
+  static const geometry::Geometry geo =
+      geometry::make_cylinder({.radius = 8, .length = 48});
+  return geo;
+}
+
+template <typename T>
+void run_solver_bench(benchmark::State& state, lbm::Layout layout,
+                      lbm::Propagation prop) {
+  const auto& mesh = bench_mesh();
+  lbm::SolverParams params;
+  params.kernel.layout = layout;
+  params.kernel.propagation = prop;
+  lbm::Solver<T> solver(mesh, params, std::span(bench_geometry().inlets));
+  for (auto _ : state) {
+    solver.step();
+    benchmark::DoNotOptimize(solver.timestep());
+  }
+  const double flups = static_cast<double>(mesh.num_points()) *
+                       static_cast<double>(state.iterations());
+  state.counters["MFLUPS"] =
+      benchmark::Counter(flups / 1e6, benchmark::Counter::kIsRate);
+}
+
+void BM_Solver_AB_AoS_double(benchmark::State& state) {
+  run_solver_bench<double>(state, lbm::Layout::kAoS, lbm::Propagation::kAB);
+}
+void BM_Solver_AB_SoA_double(benchmark::State& state) {
+  run_solver_bench<double>(state, lbm::Layout::kSoA, lbm::Propagation::kAB);
+}
+void BM_Solver_AA_AoS_double(benchmark::State& state) {
+  run_solver_bench<double>(state, lbm::Layout::kAoS, lbm::Propagation::kAA);
+}
+void BM_Solver_AA_SoA_double(benchmark::State& state) {
+  run_solver_bench<double>(state, lbm::Layout::kSoA, lbm::Propagation::kAA);
+}
+void BM_Solver_AB_AoS_float(benchmark::State& state) {
+  run_solver_bench<float>(state, lbm::Layout::kAoS, lbm::Propagation::kAB);
+}
+void BM_Solver_AA_AoS_float(benchmark::State& state) {
+  run_solver_bench<float>(state, lbm::Layout::kAoS, lbm::Propagation::kAA);
+}
+
+BENCHMARK(BM_Solver_AB_AoS_double);
+BENCHMARK(BM_Solver_AB_SoA_double);
+BENCHMARK(BM_Solver_AA_AoS_double);
+BENCHMARK(BM_Solver_AA_SoA_double);
+BENCHMARK(BM_Solver_AB_AoS_float);
+BENCHMARK(BM_Solver_AA_AoS_float);
+
+void BM_MeshBuild(benchmark::State& state) {
+  const auto geo = geometry::make_cylinder({.radius = 8, .length = 48});
+  for (auto _ : state) {
+    auto mesh = lbm::FluidMesh::build(geo.grid);
+    benchmark::DoNotOptimize(mesh.num_points());
+  }
+}
+BENCHMARK(BM_MeshBuild);
+
+}  // namespace
+
+BENCHMARK_MAIN();

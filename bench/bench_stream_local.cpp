@@ -1,0 +1,38 @@
+// google-benchmark microbenchmarks of the real host measurements: STREAM
+// kernels and the threaded pingpong — the measurement pipeline the paper
+// runs on each cloud instance, demonstrated on the machine we have.
+#include <benchmark/benchmark.h>
+
+#include "microbench/pingpong.hpp"
+#include "microbench/stream.hpp"
+
+namespace {
+
+using namespace hemo;
+
+void BM_StreamCopy(benchmark::State& state) {
+  const auto n = static_cast<index_t>(state.range(0));
+  for (auto _ : state) {
+    const auto r = microbench::run_stream_local(n, 1);
+    benchmark::DoNotOptimize(r.copy);
+    state.counters["copy_MBps"] = r.copy;
+    state.counters["triad_MBps"] = r.triad;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * 8 * 2);
+}
+BENCHMARK(BM_StreamCopy)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 22);
+
+void BM_PingPongLocal(benchmark::State& state) {
+  const std::vector<real_t> sizes = {static_cast<real_t>(state.range(0))};
+  for (auto _ : state) {
+    const auto samples = microbench::run_pingpong_local(sizes, 20);
+    benchmark::DoNotOptimize(samples[0].time_us);
+    state.counters["one_way_us"] = samples[0].time_us;
+  }
+}
+BENCHMARK(BM_PingPongLocal)->Arg(0)->Arg(4096)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// Reproduces Fig. 5: STREAM COPY node bandwidth over an OpenMP-thread
+// sweep for each system, with the two-line fits of Eq. 8 (including the
+// hyperthreaded CSP-2 variant, whose saturated slope is negative).
+#include "fit/two_line.hpp"
+#include "microbench/stream.hpp"
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hemo;
+  bench::print_header(
+      "Fig. 5", "STREAM COPY bandwidth vs thread count + two-line fits");
+
+  std::vector<std::string> systems = {"TRC", "CSP-1", "CSP-2", "CSP-2 EC",
+                                      "CSP-2 Hyp."};
+  for (const auto& abbrev : systems) {
+    const auto& profile = cluster::instance_by_abbrev(abbrev);
+    const auto sweep = microbench::simulated_stream_sweep_full_node(profile);
+    std::vector<real_t> xs, ys;
+    for (const auto& s : sweep) {
+      xs.push_back(static_cast<real_t>(s.threads));
+      ys.push_back(s.bandwidth_mbs);
+    }
+    const fit::TwoLineModel fit_model = fit::fit_two_line(xs, ys);
+
+    std::cout << "\n" << abbrev << " (fit: a1 = "
+              << TextTable::num(fit_model.a1, 2)
+              << ", a2 = " << TextTable::num(fit_model.a2, 2)
+              << ", a3 = " << TextTable::num(fit_model.a3, 2) << ")\n";
+    TextTable t;
+    t.set_header({"Threads", "Measured (MB/s)", "Fit (MB/s)"});
+    for (const auto& s : sweep) {
+      // Print a readable subset of the sweep.
+      if (s.threads > 8 && s.threads % 4 != 0) continue;
+      t.add_row({TextTable::num(s.threads),
+                 TextTable::num(s.bandwidth_mbs, 0),
+                 TextTable::num(fit_model(static_cast<real_t>(s.threads)),
+                                0)});
+    }
+    t.print(std::cout);
+  }
+  std::cout << "\nExpected shape: steep per-core regime then a plateau"
+               " (negative slope for CSP-2 Hyp.);\nlarger variance past the"
+               " knee on CSP-2 (shared memory channels).\n";
+  return 0;
+}

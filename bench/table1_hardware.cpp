@@ -1,0 +1,37 @@
+// Reproduces Table I: hardware details for all tested instances.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hemo;
+  bench::print_header("Table I", "hardware details for all tested instances");
+
+  TextTable t;
+  t.set_header({"Field", "TRC", "CSP-1", "CSP-2 Small", "CSP-2 EC",
+                "CSP-2"});
+  auto row = [&](const std::string& field, auto getter) {
+    std::vector<std::string> cells = {field};
+    for (const auto& abbrev : bench::system_abbrevs()) {
+      cells.push_back(getter(cluster::instance_by_abbrev(abbrev)));
+    }
+    t.add_row(std::move(cells));
+  };
+
+  row("CPU", [](const auto& p) { return p.cpu; });
+  row("CPU Clock (GHz)",
+      [](const auto& p) { return TextTable::num(p.clock_ghz, 2); });
+  row("Core Count",
+      [](const auto& p) { return TextTable::num(p.total_cores); });
+  row("Cores per Node",
+      [](const auto& p) { return TextTable::num(p.cores_per_node); });
+  row("Memory per Node (GB)",
+      [](const auto& p) { return TextTable::num(p.memory_per_node_gb, 0); });
+  row("Interconnect (Gbit/s)",
+      [](const auto& p) { return TextTable::num(p.interconnect_gbits, 0); });
+  row("Price ($/node-hr, synthetic)",
+      [](const auto& p) { return TextTable::num(p.price_per_node_hour, 2); });
+  t.print(std::cout);
+
+  std::cout << "\nPaper reference (Table I): TRC 2000 cores/40 per node/56"
+               " Gbit/s; CSP-2 EC 144 cores/36 per node/100 Gbit/s.\n";
+  return 0;
+}

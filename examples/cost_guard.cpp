@@ -1,0 +1,107 @@
+// Cost-overrun protection: the paper's model-driven job limits in action.
+//
+// A user plans a cylinder campaign from the model's prediction with a 10%
+// tolerance. Run A proceeds normally and finishes within the limit. Run B
+// simulates a mis-sized submission (the user accidentally runs a domain at
+// twice the resolution — 8x the points), and the guard flags it from its
+// very first progress report instead of letting the bill grow.
+#include <iostream>
+
+#include "core/calibration.hpp"
+#include "core/dashboard.hpp"
+#include "core/models.hpp"
+#include "harvey/simulation.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace hemo;
+  std::cout << "Model-driven overrun protection\n"
+            << "===============================\n\n";
+
+  harvey::SimulationOptions options;
+  options.solver.tau = 0.8;
+  const auto& profile = cluster::instance_by_abbrev("CSP-2");
+  const core::InstanceCalibration cal = core::calibrate_instance(profile);
+
+  // Plan: 50k timesteps of the intended geometry at 36 ranks.
+  harvey::Simulation intended(
+      geometry::make_cylinder({.radius = 10, .length = 80}), options);
+  constexpr index_t kSteps = 50000;
+  constexpr index_t kRanks = 36;
+  const auto pred =
+      core::predict_direct(intended.plan(kRanks, profile.cores_per_node),
+                           cal);
+
+  // The raw model overpredicts by a consistent factor, so the plan is
+  // refined with one short pilot before the guard is armed (the paper's
+  // iterative-refinement loop). Without this, a 10% guard would trip on a
+  // healthy job.
+  core::CampaignTracker tracker;
+  const auto pilot = intended.measure(profile, kRanks, 500);
+  tracker.record(core::Observation{"cylinder", profile.abbrev, kRanks,
+                                   pred.mflups, pilot.mflups});
+  const real_t refined_mflups = tracker.refined_mflups(pred.mflups);
+
+  core::JobGuard guard;
+  guard.predicted_seconds =
+      static_cast<real_t>(intended.mesh().num_points()) * kSteps /
+      (refined_mflups * 1e6);
+  guard.tolerance = 0.10;
+  guard.price_per_hour = profile.price_per_node_hour;  // one node
+  std::cout << "raw prediction " << TextTable::num(pred.mflups, 1)
+            << " MFLUPS; pilot-refined " << TextTable::num(refined_mflups, 1)
+            << " MFLUPS -> "
+            << TextTable::num(guard.predicted_seconds / 60.0, 1)
+            << " min; guard limit "
+            << TextTable::num(guard.max_seconds() / 60.0, 1)
+            << " min / $" << TextTable::num(guard.max_dollars(), 2)
+            << "\n\n";
+
+  auto run_guarded = [&](const char* label, harvey::Simulation& sim) {
+    std::cout << label << "\n";
+    real_t elapsed = 0.0;
+    bool aborted = false;
+    for (index_t chunk = 0; chunk < 10; ++chunk) {
+      const auto meas =
+          sim.measure(profile, kRanks, kSteps / 10, {0, 12, chunk});
+      elapsed += meas.total_seconds;
+      const real_t done = static_cast<real_t>(chunk + 1) / 10.0;
+      std::cout << "  " << static_cast<int>(done * 100) << "% done, "
+                << TextTable::num(elapsed / 60.0, 1) << " min elapsed";
+      if (guard.should_abort(elapsed, done)) {
+        std::cout << "  -> GUARD TRIPPED (projected "
+                  << TextTable::num(elapsed / done / 60.0, 1)
+                  << " min > limit "
+                  << TextTable::num(guard.max_seconds() / 60.0, 1)
+                  << " min), job stopped; spent $"
+                  << TextTable::num(
+                         elapsed / 3600.0 * guard.price_per_hour, 2)
+                  << " of $" << TextTable::num(guard.max_dollars(), 2)
+                  << "\n";
+        aborted = true;
+        break;
+      }
+      std::cout << "  (on pace)\n";
+    }
+    if (!aborted) {
+      std::cout << "  finished within limits; cost $"
+                << TextTable::num(elapsed / 3600.0 * guard.price_per_hour,
+                                  2)
+                << "\n";
+    }
+    std::cout << "\n";
+  };
+
+  run_guarded("Run A: the job as planned", intended);
+
+  // Run B: the user submits a 2x-resolution domain against the same plan.
+  harvey::Simulation oversized(
+      geometry::make_cylinder({.radius = 20, .length = 160}), options);
+  run_guarded("Run B: accidental 2x-resolution submission (8x points)",
+              oversized);
+
+  std::cout << "The guard converts the performance model into a spending"
+               " firewall:\nmis-sized jobs are caught at the first progress"
+               " report, not on the invoice.\n";
+  return 0;
+}

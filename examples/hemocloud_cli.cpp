@@ -1,0 +1,205 @@
+// hemocloud — command-line front end to the framework.
+//
+//   hemocloud_cli instances
+//       List the instance catalog (Table I view).
+//   hemocloud_cli calibrate <instance>
+//       Run the microbenchmark calibration and print fit parameters.
+//   hemocloud_cli predict <geometry> <instance> <ranks>
+//       Direct-model prediction vs a virtual-cluster measurement.
+//   hemocloud_cli dashboard <geometry> <timesteps>
+//       Evaluate all instances, print cost metrics and recommendations.
+//   hemocloud_cli simulate <geometry> <steps> [out.vtk]
+//       Run the real solver locally; optionally export the flow field.
+//
+// Geometries: cylinder | aorta | cerebral.
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/dashboard.hpp"
+#include "harvey/simulation.hpp"
+#include "lbm/io.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hemo;
+
+geometry::Geometry make_named_geometry(const std::string& name) {
+  if (name == "cylinder") {
+    return geometry::make_cylinder({.radius = 10, .length = 80});
+  }
+  if (name == "aorta") return geometry::make_aorta({});
+  if (name == "cerebral") return geometry::make_cerebral({.depth = 5});
+  throw PreconditionError("unknown geometry: " + name +
+                          " (expected cylinder | aorta | cerebral)");
+}
+
+harvey::Simulation make_sim(const std::string& geometry_name) {
+  harvey::SimulationOptions options;
+  options.solver.tau = 0.8;
+  return harvey::Simulation(make_named_geometry(geometry_name), options);
+}
+
+int cmd_instances() {
+  TextTable t;
+  t.set_header({"Abbrev", "Name", "Cores/node", "Total cores",
+                "Interconnect (Gb/s)", "$/node-hr", "GPUs/node"});
+  for (const auto& p : cluster::default_catalog()) {
+    t.add_row({p.abbrev, p.name, TextTable::num(p.cores_per_node),
+               TextTable::num(p.total_cores),
+               TextTable::num(p.interconnect_gbits, 0),
+               TextTable::num(p.price_per_node_hour, 2),
+               p.gpu ? TextTable::num(p.gpu->gpus_per_node) : "-"});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_calibrate(const std::string& instance) {
+  const auto& profile = cluster::instance_by_abbrev(instance);
+  std::cout << "calibrating " << profile.name << " ...\n";
+  const auto cal = core::calibrate_instance(profile);
+  TextTable t;
+  t.set_header({"Parameter", "Value", "Units"});
+  t.add_row({"a1 (memory, per-core regime)", TextTable::num(cal.memory.a1, 2),
+             "MB/s/thread"});
+  t.add_row({"a2 (memory, saturated)", TextTable::num(cal.memory.a2, 2),
+             "MB/s/thread"});
+  t.add_row({"a3 (saturation knee)", TextTable::num(cal.memory.a3, 2),
+             "threads"});
+  t.add_row({"b internodal", TextTable::num(cal.inter.bandwidth, 2), "MB/s"});
+  t.add_row({"l internodal", TextTable::num(cal.inter.latency, 2), "us"});
+  t.add_row({"b intranodal", TextTable::num(cal.intra.bandwidth, 2), "MB/s"});
+  t.add_row({"l intranodal", TextTable::num(cal.intra.latency, 2), "us"});
+  if (cal.gpu_bandwidth_mbs) {
+    t.add_row({"GPU device bandwidth",
+               TextTable::num(*cal.gpu_bandwidth_mbs, 0), "MB/s"});
+    t.add_row({"PCIe bandwidth", TextTable::num(cal.gpu_pcie->bandwidth, 0),
+               "MB/s"});
+    t.add_row({"PCIe latency", TextTable::num(cal.gpu_pcie->latency, 2),
+               "us"});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_predict(const std::string& geometry_name,
+                const std::string& instance, index_t ranks) {
+  const auto& profile = cluster::instance_by_abbrev(instance);
+  auto sim = make_sim(geometry_name);
+  const auto cal = core::calibrate_instance(profile);
+  const auto pred = core::predict_direct(
+      sim.plan(ranks, profile.cores_per_node), cal);
+  const auto meas = sim.measure(profile, ranks, 200);
+  TextTable t;
+  t.set_header({"Quantity", "Model", "Measured"});
+  t.add_row({"MFLUPS", TextTable::num(pred.mflups, 2),
+             TextTable::num(meas.mflups, 2)});
+  t.add_row({"step time (us)", TextTable::num(pred.step_seconds * 1e6, 1),
+             TextTable::num(meas.step_seconds * 1e6, 1)});
+  t.add_row({"memory term (us)", TextTable::num(pred.t_mem_s * 1e6, 1),
+             TextTable::num(meas.critical.mem_s * 1e6, 1)});
+  t.add_row({"comm term (us)", TextTable::num(pred.t_comm_s * 1e6, 1),
+             TextTable::num(
+                 (meas.critical.intra_s + meas.critical.inter_s) * 1e6, 1)});
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_dashboard(const std::string& geometry_name, index_t timesteps) {
+  std::vector<const cluster::InstanceProfile*> profiles;
+  for (const auto& p : cluster::default_catalog()) {
+    if (p.abbrev != "CSP-2 Hyp.") profiles.push_back(&p);
+  }
+  core::Dashboard dashboard(std::move(profiles));
+  auto sim = make_sim(geometry_name);
+  const std::vector<index_t> cal_counts = {2, 4, 8, 16, 32};
+  const auto workload = core::calibrate_workload(sim, cal_counts, 36);
+  const std::vector<index_t> cores = {16, 36, 72, 144};
+  const auto rows =
+      dashboard.evaluate(workload, core::JobSpec{timesteps}, cores);
+
+  TextTable t;
+  t.set_header({"Instance", "Cores", "MFLUPS", "Hours", "Dollars",
+                "MFLUPS/($/h)"});
+  for (const auto& row : rows) {
+    t.add_row({row.instance, TextTable::num(row.n_tasks),
+               TextTable::num(row.prediction.mflups, 1),
+               TextTable::num(row.time_to_solution_s / 3600.0, 3),
+               TextTable::num(row.total_dollars, 2),
+               TextTable::num(row.mflups_per_dollar_hour, 1)});
+  }
+  t.print(std::cout);
+
+  const auto fastest =
+      core::Dashboard::recommend(rows, core::Objective::kMaxThroughput);
+  const auto cheapest =
+      core::Dashboard::recommend(rows, core::Objective::kMinCost);
+  std::cout << "\nfastest: " << fastest->instance << " @ "
+            << fastest->n_tasks << " cores; cheapest: "
+            << cheapest->instance << " @ " << cheapest->n_tasks
+            << " cores ($" << TextTable::num(cheapest->total_dollars, 2)
+            << ")\n";
+  return 0;
+}
+
+int cmd_simulate(const std::string& geometry_name, index_t steps,
+                 const std::string& vtk_path) {
+  auto sim = make_sim(geometry_name);
+  std::cout << geometry_name << ": " << sim.mesh().num_points()
+            << " fluid points\n";
+  auto& solver = sim.solver();
+  const auto t0 = std::chrono::steady_clock::now();
+  solver.run(steps);
+  const real_t seconds =
+      std::chrono::duration<real_t>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::cout << steps << " steps in " << TextTable::num(seconds, 2)
+            << " s = "
+            << TextTable::num(
+                   lbm::mflups(sim.mesh().num_points(), steps, seconds), 2)
+            << " MFLUPS (local host)\n"
+            << "mean flow speed: " << TextTable::num(solver.mean_speed(), 5)
+            << " lattice units\n";
+  if (!vtk_path.empty()) {
+    lbm::write_vtk_file(solver, vtk_path);
+    std::cout << "flow field written to " << vtk_path << "\n";
+  }
+  return 0;
+}
+
+int usage() {
+  std::cerr << "usage:\n"
+            << "  hemocloud_cli instances\n"
+            << "  hemocloud_cli calibrate <instance>\n"
+            << "  hemocloud_cli predict <geometry> <instance> <ranks>\n"
+            << "  hemocloud_cli dashboard <geometry> <timesteps>\n"
+            << "  hemocloud_cli simulate <geometry> <steps> [out.vtk]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const std::string cmd = argc > 1 ? argv[1] : "";
+    if (cmd == "instances") return cmd_instances();
+    if (cmd == "calibrate" && argc == 3) return cmd_calibrate(argv[2]);
+    if (cmd == "predict" && argc == 5) {
+      return cmd_predict(argv[2], argv[3], std::atol(argv[4]));
+    }
+    if (cmd == "dashboard" && argc == 4) {
+      return cmd_dashboard(argv[2], std::atol(argv[3]));
+    }
+    if (cmd == "simulate" && (argc == 4 || argc == 5)) {
+      return cmd_simulate(argv[2], std::atol(argv[3]),
+                          argc == 5 ? argv[4] : "");
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,53 @@
+#include "core/campaign.hpp"
+
+#include <cmath>
+
+namespace hemo::core {
+
+void CampaignTracker::record(Observation obs) {
+  HEMO_REQUIRE(obs.predicted_mflups > 0.0 && obs.measured_mflups > 0.0,
+               "observations need positive throughputs");
+  observations_.push_back(std::move(obs));
+}
+
+real_t CampaignTracker::correction_factor() const {
+  if (observations_.empty()) return 1.0;
+  real_t log_sum = 0.0;
+  for (const Observation& o : observations_) {
+    log_sum += std::log(o.measured_mflups / o.predicted_mflups);
+  }
+  return std::exp(log_sum / static_cast<real_t>(observations_.size()));
+}
+
+real_t CampaignTracker::mean_abs_relative_error() const {
+  if (observations_.empty()) return 0.0;
+  real_t acc = 0.0;
+  for (const Observation& o : observations_) {
+    acc += std::abs(o.predicted_mflups - o.measured_mflups) /
+           o.measured_mflups;
+  }
+  return acc / static_cast<real_t>(observations_.size());
+}
+
+real_t CampaignTracker::refined_mean_abs_relative_error() const {
+  if (observations_.empty()) return 0.0;
+  const real_t c = correction_factor();
+  real_t acc = 0.0;
+  for (const Observation& o : observations_) {
+    acc += std::abs(o.predicted_mflups * c - o.measured_mflups) /
+           o.measured_mflups;
+  }
+  return acc / static_cast<real_t>(observations_.size());
+}
+
+bool JobGuard::should_abort(real_t elapsed_seconds,
+                            real_t fraction_done) const {
+  HEMO_REQUIRE(fraction_done >= 0.0 && fraction_done <= 1.0,
+               "fraction_done must be in [0, 1]");
+  if (elapsed_seconds >= max_seconds()) return true;
+  if (fraction_done <= 0.0) return false;
+  const real_t projected = elapsed_seconds / fraction_done;
+  return projected > max_seconds();
+}
+
+}  // namespace hemo::core

@@ -1,0 +1,80 @@
+// Campaign tracking and iterative model refinement.
+//
+// The paper's framework stores every measured performance next to the
+// model's estimate, refines the model from the accumulated data, and uses
+// the (refined) prediction to impose job limits that protect against
+// inadvertent cost overruns (Sections II / IV). CampaignTracker implements
+// that loop: a multiplicative correction factor is learned as the
+// geometric mean of measured/predicted ratios, applied to future
+// predictions, and updated as more observations arrive.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace hemo::core {
+
+/// One stored (prediction, measurement) pair.
+struct Observation {
+  std::string workload;
+  std::string instance;
+  index_t n_tasks = 0;
+  real_t predicted_mflups = 0.0;
+  real_t measured_mflups = 0.0;
+};
+
+/// Accumulates observations and refines predictions.
+class CampaignTracker {
+ public:
+  void record(Observation obs);
+
+  [[nodiscard]] index_t size() const noexcept {
+    return static_cast<index_t>(observations_.size());
+  }
+  [[nodiscard]] const std::vector<Observation>& observations() const noexcept {
+    return observations_;
+  }
+
+  /// Geometric mean of measured/predicted throughput ratios; 1.0 with no
+  /// data. < 1 means the model overpredicts (the expected regime).
+  [[nodiscard]] real_t correction_factor() const;
+
+  /// Applies the learned correction to a raw model throughput.
+  [[nodiscard]] real_t refined_mflups(real_t raw_mflups) const {
+    return raw_mflups * correction_factor();
+  }
+
+  /// Mean absolute relative error of raw predictions vs measurements.
+  [[nodiscard]] real_t mean_abs_relative_error() const;
+
+  /// Same, after applying the correction factor (leave-none-out; reported
+  /// to show the refinement converging).
+  [[nodiscard]] real_t refined_mean_abs_relative_error() const;
+
+ private:
+  std::vector<Observation> observations_;
+};
+
+/// Model-driven job limit: the user allows `tolerance` (e.g. 0.10) over the
+/// predicted runtime and hard-stops the job beyond it (paper Section IV).
+struct JobGuard {
+  real_t predicted_seconds = 0.0;
+  real_t tolerance = 0.10;
+  real_t price_per_hour = 0.0;  ///< whole-allocation cost rate
+
+  [[nodiscard]] real_t max_seconds() const noexcept {
+    return predicted_seconds * (1.0 + tolerance);
+  }
+  [[nodiscard]] real_t max_dollars() const noexcept {
+    return max_seconds() / 3600.0 * price_per_hour;
+  }
+
+  /// True if a job that has completed `fraction_done` of its work in
+  /// `elapsed_seconds` is on pace to violate the limit and should stop.
+  [[nodiscard]] bool should_abort(real_t elapsed_seconds,
+                                  real_t fraction_done) const;
+};
+
+}  // namespace hemo::core

@@ -1,0 +1,108 @@
+// The CSP Option Dashboard (paper Fig. 1 and Section IV).
+//
+// For a calibrated workload, the dashboard evaluates every candidate
+// instance type at the requested core counts with the generalized model,
+// derives cost metrics (time-to-solution, total dollars, throughput per
+// cost rate), builds the relative-value matrix r_{B,A} of Eq. 17, and
+// recommends a configuration under a user objective: maximum throughput,
+// minimum cost, or cheapest-within-deadline.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "core/campaign.hpp"
+#include "core/models.hpp"
+#include "util/common.hpp"
+
+namespace hemo::core {
+
+/// A simulation job: how much work the user wants to run.
+struct JobSpec {
+  index_t timesteps = 100000;
+};
+
+/// One evaluated (instance, core count) option.
+struct DashboardRow {
+  std::string instance;
+  index_t n_tasks = 0;
+  index_t n_nodes = 0;
+  ModelPrediction prediction;
+  real_t time_to_solution_s = 0.0;
+  real_t cost_rate_per_hour = 0.0;  ///< $ / hour for the whole allocation
+  real_t total_dollars = 0.0;
+  real_t mflups_per_dollar_hour = 0.0;
+};
+
+/// Preemptible (spot) capacity pricing. Spot instances trade a discount
+/// against interruptions; with checkpoint/restart (lbm/io.hpp) each
+/// preemption costs the work since the last checkpoint plus a restart.
+/// The expected-value model here lets the dashboard compare on-demand vs
+/// spot per option.
+struct SpotOptions {
+  real_t discount = 0.70;             ///< spot price = (1 - discount) * list
+  real_t preemptions_per_hour = 0.15; ///< mean interruption rate
+  real_t checkpoint_interval_s = 600.0;
+  real_t restart_overhead_s = 120.0;  ///< re-provision + reload time
+};
+
+/// Returns the row re-priced for spot capacity: the expected wall time
+/// grows by the expected preemption losses, and the cost rate shrinks by
+/// the discount. Throughput figures are left untouched (they describe the
+/// hardware, not the tenancy).
+[[nodiscard]] DashboardRow apply_spot_pricing(const DashboardRow& row,
+                                              const SpotOptions& options);
+
+/// User objective for the recommendation.
+enum class Objective {
+  kMaxThroughput,
+  kMinCost,
+  kDeadline,  ///< cheapest option meeting `deadline_s`
+};
+
+/// One candidate instance: profile + its calibration.
+struct InstanceOption {
+  const cluster::InstanceProfile* profile = nullptr;
+  InstanceCalibration calibration;
+};
+
+/// The dashboard.
+class Dashboard {
+ public:
+  /// Calibrates every profile in `profiles` (phase 1 of the framework).
+  explicit Dashboard(
+      std::vector<const cluster::InstanceProfile*> profiles);
+
+  [[nodiscard]] const std::vector<InstanceOption>& options() const noexcept {
+    return options_;
+  }
+
+  /// Evaluates the workload at each instance and core count. An optional
+  /// campaign tracker supplies the learned correction factor, refining the
+  /// raw model predictions (phase 2 feedback loop).
+  [[nodiscard]] std::vector<DashboardRow> evaluate(
+      const WorkloadCalibration& workload, const JobSpec& job,
+      std::span<const index_t> core_counts,
+      const CampaignTracker* refinement = nullptr) const;
+
+  /// Eq. 17 matrix over rows (r[b][a] = MFLUPS_b / MFLUPS_a).
+  [[nodiscard]] static std::vector<std::vector<real_t>> relative_value_matrix(
+      std::span<const DashboardRow> rows);
+
+  /// Recommends a row under the objective. `deadline_s` is required for
+  /// Objective::kDeadline. Returns nullopt if no row qualifies.
+  [[nodiscard]] static std::optional<DashboardRow> recommend(
+      std::span<const DashboardRow> rows, Objective objective,
+      real_t deadline_s = 0.0);
+
+  /// Builds the overrun guard for a chosen row (tolerance per paper: 10 %).
+  [[nodiscard]] static JobGuard make_guard(const DashboardRow& row,
+                                           real_t tolerance = 0.10);
+
+ private:
+  std::vector<InstanceOption> options_;
+};
+
+}  // namespace hemo::core

@@ -1,0 +1,143 @@
+#include "core/models.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hemo::core {
+
+ModelPrediction predict_direct(const cluster::WorkloadPlan& plan,
+                               const InstanceCalibration& cal) {
+  HEMO_REQUIRE(plan.n_tasks >= 1, "empty plan");
+  HEMO_REQUIRE(cal.inter_raw && cal.intra_raw,
+               "direct model needs raw PingPong tables");
+  HEMO_REQUIRE(!plan.on_gpu || (cal.gpu_bandwidth_mbs && cal.gpu_pcie),
+               "GPU plan needs a GPU-calibrated instance");
+
+  // Memory term per task: Eq. 9 bytes over the shared two-line bandwidth
+  // (CPU) or the calibrated device bandwidth (GPU, one task per device).
+  // The CPU model assumes each of the node's resident tasks gets an equal
+  // share of the node bandwidth at that thread count.
+  std::vector<index_t> tasks_on_node(static_cast<std::size_t>(plan.n_nodes),
+                                     0);
+  for (std::int32_t node : plan.task_node) {
+    ++tasks_on_node[static_cast<std::size_t>(node)];
+  }
+  real_t max_mem = 0.0;
+  for (index_t t = 0; t < plan.n_tasks; ++t) {
+    real_t bw = 0.0;
+    if (plan.on_gpu) {
+      bw = *cal.gpu_bandwidth_mbs * 1e6;
+    } else {
+      const index_t resident = tasks_on_node[static_cast<std::size_t>(
+          plan.task_node[static_cast<std::size_t>(t)])];
+      bw = cal.task_bandwidth_bytes_per_s(resident);
+    }
+    max_mem = std::max(
+        max_mem, plan.task_bytes[static_cast<std::size_t>(t)] / bw);
+  }
+
+  // Communication term per task: interpolate each message's time from the
+  // raw PingPong data (the paper's Section III-G: "Direct modeling here
+  // interpolates the communication time from PingPong measurement raw
+  // data").
+  std::vector<real_t> intra(static_cast<std::size_t>(plan.n_tasks), 0.0);
+  std::vector<real_t> inter(static_cast<std::size_t>(plan.n_tasks), 0.0);
+  for (const auto& m : plan.messages) {
+    const fit::Interp1D& table = m.internode ? *cal.inter_raw
+                                             : *cal.intra_raw;
+    const real_t t_s = table(m.bytes) * 1e-6;
+    for (std::int32_t endpoint : {m.from, m.to}) {
+      (m.internode ? inter : intra)[static_cast<std::size_t>(endpoint)] +=
+          t_s;
+    }
+  }
+  // GPU plans: every message additionally crosses PCIe at both endpoints.
+  std::vector<real_t> xfer(static_cast<std::size_t>(plan.n_tasks), 0.0);
+  if (plan.on_gpu) {
+    for (const auto& m : plan.messages) {
+      // gpu_pcie is in MB/s + us, so time() yields microseconds.
+      const real_t t_s = cal.gpu_pcie->time(m.bytes) * 1e-6;
+      xfer[static_cast<std::size_t>(m.from)] += t_s;
+      xfer[static_cast<std::size_t>(m.to)] += t_s;
+    }
+  }
+
+  ModelPrediction pred;
+  pred.t_mem_s = max_mem;
+  index_t critical = 0;
+  for (index_t t = 0; t < plan.n_tasks; ++t) {
+    const real_t total = intra[static_cast<std::size_t>(t)] +
+                         inter[static_cast<std::size_t>(t)] +
+                         xfer[static_cast<std::size_t>(t)];
+    if (total > pred.t_comm_s) {
+      pred.t_comm_s = total;
+      critical = t;
+    }
+  }
+  pred.t_intra_s = intra[static_cast<std::size_t>(critical)];
+  pred.t_inter_s = inter[static_cast<std::size_t>(critical)];
+  pred.t_xfer_s = xfer[static_cast<std::size_t>(critical)];
+  pred.step_seconds = pred.t_mem_s + pred.t_comm_s;
+  pred.mflups = static_cast<real_t>(plan.total_points) /
+                (pred.step_seconds * 1e6);
+  return pred;
+}
+
+ModelPrediction predict_general(const WorkloadCalibration& workload,
+                                const InstanceCalibration& cal,
+                                index_t n_tasks, index_t tasks_per_node) {
+  HEMO_REQUIRE(n_tasks >= 1 && tasks_per_node >= 1,
+               "need positive task counts");
+  const real_t n = static_cast<real_t>(n_tasks);
+  const real_t n_nodes = std::ceil(n / static_cast<real_t>(tasks_per_node));
+
+  // Load imbalance factor (Eq. 11) and busiest-task bytes (Eq. 10).
+  const real_t z = workload.imbalance.z(n);
+  const real_t max_bytes = z * workload.serial_bytes / n;
+
+  // Memory term with the linear bandwidth-sharing assumption.
+  const index_t threads =
+      std::min<index_t>(n_tasks, tasks_per_node);
+  const real_t bw = cal.task_bandwidth_bytes_per_s(threads);
+  ModelPrediction pred;
+  pred.t_mem_s = max_bytes / bw;
+
+  // Halo size estimate (Eqs. 13-14): surface area of the busiest task's
+  // sub-cube, both sent and received.
+  if (n_tasks > 1) {
+    const real_t w = std::min(std::log2(n), 6.0);
+    const real_t points_per_task =
+        z * static_cast<real_t>(workload.total_points) / n;
+    const real_t m_max_total = w / 6.0 *
+                               std::pow(points_per_task, 2.0 / 3.0) * 2.0 *
+                               workload.point_comm_bytes;
+
+    // Event count (Eq. 15) and the linear communication time (Eq. 16).
+    // Allocations confined to one node exchange halos through shared
+    // memory, so the intranodal fit applies; multi-node allocations use
+    // the internodal fit for every event — the generalized model's known
+    // compromise (it overestimates internodal events and underestimates
+    // intranodal ones, paper Section III-G).
+    const fit::CommModel& comm = n_nodes > 1.0 ? cal.inter : cal.intra;
+    const real_t events = workload.events.events(n, n_nodes);
+    const real_t bw_term_s =
+        m_max_total / (comm.bandwidth * 1e6);  // MB/s -> B/s
+    const real_t lat_term_s = events * comm.latency * 1e-6;
+    pred.t_comm_bw_s = bw_term_s;
+    pred.t_comm_lat_s = lat_term_s;
+    pred.t_comm_s = bw_term_s + lat_term_s;
+  }
+
+  pred.step_seconds = pred.t_mem_s + pred.t_comm_s;
+  pred.mflups = static_cast<real_t>(workload.total_points) /
+                (pred.step_seconds * 1e6);
+  return pred;
+}
+
+real_t relative_value(const ModelPrediction& b, const ModelPrediction& a) {
+  HEMO_REQUIRE(a.mflups > 0.0 && b.mflups > 0.0,
+               "relative_value needs positive throughputs");
+  return b.mflups / a.mflups;
+}
+
+}  // namespace hemo::core

@@ -1,0 +1,55 @@
+// The paper's two performance models (its Section II-D).
+//
+// Both predict the per-timestep runtime of a decomposed LBM workload as
+//   T ≈ max_j(t_mem_j) + max_j(t_comm_j)                          (Eq. 6)
+// with throughput MFLUPS = points / (T * 1e6)                     (Eq. 7).
+//
+//  * The DIRECT model uses the real parallel decomposition: per-task byte
+//    counts from Eq. 9 and per-message times interpolated from the raw
+//    PingPong tables.
+//  * The GENERALIZED model estimates everything a priori from aggregate
+//    workload numbers: the z-factor (Eqs. 10-11) for the busiest task's
+//    bytes, the surface-area halo estimate (Eqs. 13-14), the event-count
+//    law (Eq. 15), and the fitted linear communication law (Eqs. 12, 16).
+//
+// Neither model sees the virtual cluster's hidden efficiency, kernel
+// traits, or noise — the models overpredict, as the paper's Figs. 7-8 show.
+#pragma once
+
+#include "cluster/virtual_cluster.hpp"
+#include "core/calibration.hpp"
+#include "util/common.hpp"
+
+namespace hemo::core {
+
+/// A model's per-step prediction with its runtime composition.
+struct ModelPrediction {
+  real_t t_mem_s = 0.0;   ///< max over tasks of the memory term
+  real_t t_comm_s = 0.0;  ///< max over tasks of the communication term
+  // Composition of the communication term:
+  real_t t_intra_s = 0.0;     ///< direct model: intranodal share
+  real_t t_inter_s = 0.0;     ///< direct model: internodal share
+  real_t t_comm_bw_s = 0.0;   ///< generalized model: bandwidth share
+  real_t t_comm_lat_s = 0.0;  ///< generalized model: latency share
+  real_t t_xfer_s = 0.0;      ///< CPU-GPU transfer term (GPU plans, Eq. 2)
+
+  real_t step_seconds = 0.0;
+  real_t mflups = 0.0;
+};
+
+/// Direct model: exact counts of `plan`, measured hardware tables of `cal`.
+[[nodiscard]] ModelPrediction predict_direct(
+    const cluster::WorkloadPlan& plan, const InstanceCalibration& cal);
+
+/// Generalized model: a-priori estimates for `n_tasks` tasks at
+/// `tasks_per_node` per node.
+[[nodiscard]] ModelPrediction predict_general(
+    const WorkloadCalibration& workload, const InstanceCalibration& cal,
+    index_t n_tasks, index_t tasks_per_node);
+
+/// Relative value of throughput between two configurations (Eq. 17):
+/// r_{B,A} = MFLUPS_B / MFLUPS_A. > 1 means B outperforms A.
+[[nodiscard]] real_t relative_value(const ModelPrediction& b,
+                                    const ModelPrediction& a);
+
+}  // namespace hemo::core

@@ -1,0 +1,186 @@
+#include "core/persistence.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+namespace hemo::core {
+
+namespace {
+
+constexpr char kCampaignMagic[] = "hemocloud-campaign-v1";
+constexpr char kCalibrationMagic[] = "hemocloud-calibration-v1";
+
+std::ostream& full(std::ostream& os) {
+  os << std::setprecision(17);
+  return os;
+}
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw NumericError("persistence: malformed input (" + what + ")");
+}
+
+std::string read_line(std::istream& is, const std::string& context) {
+  std::string line;
+  if (!std::getline(is, line)) malformed("missing " + context);
+  return line;
+}
+
+}  // namespace
+
+void save_campaign(const CampaignTracker& tracker, std::ostream& os) {
+  full(os) << kCampaignMagic << "\n" << tracker.size() << "\n";
+  for (const Observation& o : tracker.observations()) {
+    os << o.workload << "\t" << o.instance << "\t" << o.n_tasks << "\t"
+       << o.predicted_mflups << "\t" << o.measured_mflups << "\n";
+  }
+  if (!os) throw NumericError("save_campaign: stream write failed");
+}
+
+CampaignTracker load_campaign(std::istream& is) {
+  if (read_line(is, "magic") != kCampaignMagic) malformed("bad magic");
+  index_t count = 0;
+  {
+    std::istringstream header(read_line(is, "count"));
+    if (!(header >> count) || count < 0) malformed("count");
+  }
+  CampaignTracker tracker;
+  for (index_t i = 0; i < count; ++i) {
+    const std::string line = read_line(is, "observation");
+    std::istringstream row(line);
+    Observation o;
+    if (!std::getline(row, o.workload, '\t') ||
+        !std::getline(row, o.instance, '\t')) {
+      malformed("observation names");
+    }
+    if (!(row >> o.n_tasks >> o.predicted_mflups >> o.measured_mflups)) {
+      malformed("observation numbers");
+    }
+    tracker.record(std::move(o));
+  }
+  return tracker;
+}
+
+void save_calibration(const InstanceCalibration& calibration,
+                      std::ostream& os) {
+  full(os) << kCalibrationMagic << "\n"
+           << calibration.abbrev << "\n"
+           << calibration.memory.a1 << "\t" << calibration.memory.a2 << "\t"
+           << calibration.memory.a3 << "\n"
+           << calibration.inter.bandwidth << "\t"
+           << calibration.inter.latency << "\n"
+           << calibration.intra.bandwidth << "\t"
+           << calibration.intra.latency << "\n";
+
+  auto write_table = [&](const std::optional<fit::Interp1D>& table) {
+    if (!table) {
+      os << 0 << "\n";
+      return;
+    }
+    // Reconstruct the knots by sampling exactly at the stored positions:
+    // Interp1D does not expose its knots, so persist a dense resampling
+    // over the standard size ladder instead.
+    std::vector<real_t> xs;
+    xs.push_back(table->min_x());
+    for (real_t x = 1.0; x < table->max_x(); x *= 2.0) {
+      if (x > table->min_x()) xs.push_back(x);
+    }
+    xs.push_back(table->max_x());
+    os << static_cast<index_t>(xs.size()) << "\n";
+    for (real_t x : xs) os << x << "\t" << (*table)(x) << "\n";
+  };
+  write_table(calibration.inter_raw);
+  write_table(calibration.intra_raw);
+
+  if (calibration.gpu_bandwidth_mbs && calibration.gpu_pcie) {
+    os << 1 << "\n"
+       << *calibration.gpu_bandwidth_mbs << "\t"
+       << calibration.gpu_pcie->bandwidth << "\t"
+       << calibration.gpu_pcie->latency << "\n";
+  } else {
+    os << 0 << "\n";
+  }
+  if (!os) throw NumericError("save_calibration: stream write failed");
+}
+
+InstanceCalibration load_calibration(std::istream& is) {
+  if (read_line(is, "magic") != kCalibrationMagic) malformed("bad magic");
+  InstanceCalibration cal;
+  cal.abbrev = read_line(is, "abbrev");
+  {
+    std::istringstream row(read_line(is, "memory"));
+    if (!(row >> cal.memory.a1 >> cal.memory.a2 >> cal.memory.a3)) {
+      malformed("memory law");
+    }
+  }
+  auto read_comm = [&](fit::CommModel& model, const char* what) {
+    std::istringstream row(read_line(is, what));
+    if (!(row >> model.bandwidth >> model.latency)) malformed(what);
+  };
+  read_comm(cal.inter, "inter");
+  read_comm(cal.intra, "intra");
+
+  auto read_table = [&](std::optional<fit::Interp1D>& table) {
+    index_t count = 0;
+    {
+      std::istringstream row(read_line(is, "table size"));
+      if (!(row >> count) || count < 0) malformed("table size");
+    }
+    if (count == 0) return;
+    std::vector<real_t> xs, ys;
+    for (index_t i = 0; i < count; ++i) {
+      std::istringstream row(read_line(is, "table row"));
+      real_t x = 0, y = 0;
+      if (!(row >> x >> y)) malformed("table row");
+      xs.push_back(x);
+      ys.push_back(y);
+    }
+    table.emplace(std::move(xs), std::move(ys));
+  };
+  read_table(cal.inter_raw);
+  read_table(cal.intra_raw);
+
+  index_t has_gpu = 0;
+  {
+    std::istringstream row(read_line(is, "gpu flag"));
+    if (!(row >> has_gpu)) malformed("gpu flag");
+  }
+  if (has_gpu != 0) {
+    std::istringstream row(read_line(is, "gpu"));
+    real_t bw = 0;
+    fit::CommModel pcie;
+    if (!(row >> bw >> pcie.bandwidth >> pcie.latency)) malformed("gpu");
+    cal.gpu_bandwidth_mbs = bw;
+    cal.gpu_pcie = pcie;
+  }
+  return cal;
+}
+
+void save_campaign_file(const CampaignTracker& tracker,
+                        const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw NumericError("save_campaign_file: cannot open " + path);
+  save_campaign(tracker, os);
+}
+
+CampaignTracker load_campaign_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw NumericError("load_campaign_file: cannot open " + path);
+  return load_campaign(is);
+}
+
+void save_calibration_file(const InstanceCalibration& calibration,
+                           const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw NumericError("save_calibration_file: cannot open " + path);
+  save_calibration(calibration, os);
+}
+
+InstanceCalibration load_calibration_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw NumericError("load_calibration_file: cannot open " + path);
+  return load_calibration(is);
+}
+
+}  // namespace hemo::core

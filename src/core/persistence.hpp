@@ -1,0 +1,44 @@
+// Persistence of calibrations and campaign histories.
+//
+// The paper's Discussion: "Storing all measured performance along with the
+// estimated performance model prediction will be critical to iteratively
+// refining the performance models" (it points at SONAR-style monitoring
+// stacks). These routines serialize instance calibrations and campaign
+// trackers to a line-oriented, tab-separated text format that survives
+// round-trips at full double precision, so a user's accumulated
+// measurements persist across sessions.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/calibration.hpp"
+#include "core/campaign.hpp"
+
+namespace hemo::core {
+
+/// Writes the tracker's observations.
+void save_campaign(const CampaignTracker& tracker, std::ostream& os);
+
+/// Reads observations written by save_campaign. Throws NumericError on a
+/// malformed stream.
+[[nodiscard]] CampaignTracker load_campaign(std::istream& is);
+
+/// Writes an instance calibration, including the raw PingPong tables the
+/// direct model needs and GPU fields when present.
+void save_calibration(const InstanceCalibration& calibration,
+                      std::ostream& os);
+
+/// Reads a calibration written by save_calibration.
+[[nodiscard]] InstanceCalibration load_calibration(std::istream& is);
+
+/// File-path convenience wrappers (throw NumericError on I/O failure).
+void save_campaign_file(const CampaignTracker& tracker,
+                        const std::string& path);
+[[nodiscard]] CampaignTracker load_campaign_file(const std::string& path);
+void save_calibration_file(const InstanceCalibration& calibration,
+                           const std::string& path);
+[[nodiscard]] InstanceCalibration load_calibration_file(
+    const std::string& path);
+
+}  // namespace hemo::core

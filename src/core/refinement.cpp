@@ -1,0 +1,60 @@
+#include "core/refinement.hpp"
+
+#include <cmath>
+
+namespace hemo::core {
+
+TermSelector::TermSelector(std::vector<RefinementSample> samples)
+    : samples_(std::move(samples)) {
+  HEMO_REQUIRE(!samples_.empty(), "TermSelector needs at least one sample");
+  for (const auto& s : samples_) {
+    HEMO_REQUIRE(s.predicted_step_s > 0.0 && s.measured_step_s > 0.0,
+                 "samples need positive step times");
+  }
+}
+
+real_t TermSelector::error_with(
+    const std::vector<const CandidateTerm*>& extra) const {
+  real_t acc = 0.0;
+  for (const auto& s : samples_) {
+    real_t predicted = s.predicted_step_s;
+    for (const auto& term : kept_terms_) {
+      predicted += term.seconds_per_step(s.n_tasks);
+    }
+    for (const CandidateTerm* term : extra) {
+      predicted += term->seconds_per_step(s.n_tasks);
+    }
+    acc += std::abs(predicted - s.measured_step_s) / s.measured_step_s;
+  }
+  return acc / static_cast<real_t>(samples_.size());
+}
+
+real_t TermSelector::current_error() const { return error_with({}); }
+
+TermEvaluation TermSelector::check(const CandidateTerm& candidate,
+                                   real_t min_improvement) {
+  HEMO_REQUIRE(static_cast<bool>(candidate.seconds_per_step),
+               "candidate term needs a callable");
+  TermEvaluation eval;
+  eval.name = candidate.name;
+  eval.baseline_error = current_error();
+  eval.with_term_error = error_with({&candidate});
+  eval.keep = eval.with_term_error + min_improvement <= eval.baseline_error;
+  if (eval.keep) {
+    kept_terms_.push_back(candidate);
+    kept_names_.push_back(candidate.name);
+  }
+  return eval;
+}
+
+real_t TermSelector::refined_step_s(real_t baseline_step_s,
+                                    index_t n_tasks) const {
+  HEMO_REQUIRE(baseline_step_s > 0.0, "baseline step time must be positive");
+  real_t out = baseline_step_s;
+  for (const auto& term : kept_terms_) {
+    out += term.seconds_per_step(n_tasks);
+  }
+  return out;
+}
+
+}  // namespace hemo::core

@@ -1,0 +1,77 @@
+// The paper's add-and-check model refinement loop (Discussion, §IV):
+//
+//   "Using our model as a baseline, additional elements of runtime can be
+//    added then checked for their impact on the model's ability to predict
+//    experimental results. Following the results of this check the element
+//    can be added or discarded..."
+//
+// A CandidateTerm proposes an additive runtime contribution (e.g. per-point
+// instruction overhead, cell-model work, CPU-GPU staging). TermSelector
+// evaluates each candidate against recorded (prediction, measurement)
+// pairs, keeps the ones that reduce the prediction error, and exposes the
+// composed, refined predictor.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace hemo::core {
+
+/// One recorded comparison point for refinement.
+struct RefinementSample {
+  index_t n_tasks = 0;
+  real_t predicted_step_s = 0.0;  ///< baseline model prediction
+  real_t measured_step_s = 0.0;   ///< virtual-cluster (or real) timing
+};
+
+/// A proposed additional runtime element: seconds per step as a function of
+/// the task count. Terms must be non-negative.
+struct CandidateTerm {
+  std::string name;
+  std::function<real_t(index_t n_tasks)> seconds_per_step;
+};
+
+/// Outcome of checking one candidate.
+struct TermEvaluation {
+  std::string name;
+  real_t baseline_error = 0.0;   ///< mean |rel. error| without the term
+  real_t with_term_error = 0.0;  ///< mean |rel. error| with the term
+  bool keep = false;             ///< true iff the term reduced the error
+};
+
+/// Implements the add-and-check loop over a fixed sample set.
+class TermSelector {
+ public:
+  explicit TermSelector(std::vector<RefinementSample> samples);
+
+  /// Mean |relative error| of the current (baseline + kept terms) model.
+  [[nodiscard]] real_t current_error() const;
+
+  /// Checks a candidate against the current model; keeps it iff it
+  /// improves the error by at least `min_improvement` (relative, e.g.
+  /// 0.01 = one percentage point of mean relative error).
+  TermEvaluation check(const CandidateTerm& candidate,
+                       real_t min_improvement = 0.0);
+
+  /// Names of the kept terms, in acceptance order.
+  [[nodiscard]] const std::vector<std::string>& kept() const noexcept {
+    return kept_names_;
+  }
+
+  /// Refined step-time prediction for a baseline prediction at n_tasks.
+  [[nodiscard]] real_t refined_step_s(real_t baseline_step_s,
+                                      index_t n_tasks) const;
+
+ private:
+  [[nodiscard]] real_t error_with(
+      const std::vector<const CandidateTerm*>& extra) const;
+
+  std::vector<RefinementSample> samples_;
+  std::vector<CandidateTerm> kept_terms_;
+  std::vector<std::string> kept_names_;
+};
+
+}  // namespace hemo::core

@@ -1,0 +1,56 @@
+// Roofline analysis (paper Discussion, §IV).
+//
+// The paper's model assumes LBM is memory-bandwidth bound and suggests
+// rooflines for other hardware limits (floating-point throughput) as the
+// next refinement: "Roofline models for other hardware constraints ... can
+// also be considered in the overall performance model either by an
+// approximation such as by adding the theoretical runtime predicted by the
+// roofline model...". This module provides that analysis: per-instance
+// peak compute and bandwidth ceilings, the kernel's arithmetic intensity,
+// and a roofline-adjusted memory term — which also verifies the paper's
+// premise that LBM sits far below the ridge point on every tested system.
+#pragma once
+
+#include "cluster/instance.hpp"
+#include "core/models.hpp"
+#include "lbm/access_counts.hpp"
+#include "lbm/mesh.hpp"
+#include "util/common.hpp"
+
+namespace hemo::core {
+
+/// Which ceiling binds a kernel on an instance.
+enum class Bound { kMemory, kCompute };
+
+/// Per-node ceilings of one instance at a given active-thread count.
+struct Roofline {
+  real_t peak_gflops = 0.0;       ///< node FP64 peak at `threads` cores
+  real_t bandwidth_gbs = 0.0;     ///< node STREAM-law bandwidth
+  real_t ridge_flops_per_byte = 0.0;  ///< peak_gflops / bandwidth
+};
+
+/// Builds the node roofline: peak = threads * clock * flops_per_cycle
+/// (default 8 FP64/cycle, an AVX2 FMA pipe) and the two-line bandwidth at
+/// that thread count.
+[[nodiscard]] Roofline instance_roofline(
+    const cluster::InstanceProfile& profile, index_t threads,
+    real_t flops_per_cycle = 8.0);
+
+/// Arithmetic intensity (flops per byte) of one kernel configuration over
+/// a mesh: serial flops / serial bytes.
+[[nodiscard]] real_t arithmetic_intensity(const lbm::FluidMesh& mesh,
+                                          const lbm::KernelConfig& config);
+
+/// Which ceiling binds the kernel on this roofline.
+[[nodiscard]] Bound bound_for(const Roofline& roofline,
+                              real_t intensity_flops_per_byte);
+
+/// Roofline-corrected prediction: replaces the memory term with
+/// max(memory term, compute term) where the compute term is the task's
+/// flops over its share of the node's peak. For LBM this is a no-op on
+/// every catalog instance (memory-bound), which is itself a checked claim.
+[[nodiscard]] ModelPrediction roofline_adjusted(
+    const ModelPrediction& prediction, const Roofline& roofline,
+    real_t task_flops, real_t task_share);
+
+}  // namespace hemo::core

@@ -1,0 +1,55 @@
+#include "decomp/comm_graph.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace hemo::decomp {
+
+index_t CommGraph::max_events() const {
+  index_t m = 0;
+  for (const TaskComm& t : per_task) m = std::max(m, t.events());
+  return m;
+}
+
+real_t CommGraph::max_total_bytes(const lbm::KernelConfig& config) const {
+  index_t m = 0;
+  for (const TaskComm& t : per_task) m = std::max(m, t.links());
+  return static_cast<real_t>(m) *
+         static_cast<real_t>(lbm::data_size(config.precision));
+}
+
+CommGraph build_comm_graph(const lbm::FluidMesh& mesh,
+                           const Partition& partition) {
+  HEMO_REQUIRE(static_cast<index_t>(partition.task_of.size()) ==
+                   mesh.num_points(),
+               "partition does not match mesh");
+  // Count links per ordered (from, to) pair: point p on task j pulls from
+  // its upstream neighbor m on task k, producing a link on message k -> j.
+  std::map<std::pair<std::int32_t, std::int32_t>, index_t> links;
+  for (index_t p = 0; p < mesh.num_points(); ++p) {
+    const std::int32_t tp = partition.task_of[static_cast<std::size_t>(p)];
+    for (index_t q = 1; q < lbm::kQ; ++q) {
+      const std::int32_t m = mesh.neighbor(p, q);
+      if (m == lbm::kSolidLink) continue;
+      const std::int32_t tm = partition.task_of[static_cast<std::size_t>(m)];
+      if (tm != tp) ++links[{tm, tp}];
+    }
+  }
+
+  CommGraph graph;
+  graph.per_task.resize(static_cast<std::size_t>(partition.n_tasks));
+  graph.messages.reserve(links.size());
+  for (const auto& [pair, count] : links) {
+    const auto [from, to] = pair;
+    graph.messages.push_back(Message{from, to, count});
+    auto& sender = graph.per_task[static_cast<std::size_t>(from)];
+    auto& receiver = graph.per_task[static_cast<std::size_t>(to)];
+    ++sender.send_events;
+    sender.send_links += count;
+    ++receiver.recv_events;
+    receiver.recv_links += count;
+  }
+  return graph;
+}
+
+}  // namespace hemo::decomp

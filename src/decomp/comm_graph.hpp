@@ -1,0 +1,66 @@
+// Halo-exchange communication graph of a decomposed LBM domain.
+//
+// In the pull-scheme halo exchange, task j needs, for every local point p
+// and direction q whose upstream neighbor lives on task k, that neighbor's
+// post-collision distribution value. Each ordered task pair (k -> j) with at
+// least one such link exchanges one message per timestep whose payload is
+// (number of links) * d_size bytes. The graph records, per task, its
+// neighbor tasks and byte totals — the inputs of both the direct model
+// (exact counts) and the empirical Eq. 13/15 fits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "decomp/partition.hpp"
+#include "lbm/kernel_config.hpp"
+#include "lbm/mesh.hpp"
+#include "util/common.hpp"
+
+namespace hemo::decomp {
+
+/// One directed per-timestep message.
+struct Message {
+  std::int32_t from = 0;
+  std::int32_t to = 0;
+  index_t link_count = 0;  ///< (point, direction) pairs carried
+
+  [[nodiscard]] real_t bytes(const lbm::KernelConfig& config) const noexcept {
+    return static_cast<real_t>(link_count) *
+           static_cast<real_t>(lbm::data_size(config.precision));
+  }
+};
+
+/// Per-task communication summary.
+struct TaskComm {
+  index_t send_events = 0;  ///< messages sent per step
+  index_t recv_events = 0;  ///< messages received per step
+  index_t send_links = 0;   ///< total links sent
+  index_t recv_links = 0;   ///< total links received
+
+  [[nodiscard]] index_t events() const noexcept {
+    return send_events + recv_events;
+  }
+  [[nodiscard]] index_t links() const noexcept {
+    return send_links + recv_links;
+  }
+};
+
+/// The full graph.
+struct CommGraph {
+  std::vector<Message> messages;   ///< all directed messages, deterministic order
+  std::vector<TaskComm> per_task;  ///< indexed by task
+
+  /// Maximum events() over tasks — the quantity Eq. 15 models.
+  [[nodiscard]] index_t max_events() const;
+
+  /// Maximum links() over tasks, in bytes — the quantity Eq. 13 models
+  /// (sent + received halo data of the busiest task).
+  [[nodiscard]] real_t max_total_bytes(const lbm::KernelConfig& config) const;
+};
+
+/// Builds the communication graph for a partitioned mesh.
+[[nodiscard]] CommGraph build_comm_graph(const lbm::FluidMesh& mesh,
+                                         const Partition& partition);
+
+}  // namespace hemo::decomp

@@ -1,0 +1,249 @@
+#include "decomp/partition.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+
+#include "lbm/access_counts.hpp"
+
+namespace hemo::decomp {
+
+index_t Partition::max_points() const {
+  index_t m = 0;
+  for (const auto& pts : points_of) {
+    m = std::max(m, static_cast<index_t>(pts.size()));
+  }
+  return m;
+}
+
+index_t Partition::min_points() const {
+  index_t m = task_of.empty() ? 0 : static_cast<index_t>(task_of.size());
+  for (const auto& pts : points_of) {
+    m = std::min(m, static_cast<index_t>(pts.size()));
+  }
+  return m;
+}
+
+const char* to_string(Strategy s) noexcept {
+  switch (s) {
+    case Strategy::kGrid: return "grid";
+    case Strategy::kRcb: return "rcb";
+    case Strategy::kSlab: return "slab";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Near-cubic factorization of n into (px, py, pz), px*py*pz == n,
+/// preferring balanced factors (largest factor minimized).
+std::array<index_t, 3> factor3(index_t n) {
+  std::array<index_t, 3> best = {n, 1, 1};
+  real_t best_score = static_cast<real_t>(n);
+  for (index_t a = 1; a * a * a <= n; ++a) {
+    if (n % a != 0) continue;
+    const index_t rem = n / a;
+    for (index_t b = a; b * b <= rem; ++b) {
+      if (rem % b != 0) continue;
+      const index_t c = rem / b;
+      const real_t score = static_cast<real_t>(c);  // c >= b >= a
+      if (score < best_score) {
+        best_score = score;
+        best = {a, b, c};
+      }
+    }
+  }
+  return best;
+}
+
+Partition finalize(const lbm::FluidMesh& mesh, index_t n_tasks,
+                   std::vector<std::int32_t> task_of) {
+  Partition part;
+  part.n_tasks = n_tasks;
+  part.task_of = std::move(task_of);
+  part.points_of.resize(static_cast<std::size_t>(n_tasks));
+  for (index_t p = 0; p < mesh.num_points(); ++p) {
+    part.points_of[static_cast<std::size_t>(
+                       part.task_of[static_cast<std::size_t>(p)])]
+        .push_back(p);
+  }
+  return part;
+}
+
+/// Bounding box of the mesh's fluid voxels.
+struct Box {
+  index_t lo[3] = {0, 0, 0};
+  index_t hi[3] = {0, 0, 0};  // inclusive
+};
+
+Box bounding_box(const lbm::FluidMesh& mesh) {
+  Box b;
+  const auto& v0 = mesh.voxel(0);
+  b.lo[0] = b.hi[0] = v0.x;
+  b.lo[1] = b.hi[1] = v0.y;
+  b.lo[2] = b.hi[2] = v0.z;
+  for (index_t p = 1; p < mesh.num_points(); ++p) {
+    const auto& v = mesh.voxel(p);
+    const index_t c[3] = {v.x, v.y, v.z};
+    for (int d = 0; d < 3; ++d) {
+      b.lo[d] = std::min(b.lo[d], c[d]);
+      b.hi[d] = std::max(b.hi[d], c[d]);
+    }
+  }
+  return b;
+}
+
+std::vector<std::int32_t> assign_grid(const lbm::FluidMesh& mesh,
+                                      index_t n_tasks) {
+  const Box box = bounding_box(mesh);
+  const auto f = factor3(n_tasks);
+  // Map the sorted extents to the sorted factors so the most blocks cut the
+  // longest axis.
+  std::array<index_t, 3> extent = {box.hi[0] - box.lo[0] + 1,
+                                   box.hi[1] - box.lo[1] + 1,
+                                   box.hi[2] - box.lo[2] + 1};
+  std::array<int, 3> axis_order = {0, 1, 2};
+  std::sort(axis_order.begin(), axis_order.end(), [&](int a, int b) {
+    return extent[static_cast<std::size_t>(a)] <
+           extent[static_cast<std::size_t>(b)];
+  });
+  std::array<index_t, 3> blocks{};  // per axis
+  blocks[static_cast<std::size_t>(axis_order[0])] = f[0];
+  blocks[static_cast<std::size_t>(axis_order[1])] = f[1];
+  blocks[static_cast<std::size_t>(axis_order[2])] = f[2];
+
+  std::vector<std::int32_t> task_of(
+      static_cast<std::size_t>(mesh.num_points()));
+  for (index_t p = 0; p < mesh.num_points(); ++p) {
+    const auto& v = mesh.voxel(p);
+    const index_t c[3] = {v.x, v.y, v.z};
+    index_t cell[3];
+    for (int d = 0; d < 3; ++d) {
+      const index_t e = extent[static_cast<std::size_t>(d)];
+      const index_t nb = blocks[static_cast<std::size_t>(d)];
+      index_t i = (c[d] - box.lo[d]) * nb / e;
+      cell[d] = std::clamp<index_t>(i, 0, nb - 1);
+    }
+    task_of[static_cast<std::size_t>(p)] = static_cast<std::int32_t>(
+        (cell[2] * blocks[1] + cell[1]) * blocks[0] + cell[0]);
+  }
+  return task_of;
+}
+
+/// Recursive coordinate bisection over a point-index range.
+void rcb_recurse(const lbm::FluidMesh& mesh, std::vector<index_t>& points,
+                 index_t begin, index_t end, index_t task_base,
+                 index_t n_tasks, std::vector<std::int32_t>& task_of) {
+  if (n_tasks == 1) {
+    for (index_t i = begin; i < end; ++i) {
+      task_of[static_cast<std::size_t>(points[static_cast<std::size_t>(i)])] =
+          static_cast<std::int32_t>(task_base);
+    }
+    return;
+  }
+  // Widest axis of this subset.
+  index_t lo[3], hi[3];
+  {
+    const auto& v = mesh.voxel(points[static_cast<std::size_t>(begin)]);
+    lo[0] = hi[0] = v.x; lo[1] = hi[1] = v.y; lo[2] = hi[2] = v.z;
+  }
+  for (index_t i = begin + 1; i < end; ++i) {
+    const auto& v = mesh.voxel(points[static_cast<std::size_t>(i)]);
+    const index_t c[3] = {v.x, v.y, v.z};
+    for (int d = 0; d < 3; ++d) {
+      lo[d] = std::min(lo[d], c[d]);
+      hi[d] = std::max(hi[d], c[d]);
+    }
+  }
+  int axis = 0;
+  for (int d = 1; d < 3; ++d) {
+    if (hi[d] - lo[d] > hi[axis] - lo[axis]) axis = d;
+  }
+
+  const index_t left_tasks = n_tasks / 2;
+  const index_t right_tasks = n_tasks - left_tasks;
+  const index_t count = end - begin;
+  const index_t left_count = count * left_tasks / n_tasks;
+
+  auto key = [&](index_t p) {
+    const auto& v = mesh.voxel(p);
+    return axis == 0 ? v.x : axis == 1 ? v.y : v.z;
+  };
+  std::nth_element(
+      points.begin() + begin, points.begin() + begin + left_count,
+      points.begin() + end, [&](index_t a, index_t b) {
+        const index_t ka = key(a), kb = key(b);
+        return ka != kb ? ka < kb : a < b;  // deterministic tie-break
+      });
+
+  rcb_recurse(mesh, points, begin, begin + left_count, task_base, left_tasks,
+              task_of);
+  rcb_recurse(mesh, points, begin + left_count, end, task_base + left_tasks,
+              right_tasks, task_of);
+}
+
+std::vector<std::int32_t> assign_rcb(const lbm::FluidMesh& mesh,
+                                     index_t n_tasks) {
+  std::vector<index_t> points(static_cast<std::size_t>(mesh.num_points()));
+  std::iota(points.begin(), points.end(), 0);
+  std::vector<std::int32_t> task_of(
+      static_cast<std::size_t>(mesh.num_points()));
+  rcb_recurse(mesh, points, 0, mesh.num_points(), 0, n_tasks, task_of);
+  return task_of;
+}
+
+std::vector<std::int32_t> assign_slab(const lbm::FluidMesh& mesh,
+                                      index_t n_tasks) {
+  const Box box = bounding_box(mesh);
+  const index_t extent = box.hi[2] - box.lo[2] + 1;
+  std::vector<std::int32_t> task_of(
+      static_cast<std::size_t>(mesh.num_points()));
+  for (index_t p = 0; p < mesh.num_points(); ++p) {
+    const index_t z = mesh.voxel(p).z;
+    index_t i = (z - box.lo[2]) * n_tasks / extent;
+    task_of[static_cast<std::size_t>(p)] = static_cast<std::int32_t>(
+        std::clamp<index_t>(i, 0, n_tasks - 1));
+  }
+  return task_of;
+}
+
+}  // namespace
+
+Partition make_partition(const lbm::FluidMesh& mesh, index_t n_tasks,
+                         Strategy strategy) {
+  HEMO_REQUIRE(n_tasks >= 1 && n_tasks <= mesh.num_points(),
+               "n_tasks must be in [1, num_points]");
+  std::vector<std::int32_t> task_of;
+  switch (strategy) {
+    case Strategy::kGrid: task_of = assign_grid(mesh, n_tasks); break;
+    case Strategy::kRcb: task_of = assign_rcb(mesh, n_tasks); break;
+    case Strategy::kSlab: task_of = assign_slab(mesh, n_tasks); break;
+  }
+  return finalize(mesh, n_tasks, std::move(task_of));
+}
+
+std::vector<real_t> task_bytes_per_step(const lbm::FluidMesh& mesh,
+                                        const Partition& partition,
+                                        const lbm::KernelConfig& config) {
+  std::vector<real_t> bytes(static_cast<std::size_t>(partition.n_tasks), 0.0);
+  for (index_t t = 0; t < partition.n_tasks; ++t) {
+    bytes[static_cast<std::size_t>(t)] = lbm::bytes_for_points(
+        mesh, partition.points_of[static_cast<std::size_t>(t)], config);
+  }
+  return bytes;
+}
+
+real_t measured_imbalance(const lbm::FluidMesh& mesh,
+                          const Partition& partition,
+                          const lbm::KernelConfig& config) {
+  const auto bytes = task_bytes_per_step(mesh, partition, config);
+  const real_t serial = lbm::serial_bytes_per_step(mesh, config);
+  real_t max_bytes = 0.0;
+  for (real_t b : bytes) max_bytes = std::max(max_bytes, b);
+  const real_t ideal =
+      serial / static_cast<real_t>(partition.n_tasks);
+  return ideal > 0.0 ? max_bytes / ideal : 1.0;
+}
+
+}  // namespace hemo::decomp

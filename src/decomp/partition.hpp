@@ -1,0 +1,61 @@
+// Domain decomposition of a sparse fluid mesh into parallel tasks.
+//
+// Three strategies:
+//  * Grid — the bounding box is cut into a near-cubic px*py*pz block grid
+//    and points belong to the block containing their voxel. Simple and
+//    HARVEY-like, but complex geometries load-balance poorly (blocks in
+//    empty space get nothing), which is exactly the imbalance the paper's
+//    z-factor (Eqs. 10-11) describes.
+//  * RCB — recursive coordinate bisection over fluid-point counts: splits
+//    the point set at the median of its widest axis, recursively, giving
+//    near-equal point counts. Residual *byte* imbalance remains because the
+//    wall/bulk mix differs per task.
+//  * Slab — 1-D cuts along z (ablation baseline; large cut surfaces).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lbm/kernel_config.hpp"
+#include "lbm/mesh.hpp"
+#include "util/common.hpp"
+
+namespace hemo::decomp {
+
+/// Assignment of every fluid point to a task.
+struct Partition {
+  index_t n_tasks = 0;
+  std::vector<std::int32_t> task_of;            ///< per fluid point
+  std::vector<std::vector<index_t>> points_of;  ///< per task, ascending
+
+  /// Number of points on the most/least loaded task.
+  [[nodiscard]] index_t max_points() const;
+  [[nodiscard]] index_t min_points() const;
+};
+
+/// Decomposition strategy selector.
+enum class Strategy {
+  kGrid,
+  kRcb,
+  kSlab,
+};
+
+[[nodiscard]] const char* to_string(Strategy s) noexcept;
+
+/// Partitions `mesh` into `n_tasks` tasks with the given strategy.
+/// Requires 1 <= n_tasks <= num_points.
+[[nodiscard]] Partition make_partition(const lbm::FluidMesh& mesh,
+                                       index_t n_tasks, Strategy strategy);
+
+/// Measured load-imbalance factor z for a partition under a kernel config:
+/// max_j(bytes_j) / (serial_bytes / n_tasks) — the quantity Eq. 11 models.
+[[nodiscard]] real_t measured_imbalance(const lbm::FluidMesh& mesh,
+                                        const Partition& partition,
+                                        const lbm::KernelConfig& config);
+
+/// Per-task byte counts (Eq. 9 evaluated on the real decomposition).
+[[nodiscard]] std::vector<real_t> task_bytes_per_step(
+    const lbm::FluidMesh& mesh, const Partition& partition,
+    const lbm::KernelConfig& config);
+
+}  // namespace hemo::decomp

@@ -1,0 +1,26 @@
+#include "fit/interp.hpp"
+
+#include <algorithm>
+
+namespace hemo::fit {
+
+Interp1D::Interp1D(std::vector<real_t> xs, std::vector<real_t> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys)) {
+  HEMO_REQUIRE(xs_.size() == ys_.size() && xs_.size() >= 2,
+               "Interp1D needs >= 2 paired points");
+  for (std::size_t i = 1; i < xs_.size(); ++i) {
+    HEMO_REQUIRE(xs_[i] > xs_[i - 1], "Interp1D x must be strictly increasing");
+  }
+}
+
+real_t Interp1D::operator()(real_t x) const noexcept {
+  // Find the segment; clamp to the edge segments for extrapolation.
+  const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  std::size_t hi = static_cast<std::size_t>(it - xs_.begin());
+  hi = std::clamp<std::size_t>(hi, 1, xs_.size() - 1);
+  const std::size_t lo = hi - 1;
+  const real_t t = (x - xs_[lo]) / (xs_[hi] - xs_[lo]);
+  return ys_[lo] + t * (ys_[hi] - ys_[lo]);
+}
+
+}  // namespace hemo::fit

@@ -1,0 +1,34 @@
+// Piecewise-linear interpolation over tabulated (x, y) data.
+//
+// The paper's *direct* performance model does not use the fitted linear
+// communication law; it "interpolates the communication time from PingPong
+// measurement raw data" (Section III-G). Interp1D provides exactly that.
+#pragma once
+
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace hemo::fit {
+
+/// Monotone-x piecewise-linear interpolant with edge-slope extrapolation.
+class Interp1D {
+ public:
+  /// Builds the interpolant. Requires xs strictly increasing and >= 2 points.
+  Interp1D(std::vector<real_t> xs, std::vector<real_t> ys);
+
+  /// Evaluates at x; extrapolates linearly using the first/last segment.
+  [[nodiscard]] real_t operator()(real_t x) const noexcept;
+
+  [[nodiscard]] real_t min_x() const noexcept { return xs_.front(); }
+  [[nodiscard]] real_t max_x() const noexcept { return xs_.back(); }
+  [[nodiscard]] index_t size() const noexcept {
+    return static_cast<index_t>(xs_.size());
+  }
+
+ private:
+  std::vector<real_t> xs_;
+  std::vector<real_t> ys_;
+};
+
+}  // namespace hemo::fit

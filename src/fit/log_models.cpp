@@ -1,0 +1,106 @@
+#include "fit/log_models.hpp"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "fit/minimize.hpp"
+
+namespace hemo::fit {
+
+real_t ImbalanceModel::z(real_t n_tasks) const noexcept {
+  if (n_tasks <= 1.0) return 1.0;
+  const real_t arg = c2 * (n_tasks - 1.0) + 1.0;
+  if (arg <= 0.0) return 1.0;
+  return c1 * std::log(arg) + 1.0;
+}
+
+real_t EventCountModel::events(real_t n_tasks, real_t n_nodes) const noexcept {
+  if (n_tasks <= n_nodes || n_nodes <= 0.0) return 0.0;
+  const real_t arg = (k1 / n_nodes + k2) * (n_tasks - n_nodes) + 1.0;
+  if (arg <= 1.0) return 0.0;
+  return 4.0 * std::log2(arg);
+}
+
+namespace {
+
+/// Grid-seeded 2-parameter least squares: evaluates the SSE objective on a
+/// log-spaced coarse grid, then refines the best cell with Nelder-Mead.
+template <typename Objective>
+std::array<real_t, 2> fit_two_params(const Objective& sse_fn,
+                                     std::span<const real_t> grid_p1,
+                                     std::span<const real_t> grid_p2) {
+  real_t best_sse = std::numeric_limits<real_t>::infinity();
+  std::array<real_t, 2> best{grid_p1[0], grid_p2[0]};
+  for (real_t p1 : grid_p1) {
+    for (real_t p2 : grid_p2) {
+      const real_t e = sse_fn(p1, p2);
+      if (e < best_sse) {
+        best_sse = e;
+        best = {p1, p2};
+      }
+    }
+  }
+  const MinimizeResult refined = nelder_mead_2d(
+      [&](real_t p1, real_t p2) { return sse_fn(p1, p2); }, best,
+      {std::max(std::abs(best[0]) * 0.25, 1e-3),
+       std::max(std::abs(best[1]) * 0.25, 1e-3)});
+  return refined.value <= best_sse ? refined.x : best;
+}
+
+std::vector<real_t> log_grid(real_t lo, real_t hi, index_t count) {
+  std::vector<real_t> g;
+  g.reserve(static_cast<std::size_t>(count));
+  const real_t llo = std::log(lo), lhi = std::log(hi);
+  for (index_t i = 0; i < count; ++i) {
+    const real_t t = static_cast<real_t>(i) / static_cast<real_t>(count - 1);
+    g.push_back(std::exp(llo + (lhi - llo) * t));
+  }
+  return g;
+}
+
+}  // namespace
+
+ImbalanceModel fit_imbalance(std::span<const real_t> n_tasks,
+                             std::span<const real_t> z_values) {
+  HEMO_REQUIRE(n_tasks.size() == z_values.size() && n_tasks.size() >= 2,
+               "fit_imbalance needs >= 2 paired points");
+  auto sse_fn = [&](real_t c1, real_t c2) {
+    if (c2 <= 0.0) return std::numeric_limits<real_t>::max();
+    ImbalanceModel m{c1, c2};
+    real_t acc = 0.0;
+    for (std::size_t i = 0; i < n_tasks.size(); ++i) {
+      const real_t d = z_values[i] - m.z(n_tasks[i]);
+      acc += d * d;
+    }
+    return acc;
+  };
+  const auto g1 = log_grid(1e-3, 10.0, 40);
+  const auto g2 = log_grid(1e-4, 10.0, 40);
+  const auto p = fit_two_params(sse_fn, g1, g2);
+  return ImbalanceModel{p[0], p[1]};
+}
+
+EventCountModel fit_event_count(std::span<const real_t> n_tasks,
+                                std::span<const real_t> n_nodes,
+                                std::span<const real_t> events) {
+  HEMO_REQUIRE(n_tasks.size() == n_nodes.size() &&
+                   n_tasks.size() == events.size() && n_tasks.size() >= 2,
+               "fit_event_count needs >= 2 triples");
+  auto sse_fn = [&](real_t k1, real_t k2) {
+    if (k2 < 0.0) return std::numeric_limits<real_t>::max();
+    EventCountModel m{k1, k2};
+    real_t acc = 0.0;
+    for (std::size_t i = 0; i < n_tasks.size(); ++i) {
+      const real_t d = events[i] - m.events(n_tasks[i], n_nodes[i]);
+      acc += d * d;
+    }
+    return acc;
+  };
+  const auto g1 = log_grid(1e-3, 100.0, 40);
+  const auto g2 = log_grid(1e-4, 10.0, 40);
+  const auto p = fit_two_params(sse_fn, g1, g2);
+  return EventCountModel{p[0], p[1]};
+}
+
+}  // namespace hemo::fit

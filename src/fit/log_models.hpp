@@ -1,0 +1,52 @@
+// Logarithmic empirical models from the paper:
+//
+//  * Load-imbalance factor (Eq. 11):
+//      z(n_tasks) = c1 * ln(c2 * (n_tasks - 1) + 1) + 1
+//    z is the factor by which the most-loaded task's memory traffic exceeds
+//    the perfectly balanced share n_bytes_serial / n_tasks (Eq. 10).
+//
+//  * Maximum communication-event count (Eq. 15):
+//      n_max_events(n_tasks) = 4 * log2((k1 / n_n + k2) * (n_tasks - n_n) + 1)
+//    where n_n is the number of nodes in the allocation.
+//
+// Both are fitted to decomposition sweeps with a grid-seeded Nelder-Mead
+// least-squares minimization.
+#pragma once
+
+#include <span>
+
+#include "util/common.hpp"
+
+namespace hemo::fit {
+
+/// Fitted Eq. 11 parameters.
+struct ImbalanceModel {
+  real_t c1 = 0.0;
+  real_t c2 = 0.0;
+
+  /// z(n_tasks): >= 1 for n_tasks >= 1 when c1, c2 >= 0.
+  [[nodiscard]] real_t z(real_t n_tasks) const noexcept;
+};
+
+/// Fits (c1, c2) to observed (n_tasks, z) pairs by least squares.
+/// Requires >= 2 points with n_tasks >= 1.
+[[nodiscard]] ImbalanceModel fit_imbalance(std::span<const real_t> n_tasks,
+                                           std::span<const real_t> z_values);
+
+/// Fitted Eq. 15 parameters.
+struct EventCountModel {
+  real_t k1 = 0.0;
+  real_t k2 = 0.0;
+
+  /// Maximum number of communication events for n_tasks tasks on n_nodes
+  /// nodes. Returns 0 when n_tasks <= n_nodes implies no off-task halo.
+  [[nodiscard]] real_t events(real_t n_tasks, real_t n_nodes) const noexcept;
+};
+
+/// Fits (k1, k2) to observed (n_tasks, n_nodes, events) triples.
+/// Requires >= 2 points.
+[[nodiscard]] EventCountModel fit_event_count(
+    std::span<const real_t> n_tasks, std::span<const real_t> n_nodes,
+    std::span<const real_t> events);
+
+}  // namespace hemo::fit

@@ -1,0 +1,98 @@
+#include "fit/minimize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hemo::fit {
+
+namespace {
+
+struct Vertex {
+  std::array<real_t, 2> x{};
+  real_t f = 0.0;
+};
+
+}  // namespace
+
+MinimizeResult nelder_mead_2d(const std::function<real_t(real_t, real_t)>& f,
+                              std::array<real_t, 2> start,
+                              std::array<real_t, 2> scale,
+                              const MinimizeOptions& options) {
+  HEMO_REQUIRE(scale[0] != 0.0 && scale[1] != 0.0,
+               "nelder_mead_2d: zero simplex scale");
+
+  // Standard Nelder-Mead coefficients.
+  constexpr real_t kReflect = 1.0;
+  constexpr real_t kExpand = 2.0;
+  constexpr real_t kContract = 0.5;
+  constexpr real_t kShrink = 0.5;
+
+  std::array<Vertex, 3> s;
+  s[0].x = start;
+  s[1].x = {start[0] + scale[0], start[1]};
+  s[2].x = {start[0], start[1] + scale[1]};
+  for (auto& v : s) v.f = f(v.x[0], v.x[1]);
+
+  MinimizeResult result;
+  for (index_t it = 0; it < options.max_iterations; ++it) {
+    std::sort(s.begin(), s.end(),
+              [](const Vertex& a, const Vertex& b) { return a.f < b.f; });
+    result.iterations = it;
+    if (std::abs(s[2].f - s[0].f) <=
+        options.tolerance * (std::abs(s[0].f) + options.tolerance)) {
+      result.converged = true;
+      break;
+    }
+
+    // Centroid of the two best vertices.
+    const std::array<real_t, 2> c = {(s[0].x[0] + s[1].x[0]) / 2.0,
+                                     (s[0].x[1] + s[1].x[1]) / 2.0};
+    auto point = [&](real_t t) {
+      return std::array<real_t, 2>{c[0] + t * (c[0] - s[2].x[0]),
+                                   c[1] + t * (c[1] - s[2].x[1])};
+    };
+
+    const auto xr = point(kReflect);
+    const real_t fr = f(xr[0], xr[1]);
+    if (fr < s[0].f) {
+      const auto xe = point(kExpand);
+      const real_t fe = f(xe[0], xe[1]);
+      if (fe < fr) {
+        s[2] = {xe, fe};
+      } else {
+        s[2] = {xr, fr};
+      }
+    } else if (fr < s[1].f) {
+      s[2] = {xr, fr};
+    } else {
+      const auto xc = point(fr < s[2].f ? kContract : -kContract);
+      const real_t fc = f(xc[0], xc[1]);
+      if (fc < std::min(fr, s[2].f)) {
+        s[2] = {xc, fc};
+      } else {
+        // Shrink toward the best vertex.
+        for (int i = 1; i < 3; ++i) {
+          for (int d = 0; d < 2; ++d) {
+            s[static_cast<std::size_t>(i)].x[static_cast<std::size_t>(d)] =
+                s[0].x[static_cast<std::size_t>(d)] +
+                kShrink *
+                    (s[static_cast<std::size_t>(i)]
+                         .x[static_cast<std::size_t>(d)] -
+                     s[0].x[static_cast<std::size_t>(d)]);
+          }
+          s[static_cast<std::size_t>(i)].f =
+              f(s[static_cast<std::size_t>(i)].x[0],
+                s[static_cast<std::size_t>(i)].x[1]);
+        }
+      }
+    }
+  }
+
+  std::sort(s.begin(), s.end(),
+            [](const Vertex& a, const Vertex& b) { return a.f < b.f; });
+  result.x = s[0].x;
+  result.value = s[0].f;
+  return result;
+}
+
+}  // namespace hemo::fit

@@ -1,0 +1,37 @@
+// Derivative-free minimization used for the nonlinear fits in the paper
+// (Eq. 11 load-imbalance parameters c1/c2 and Eq. 15 event-count parameters
+// k1/k2 are both 2-parameter nonlinear least-squares problems).
+//
+// A grid-seeded Nelder-Mead simplex is robust enough for these smooth,
+// low-dimensional objectives and keeps the module dependency-free.
+#pragma once
+
+#include <array>
+#include <functional>
+
+#include "util/common.hpp"
+
+namespace hemo::fit {
+
+/// Options for nelder_mead_2d.
+struct MinimizeOptions {
+  index_t max_iterations = 2000;
+  real_t tolerance = 1e-12;  ///< stop when simplex f-spread falls below this
+};
+
+/// Result of a 2-D minimization.
+struct MinimizeResult {
+  std::array<real_t, 2> x{};  ///< argmin
+  real_t value = 0.0;         ///< objective at argmin
+  index_t iterations = 0;
+  bool converged = false;
+};
+
+/// Minimizes f over R^2 starting from `start` with initial simplex scale
+/// `scale` (per-coordinate step used to build the initial simplex).
+[[nodiscard]] MinimizeResult nelder_mead_2d(
+    const std::function<real_t(real_t, real_t)>& f,
+    std::array<real_t, 2> start, std::array<real_t, 2> scale,
+    const MinimizeOptions& options = {});
+
+}  // namespace hemo::fit

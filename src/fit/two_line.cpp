@@ -1,0 +1,92 @@
+#include "fit/two_line.hpp"
+
+#include <array>
+#include <cmath>
+#include <limits>
+
+namespace hemo::fit {
+
+namespace {
+
+/// For a fixed breakpoint a3, Eq. 8 is linear in (a1, a2) with basis
+/// functions phi1(n) = n (n < a3) or a3 (n >= a3), and phi2(n) = 0 (n < a3)
+/// or n - a3 (n >= a3). Solves the 2x2 normal equations.
+TwoLineModel solve_given_breakpoint(real_t a3, std::span<const real_t> xs,
+                                    std::span<const real_t> ys) {
+  real_t s11 = 0.0, s12 = 0.0, s22 = 0.0, b1 = 0.0, b2 = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const real_t phi1 = xs[i] < a3 ? xs[i] : a3;
+    const real_t phi2 = xs[i] < a3 ? 0.0 : xs[i] - a3;
+    s11 += phi1 * phi1;
+    s12 += phi1 * phi2;
+    s22 += phi2 * phi2;
+    b1 += phi1 * ys[i];
+    b2 += phi2 * ys[i];
+  }
+  TwoLineModel m;
+  m.a3 = a3;
+  const real_t det = s11 * s22 - s12 * s12;
+  if (std::abs(det) < 1e-12 * (s11 * s22 + 1e-30)) {
+    // All points on one side of the breakpoint: fall back to a single line
+    // through the origin; the other slope inherits it (degenerate but
+    // well-defined, keeps the scan robust at the grid edges).
+    const real_t slope = s11 > 0.0 ? b1 / s11 : 0.0;
+    m.a1 = slope;
+    m.a2 = slope;
+    return m;
+  }
+  m.a1 = (b1 * s22 - b2 * s12) / det;
+  m.a2 = (b2 * s11 - b1 * s12) / det;
+  return m;
+}
+
+}  // namespace
+
+real_t two_line_sse(const TwoLineModel& model, std::span<const real_t> xs,
+                    std::span<const real_t> ys) {
+  HEMO_REQUIRE(xs.size() == ys.size(), "size mismatch in two_line_sse");
+  real_t acc = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const real_t d = ys[i] - model(xs[i]);
+    acc += d * d;
+  }
+  return acc;
+}
+
+TwoLineModel fit_two_line(std::span<const real_t> xs,
+                          std::span<const real_t> ys) {
+  HEMO_REQUIRE(xs.size() == ys.size() && xs.size() >= 3,
+               "fit_two_line needs >= 3 paired points");
+  real_t lo = xs[0], hi = xs[0];
+  for (real_t x : xs) {
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  if (lo <= 0.0) throw NumericError("fit_two_line: thread counts must be > 0");
+  if (hi <= lo) throw NumericError("fit_two_line: degenerate x range");
+
+  // Coarse scan of the breakpoint, then two rounds of local refinement.
+  TwoLineModel best;
+  real_t best_sse = std::numeric_limits<real_t>::infinity();
+  auto scan = [&](real_t from, real_t to, index_t steps) {
+    for (index_t k = 0; k <= steps; ++k) {
+      const real_t a3 =
+          from + (to - from) * static_cast<real_t>(k) /
+                     static_cast<real_t>(steps);
+      const TwoLineModel m = solve_given_breakpoint(a3, xs, ys);
+      const real_t e = two_line_sse(m, xs, ys);
+      if (e < best_sse) {
+        best_sse = e;
+        best = m;
+      }
+    }
+  };
+
+  scan(lo, hi, 400);
+  const real_t span = (hi - lo) / 400.0;
+  scan(std::max(lo, best.a3 - 2.0 * span), std::min(hi, best.a3 + 2.0 * span),
+       200);
+  return best;
+}
+
+}  // namespace hemo::fit

@@ -1,0 +1,50 @@
+// Two-line node memory bandwidth model (paper Eq. 8).
+//
+//   B_NODE(n) = a1 * n                      for n <  a3
+//             = a2 * n + a3 * (a1 - a2)     for n >= a3
+//
+// The model is continuous at n = a3 (both branches give a1 * a3). The first
+// regime is limited by per-core memory access speed (slope a1); the second
+// by the node's memory subsystem (much shallower slope a2). The fit adjusts
+// (a1, a2, a3) to minimize the sum of squared errors, exactly as the paper
+// describes for the STREAM thread sweeps of Fig. 5 / Table III.
+#pragma once
+
+#include <span>
+
+#include "util/common.hpp"
+
+namespace hemo::fit {
+
+/// Fitted two-line bandwidth law.
+struct TwoLineModel {
+  real_t a1 = 0.0;  ///< steep-regime slope (MB/s per thread)
+  real_t a2 = 0.0;  ///< saturated-regime slope (MB/s per thread)
+  real_t a3 = 0.0;  ///< breakpoint (threads)
+
+  /// Evaluates B_NODE(n) per Eq. 8.
+  [[nodiscard]] real_t operator()(real_t n) const noexcept {
+    if (n < a3) return a1 * n;
+    return a2 * n + a3 * (a1 - a2);
+  }
+
+  /// The saturated node bandwidth at n threads (same as operator(), kept
+  /// for readability at call sites that always query the plateau).
+  [[nodiscard]] real_t bandwidth(real_t n) const noexcept {
+    return (*this)(n);
+  }
+};
+
+/// Fits Eq. 8 by scanning candidate breakpoints a3 over a fine grid between
+/// min(xs) and max(xs) and solving the conditionally-linear least squares
+/// problem for (a1, a2) at each, then refining the best breakpoint locally.
+/// Requires >= 3 points spanning both regimes for a meaningful result.
+[[nodiscard]] TwoLineModel fit_two_line(std::span<const real_t> threads,
+                                        std::span<const real_t> bandwidth);
+
+/// Residual SSE of a model against data (exposed for tests / diagnostics).
+[[nodiscard]] real_t two_line_sse(const TwoLineModel& model,
+                                  std::span<const real_t> threads,
+                                  std::span<const real_t> bandwidth);
+
+}  // namespace hemo::fit

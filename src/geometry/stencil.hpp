@@ -1,0 +1,44 @@
+// D3Q19 stencil offsets.
+//
+// The velocity set lives here (rather than in lbm/) because geometry
+// classification — deciding which fluid points are "wall" points with
+// bounce-back links — must use exactly the same neighborhood the solver
+// streams over. lbm/ layers weights and opposite-direction tables on top.
+#pragma once
+
+#include <array>
+
+#include "util/common.hpp"
+
+namespace hemo::geometry {
+
+/// One lattice direction.
+struct Offset {
+  int dx = 0;
+  int dy = 0;
+  int dz = 0;
+};
+
+/// Number of D3Q19 directions (including the rest direction at index 0).
+inline constexpr index_t kQ = 19;
+
+/// D3Q19 velocity set: rest, 6 axis-aligned, 12 face-diagonal directions.
+/// Order: index 0 is rest; directions i and opposite(i) satisfy
+/// offset[i] == -offset[opposite(i)].
+inline constexpr std::array<Offset, kQ> kD3Q19 = {{
+    {0, 0, 0},                                                    // 0 rest
+    {1, 0, 0},  {-1, 0, 0},  {0, 1, 0},  {0, -1, 0},              // 1-4
+    {0, 0, 1},  {0, 0, -1},                                       // 5-6
+    {1, 1, 0},  {-1, -1, 0}, {1, -1, 0}, {-1, 1, 0},              // 7-10
+    {1, 0, 1},  {-1, 0, -1}, {1, 0, -1}, {-1, 0, 1},              // 11-14
+    {0, 1, 1},  {0, -1, -1}, {0, 1, -1}, {0, -1, 1},              // 15-18
+}};
+
+/// Index of the direction opposite to i (offset negation).
+[[nodiscard]] constexpr index_t opposite(index_t i) noexcept {
+  // Pairs are laid out adjacently: (1,2), (3,4), ..., (17,18).
+  if (i == 0) return 0;
+  return (i % 2 == 1) ? i + 1 : i - 1;
+}
+
+}  // namespace hemo::geometry

@@ -1,0 +1,108 @@
+// Distributed-memory stepping with explicit halo exchange.
+//
+// Each task owns its partition's fluid points and a private distribution
+// array covering local points plus ghost copies of remote upstream
+// neighbors. A step is: (1) halo exchange — every task copies its ghosts'
+// current post-collision values out of the owners' arrays (the stand-in
+// for MPI point-to-point messages); (2) local fused stream/collide into the
+// back buffer; (3) global swap. This mirrors how HARVEY runs under MPI and
+// must reproduce the serial solver bit-for-bit — the integration tests
+// assert exactly that, which validates the communication-graph counting
+// the performance models rely on.
+//
+// Only the AB + AoS + double configuration is supported: it is the
+// production configuration, and one bitwise-verified path is enough to
+// validate the halo semantics used by the plans.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "decomp/partition.hpp"
+#include "geometry/generators.hpp"
+#include "lbm/mesh.hpp"
+#include "lbm/solver.hpp"
+#include "util/common.hpp"
+
+namespace hemo::harvey {
+
+/// Distributed AB/AoS/double solver over an explicit partition.
+class DistributedSolver {
+ public:
+  /// The mesh and partition must outlive the solver. `params.kernel` must
+  /// be AB + AoS + double.
+  DistributedSolver(const lbm::FluidMesh& mesh,
+                    const decomp::Partition& partition,
+                    const lbm::SolverParams& params,
+                    std::span<const geometry::InletSpec> inlets);
+
+  /// Advances one timestep (exchange + local updates + swap).
+  void step();
+
+  void run(index_t n);
+
+  [[nodiscard]] index_t timestep() const noexcept { return timestep_; }
+
+  /// Moments at a *global* point index, for comparison with Solver.
+  [[nodiscard]] lbm::Moments<real_t> moments_at(index_t global_point) const;
+
+  /// Total mass across all tasks.
+  [[nodiscard]] real_t total_mass() const;
+
+  /// Total halo values copied per step (diagnostics; matches the comm
+  /// graph's link totals when ghosts are stored per-direction).
+  [[nodiscard]] index_t ghost_count() const noexcept { return n_ghosts_; }
+
+  /// Number of point-to-point halo channels (directed task pairs that
+  /// exchange a message every step) — comparable to the communication
+  /// graph's message count.
+  [[nodiscard]] index_t channel_count() const noexcept {
+    return static_cast<index_t>(channels_.size());
+  }
+
+  /// Total bytes moved through halo messages per step (whole-row ghosts:
+  /// an upper bound on the comm graph's per-link byte count).
+  [[nodiscard]] real_t bytes_per_exchange() const;
+
+ private:
+  struct Task {
+    std::vector<index_t> local_points;   ///< global ids of owned points
+    std::vector<index_t> ghost_points;   ///< global ids of ghost points
+    // Local neighbor table: for each owned point and direction, the local
+    // slot (owned first, ghosts after) or kSolidLink.
+    std::vector<std::int32_t> neighbors;
+    std::vector<double> f, f2;  ///< (owned + ghosts) * kQ, AoS
+  };
+
+  /// One directed per-step halo message: the owner packs the listed local
+  /// rows into the buffer ("send"), the receiver unpacks them into its
+  /// ghost rows ("recv"). This mirrors MPI point-to-point halo exchange.
+  struct HaloChannel {
+    std::int32_t from = 0;  ///< owner task
+    std::int32_t to = 0;    ///< receiver task
+    std::vector<std::int32_t> src_slots;  ///< owner-local point slots
+    std::vector<std::int32_t> dst_slots;  ///< receiver-local ghost slots
+    std::vector<double> buffer;           ///< packed payload
+  };
+
+  void exchange_ghosts();
+  void local_update(Task& task);
+
+  const lbm::FluidMesh* mesh_;
+  const decomp::Partition* partition_;
+  lbm::SolverParams params_;
+  double omega_ = 0.0;
+  index_t timestep_ = 0;
+  index_t n_ghosts_ = 0;
+
+  std::vector<Task> tasks_;
+  std::vector<HaloChannel> channels_;
+  // Where each global point lives: (task, local slot).
+  std::vector<std::int32_t> owner_task_;
+  std::vector<std::int32_t> owner_slot_;
+  std::vector<std::array<double, 3>> bc_velocity_;
+  std::vector<std::array<double, 2>> bc_pulse_;
+  std::array<double, 3> force_shift_ = {0.0, 0.0, 0.0};
+};
+
+}  // namespace hemo::harvey

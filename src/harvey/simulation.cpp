@@ -1,0 +1,81 @@
+#include "harvey/simulation.hpp"
+
+namespace hemo::harvey {
+
+Simulation::Simulation(geometry::Geometry geometry,
+                       const SimulationOptions& options)
+    : geometry_(std::move(geometry)),
+      options_(options),
+      mesh_(lbm::FluidMesh::build(geometry_.grid)) {}
+
+lbm::Solver<double>& Simulation::solver() {
+  if (!solver_) {
+    solver_ = std::make_unique<lbm::Solver<double>>(
+        mesh_, options_.solver, std::span(geometry_.inlets));
+  }
+  return *solver_;
+}
+
+const decomp::Partition& Simulation::partition(index_t n_tasks) {
+  auto it = partitions_.find(n_tasks);
+  if (it == partitions_.end()) {
+    it = partitions_
+             .emplace(n_tasks,
+                      decomp::make_partition(mesh_, n_tasks,
+                                             options_.strategy))
+             .first;
+  }
+  return it->second;
+}
+
+const cluster::WorkloadPlan& Simulation::plan(index_t n_tasks,
+                                              index_t tasks_per_node) {
+  const auto key = std::make_pair(n_tasks, tasks_per_node);
+  auto it = plans_.find(key);
+  if (it == plans_.end()) {
+    it = plans_
+             .emplace(key, cluster::make_workload_plan(
+                               mesh_, partition(n_tasks),
+                               options_.solver.kernel, tasks_per_node,
+                               geometry_.name))
+             .first;
+  }
+  return it->second;
+}
+
+cluster::ExecutionResult Simulation::measure(
+    const cluster::InstanceProfile& profile, index_t n_tasks,
+    index_t timesteps, const cluster::MeasurementContext& when) {
+  const cluster::WorkloadPlan& p =
+      plan(n_tasks, std::min(n_tasks, profile.cores_per_node));
+  cluster::VirtualCluster vc(profile);
+  return vc.execute(p, timesteps, when);
+}
+
+const cluster::WorkloadPlan& Simulation::gpu_plan(index_t n_tasks,
+                                                  index_t gpus_per_node) {
+  const auto key = std::make_pair(n_tasks, gpus_per_node);
+  auto it = gpu_plans_.find(key);
+  if (it == gpu_plans_.end()) {
+    it = gpu_plans_
+             .emplace(key, cluster::make_gpu_workload_plan(
+                               mesh_, partition(n_tasks),
+                               options_.solver.kernel, gpus_per_node,
+                               geometry_.name + "-gpu"))
+             .first;
+  }
+  return it->second;
+}
+
+cluster::ExecutionResult Simulation::measure_gpu(
+    const cluster::InstanceProfile& profile, index_t n_tasks,
+    index_t timesteps, const cluster::MeasurementContext& when) {
+  HEMO_REQUIRE(profile.gpu.has_value(),
+               "measure_gpu requires a GPU-equipped instance");
+  const cluster::WorkloadPlan& p = gpu_plan(
+      n_tasks, std::min(n_tasks, profile.gpu->gpus_per_node));
+  cluster::VirtualCluster vc(profile);
+  return vc.execute(p, timesteps, when);
+}
+
+}  // namespace hemo::harvey

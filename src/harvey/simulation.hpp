@@ -1,0 +1,76 @@
+// HARVEY-equivalent simulation driver.
+//
+// Ties a geometry, the D3Q19 BGK solver, the domain decomposition, and the
+// virtual cluster together behind one interface: run the physics locally,
+// or lay the same problem out over n tasks and "measure" it on a cloud
+// instance profile. Partitions and workload plans are cached per task
+// count so scaling sweeps stay cheap.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "cluster/virtual_cluster.hpp"
+#include "decomp/partition.hpp"
+#include "geometry/generators.hpp"
+#include "lbm/solver.hpp"
+#include "util/common.hpp"
+
+namespace hemo::harvey {
+
+/// Options of one simulation campaign.
+struct SimulationOptions {
+  lbm::SolverParams solver;
+  decomp::Strategy strategy = decomp::Strategy::kRcb;
+};
+
+/// One geometry + numerical setup, decomposable at any task count.
+class Simulation {
+ public:
+  /// Takes ownership of the geometry.
+  Simulation(geometry::Geometry geometry, const SimulationOptions& options);
+
+  [[nodiscard]] const geometry::Geometry& geometry() const noexcept {
+    return geometry_;
+  }
+  [[nodiscard]] const lbm::FluidMesh& mesh() const noexcept { return mesh_; }
+  [[nodiscard]] const SimulationOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// The serial physics solver (lazily created; double precision).
+  [[nodiscard]] lbm::Solver<double>& solver();
+
+  /// Partition into n tasks (cached).
+  [[nodiscard]] const decomp::Partition& partition(index_t n_tasks);
+
+  /// Workload plan for n tasks with tasks_per_node ranks per node (cached).
+  [[nodiscard]] const cluster::WorkloadPlan& plan(index_t n_tasks,
+                                                  index_t tasks_per_node);
+
+  /// Simulated measurement on an instance profile: n_tasks ranks, one rank
+  /// per physical core per node (the paper's allocation mode).
+  [[nodiscard]] cluster::ExecutionResult measure(
+      const cluster::InstanceProfile& profile, index_t n_tasks,
+      index_t timesteps, const cluster::MeasurementContext& when = {});
+
+  /// GPU plan: one task per device (requires a GPU-equipped profile).
+  [[nodiscard]] const cluster::WorkloadPlan& gpu_plan(index_t n_tasks,
+                                                      index_t gpus_per_node);
+
+  /// Simulated GPU measurement on a GPU-equipped instance profile.
+  [[nodiscard]] cluster::ExecutionResult measure_gpu(
+      const cluster::InstanceProfile& profile, index_t n_tasks,
+      index_t timesteps, const cluster::MeasurementContext& when = {});
+
+ private:
+  geometry::Geometry geometry_;
+  SimulationOptions options_;
+  lbm::FluidMesh mesh_;
+  std::unique_ptr<lbm::Solver<double>> solver_;
+  std::map<index_t, decomp::Partition> partitions_;
+  std::map<std::pair<index_t, index_t>, cluster::WorkloadPlan> plans_;
+  std::map<std::pair<index_t, index_t>, cluster::WorkloadPlan> gpu_plans_;
+};
+
+}  // namespace hemo::harvey

@@ -1,0 +1,113 @@
+#include "lbm/access_counts.hpp"
+
+namespace hemo::lbm {
+
+namespace {
+
+constexpr real_t kIndexBytes = 4.0;  // int32 neighbor indices
+
+}  // namespace
+
+PointTraffic point_traffic(const KernelConfig& config, PointType type,
+                           index_t solid_links) {
+  HEMO_REQUIRE(solid_links >= 0 && solid_links < kQ,
+               "solid link count out of range");
+  const real_t d = static_cast<real_t>(data_size(config.precision));
+  const real_t q = static_cast<real_t>(kQ);
+  const real_t s = static_cast<real_t>(solid_links);
+
+  PointTraffic t;
+  if (config.propagation == Propagation::kAB) {
+    // Gather (19 - s remote + s local already-resident), write 19 with
+    // write-allocate, load 18 - s neighbor indices.
+    const real_t reads = (q - s) * d;
+    const real_t writes = 2.0 * q * d;  // write + write-allocate fill
+    t.data_bytes = reads + writes;
+    t.index_bytes = (q - 1.0 - s) * kIndexBytes;
+  } else {
+    // Even step: 19 reads + 19 in-place writes, no index traffic.
+    const real_t even = 2.0 * q * d;
+    // Odd step: gather (19 - s remote) + 19 scatter writes; indices loaded.
+    const real_t odd = (q - s) * d + q * d;
+    t.data_bytes = (even + odd) / 2.0;
+    t.index_bytes = (q - 1.0 - s) * kIndexBytes / 2.0;
+  }
+
+  if (type == PointType::kInlet || type == PointType::kOutlet) {
+    // Boundary overwrite: re-read moments inputs and write all 19 values.
+    t.data_bytes += 2.0 * q * d;
+  }
+  return t;
+}
+
+real_t serial_bytes_per_step(const FluidMesh& mesh,
+                             const KernelConfig& config) {
+  real_t total = 0.0;
+  for (index_t p = 0; p < mesh.num_points(); ++p) {
+    total += point_traffic(config, mesh.type(p), mesh.solid_links(p)).total();
+  }
+  return total;
+}
+
+real_t bytes_for_points(const FluidMesh& mesh,
+                        std::span<const index_t> points,
+                        const KernelConfig& config) {
+  real_t total = 0.0;
+  for (index_t p : points) {
+    total += point_traffic(config, mesh.type(p), mesh.solid_links(p)).total();
+  }
+  return total;
+}
+
+real_t point_flops(PointType type) {
+  // Moment accumulation: 19 directions x (1 density add + 3 fused
+  // multiply-adds for momentum, counted as 2 flops each) + the division
+  // and 3 scalings = 19 * 7 + 4.
+  constexpr real_t kMoments = 19.0 * 7.0 + 4.0;
+  // Equilibrium: u^2 once (5 flops), then per direction c.u (5), the
+  // polynomial (7) and the weight scaling (1) = 19 * 13 + 5.
+  constexpr real_t kEquilibrium = 19.0 * 13.0 + 5.0;
+  // BGK relaxation: 19 x (subtract, scale, add).
+  constexpr real_t kRelax = 19.0 * 3.0;
+  if (type == PointType::kInlet || type == PointType::kOutlet) {
+    return kMoments + kEquilibrium;  // boundary writes skip the relaxation
+  }
+  return kMoments + kEquilibrium + kRelax;
+}
+
+real_t serial_flops_per_step(const FluidMesh& mesh) {
+  real_t total = 0.0;
+  for (index_t p = 0; p < mesh.num_points(); ++p) {
+    total += point_flops(mesh.type(p));
+  }
+  return total;
+}
+
+KernelTraits kernel_traits(const KernelConfig& config) {
+  KernelTraits t;
+  // Per-point overheads (cycles). Unrolled kernels keep loop control out of
+  // the critical path; plain loops pay per-direction branch and address
+  // arithmetic. The AA odd kernel's direction-swapped scatter is the most
+  // control-heavy, so un-unrolled AA loses most of its memory-traffic
+  // advantage — reproducing the paper's observation that AA beats AB only
+  // for the unrolled kernels (Fig. 4/8 discussion).
+  if (config.unroll == Unroll::kYes) {
+    t.overhead_cycles_per_point = 8.0;
+  } else {
+    t.overhead_cycles_per_point =
+        config.propagation == Propagation::kAA ? 430.0 : 45.0;
+  }
+
+  // Achievable fraction of STREAM bandwidth. On CPUs the AoS layout streams
+  // each point's 19 values from adjacent lines; sparse SoA gathers touch 19
+  // far-apart streams per point, which hurts the two-array AB pattern most.
+  if (config.layout == Layout::kAoS) {
+    t.bandwidth_efficiency = 1.0;
+  } else {
+    t.bandwidth_efficiency =
+        config.propagation == Propagation::kAB ? 0.80 : 0.97;
+  }
+  return t;
+}
+
+}  // namespace hemo::lbm

@@ -1,0 +1,88 @@
+// Memory-access accounting for LBM kernels (paper Eq. 9).
+//
+// The performance model estimates the time to update all fluid points on a
+// task as (bytes accessed) / (sustained memory bandwidth). This module is
+// the single source of truth for "bytes accessed": it encodes, per kernel
+// configuration and per point type, how many distribution vectors are read
+// and written and how much neighbor-index traffic each update incurs.
+//
+// Counting rules (matching the solver implementation in solver.hpp):
+//  * AB (two arrays, pull scheme): every update gathers 19 distribution
+//    values and writes 19. Writes go to the second array whose lines are not
+//    resident, so they incur write-allocate traffic (counted as an extra
+//    read of the written bytes). The 18 neighbor indices are loaded every
+//    step. A wall point with s solid links gathers s of its values from its
+//    own (already resident) storage: s gather loads and s index loads are
+//    saved — this is why geometries rich in wall points (cerebral) run
+//    faster, as the paper observes in Fig. 3.
+//  * AA (single array): the even step is purely local (19 reads + 19 writes
+//    in place, no index traffic, no write-allocate); the odd step gathers
+//    from and scatters to neighbors (lines touched by both a read and a
+//    write each step, so no write-allocate either) and loads indices.
+//    Per-step averages are half the even + odd totals.
+//  * Inlet/outlet points additionally re-write all 19 values with the
+//    boundary equilibrium (counted as one extra read + write sweep).
+//  * SoA vs AoS does not change byte counts; it changes achievable
+//    bandwidth, which the cluster module models via KernelTraits.
+#pragma once
+
+#include <span>
+
+#include "lbm/kernel_config.hpp"
+#include "lbm/mesh.hpp"
+#include "util/common.hpp"
+
+namespace hemo::lbm {
+
+/// Byte traffic of one point update (averaged over an even/odd pair for AA).
+struct PointTraffic {
+  real_t data_bytes = 0.0;   ///< distribution reads + writes (+ write-allocate)
+  real_t index_bytes = 0.0;  ///< neighbor-table loads
+
+  [[nodiscard]] real_t total() const noexcept {
+    return data_bytes + index_bytes;
+  }
+};
+
+/// Traffic to update one point of the given type with `solid_links`
+/// bounce-back directions under `config`.
+[[nodiscard]] PointTraffic point_traffic(const KernelConfig& config,
+                                         PointType type, index_t solid_links);
+
+/// Total bytes per timestep to update the whole mesh serially
+/// (n_bytes_serial in Eq. 10).
+[[nodiscard]] real_t serial_bytes_per_step(const FluidMesh& mesh,
+                                           const KernelConfig& config);
+
+/// Total bytes per timestep for an arbitrary set of points, described by
+/// (type, solid_links) of each point. Used by the per-task direct counts.
+[[nodiscard]] real_t bytes_for_points(const FluidMesh& mesh,
+                                      std::span<const index_t> points,
+                                      const KernelConfig& config);
+
+/// Hardware-behaviour traits of a kernel variant. These belong to the
+/// *virtual cluster* side of the reproduction (they describe how real CPUs
+/// execute each variant); the performance models never see them, which is
+/// what produces the paper's consistent overprediction in Figs. 7-8.
+struct KernelTraits {
+  /// Per-point instruction overhead (cycles) not hidden behind memory
+  /// stalls: loop control, address arithmetic, scattered-store latency.
+  real_t overhead_cycles_per_point = 0.0;
+  /// Fraction of STREAM bandwidth the access pattern can sustain.
+  real_t bandwidth_efficiency = 1.0;
+};
+
+/// Traits table for all kernel variants (values documented in DESIGN.md).
+[[nodiscard]] KernelTraits kernel_traits(const KernelConfig& config);
+
+/// Floating-point operations of one point update (independent of layout
+/// and propagation). Derived from the solver's arithmetic: the moment
+/// sums, the per-direction equilibrium evaluation, and the BGK relaxation
+/// (boundary points skip the relaxation). Feeds the roofline analysis of
+/// the paper's Discussion.
+[[nodiscard]] real_t point_flops(PointType type);
+
+/// Total flops per timestep over the mesh.
+[[nodiscard]] real_t serial_flops_per_step(const FluidMesh& mesh);
+
+}  // namespace hemo::lbm

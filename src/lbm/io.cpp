@@ -1,0 +1,158 @@
+#include "lbm/io.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <vector>
+
+namespace hemo::lbm {
+
+namespace {
+
+/// Checkpoint file magic + version.
+constexpr char kMagic[8] = {'H', 'E', 'M', 'O', 'C', 'K', 'P', '1'};
+
+struct CheckpointHeader {
+  char magic[8];
+  std::int64_t num_points = 0;
+  std::int64_t timestep = 0;
+  std::int32_t layout = 0;
+  std::int32_t propagation = 0;
+  std::int32_t precision = 0;
+  std::int32_t value_size = 0;
+};
+
+template <typename T>
+CheckpointHeader make_header(const Solver<T>& solver) {
+  CheckpointHeader h;
+  std::memcpy(h.magic, kMagic, sizeof(kMagic));
+  h.num_points = solver.mesh().num_points();
+  h.timestep = solver.timestep();
+  h.layout = static_cast<std::int32_t>(solver.params().kernel.layout);
+  h.propagation =
+      static_cast<std::int32_t>(solver.params().kernel.propagation);
+  h.precision = static_cast<std::int32_t>(solver.params().kernel.precision);
+  h.value_size = static_cast<std::int32_t>(sizeof(T));
+  return h;
+}
+
+}  // namespace
+
+template <typename T>
+void write_vtk(const Solver<T>& solver, std::ostream& os,
+               const std::string& title) {
+  HEMO_REQUIRE(solver.natural_order(),
+               "write_vtk requires natural order (AA: even step)");
+  const FluidMesh& mesh = solver.mesh();
+  const index_t n = mesh.num_points();
+
+  os << "# vtk DataFile Version 3.0\n"
+     << title << "\n"
+     << "ASCII\n"
+     << "DATASET POLYDATA\n"
+     << "POINTS " << n << " float\n";
+  for (index_t p = 0; p < n; ++p) {
+    const Voxel& v = mesh.voxel(p);
+    os << v.x << ' ' << v.y << ' ' << v.z << '\n';
+  }
+
+  os << "POINT_DATA " << n << "\n"
+     << "SCALARS density float 1\nLOOKUP_TABLE default\n";
+  std::vector<Moments<real_t>> cached(static_cast<std::size_t>(n));
+  for (index_t p = 0; p < n; ++p) {
+    cached[static_cast<std::size_t>(p)] = solver.moments_at(p);
+    os << static_cast<float>(cached[static_cast<std::size_t>(p)].rho)
+       << '\n';
+  }
+  os << "SCALARS point_type int 1\nLOOKUP_TABLE default\n";
+  for (index_t p = 0; p < n; ++p) {
+    os << static_cast<int>(mesh.type(p)) << '\n';
+  }
+  os << "VECTORS velocity float\n";
+  for (index_t p = 0; p < n; ++p) {
+    const auto& m = cached[static_cast<std::size_t>(p)];
+    os << static_cast<float>(m.ux) << ' ' << static_cast<float>(m.uy) << ' '
+       << static_cast<float>(m.uz) << '\n';
+  }
+}
+
+template <typename T>
+void write_vtk_file(const Solver<T>& solver, const std::string& path,
+                    const std::string& title) {
+  std::ofstream os(path);
+  if (!os) throw NumericError("write_vtk_file: cannot open " + path);
+  write_vtk(solver, os, title);
+  if (!os) throw NumericError("write_vtk_file: write failed for " + path);
+}
+
+template <typename T>
+void save_checkpoint(const Solver<T>& solver, std::ostream& os) {
+  const CheckpointHeader h = make_header(solver);
+  os.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  const auto state = solver.raw_state();
+  os.write(reinterpret_cast<const char*>(state.data()),
+           static_cast<std::streamsize>(state.size() * sizeof(T)));
+  if (!os) throw NumericError("save_checkpoint: stream write failed");
+}
+
+template <typename T>
+void load_checkpoint(Solver<T>& solver, std::istream& is) {
+  CheckpointHeader h;
+  is.read(reinterpret_cast<char*>(&h), sizeof(h));
+  if (!is || std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0) {
+    throw NumericError("load_checkpoint: bad magic or truncated header");
+  }
+  const CheckpointHeader expected = make_header(solver);
+  HEMO_REQUIRE(h.num_points == expected.num_points,
+               "checkpoint point count mismatch");
+  HEMO_REQUIRE(h.layout == expected.layout &&
+                   h.propagation == expected.propagation &&
+                   h.precision == expected.precision &&
+                   h.value_size == expected.value_size,
+               "checkpoint kernel configuration mismatch");
+  std::vector<T> state(static_cast<std::size_t>(h.num_points) *
+                       static_cast<std::size_t>(kQ));
+  is.read(reinterpret_cast<char*>(state.data()),
+          static_cast<std::streamsize>(state.size() * sizeof(T)));
+  if (!is) throw NumericError("load_checkpoint: truncated state");
+  solver.restore_state(state, static_cast<index_t>(h.timestep));
+}
+
+template <typename T>
+void save_checkpoint_file(const Solver<T>& solver, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw NumericError("save_checkpoint_file: cannot open " + path);
+  save_checkpoint(solver, os);
+}
+
+template <typename T>
+void load_checkpoint_file(Solver<T>& solver, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw NumericError("load_checkpoint_file: cannot open " + path);
+  load_checkpoint(solver, is);
+}
+
+// Explicit instantiations for the supported precisions.
+template void write_vtk<float>(const Solver<float>&, std::ostream&,
+                               const std::string&);
+template void write_vtk<double>(const Solver<double>&, std::ostream&,
+                                const std::string&);
+template void write_vtk_file<float>(const Solver<float>&,
+                                    const std::string&, const std::string&);
+template void write_vtk_file<double>(const Solver<double>&,
+                                     const std::string&, const std::string&);
+template void save_checkpoint<float>(const Solver<float>&, std::ostream&);
+template void save_checkpoint<double>(const Solver<double>&, std::ostream&);
+template void load_checkpoint<float>(Solver<float>&, std::istream&);
+template void load_checkpoint<double>(Solver<double>&, std::istream&);
+template void save_checkpoint_file<float>(const Solver<float>&,
+                                          const std::string&);
+template void save_checkpoint_file<double>(const Solver<double>&,
+                                           const std::string&);
+template void load_checkpoint_file<float>(Solver<float>&,
+                                          const std::string&);
+template void load_checkpoint_file<double>(Solver<double>&,
+                                           const std::string&);
+
+}  // namespace hemo::lbm

@@ -1,0 +1,44 @@
+// Solver I/O: VTK field export and binary checkpoint/restart.
+//
+// Production circulatory codes stream flow fields to visualization and
+// survive node failures through checkpoints; both features are part of
+// making the HARVEY-equivalent adoptable rather than a benchmark stub.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "lbm/solver.hpp"
+#include "util/common.hpp"
+
+namespace hemo::lbm {
+
+/// Writes the current macroscopic fields (density scalar, velocity vector,
+/// point-type scalar) of every fluid point as legacy-VTK polydata.
+/// Requires the solver to be in natural order (AA: even step).
+template <typename T>
+void write_vtk(const Solver<T>& solver, std::ostream& os,
+               const std::string& title = "hemocloud flow field");
+
+/// Convenience: writes to a file path. Throws NumericError on I/O failure.
+template <typename T>
+void write_vtk_file(const Solver<T>& solver, const std::string& path,
+                    const std::string& title = "hemocloud flow field");
+
+/// Binary checkpoint of the full solver state (distributions + timestep).
+/// The kernel configuration and point count are stored and verified on
+/// restore, and restoring reproduces the run bit-for-bit.
+template <typename T>
+void save_checkpoint(const Solver<T>& solver, std::ostream& os);
+
+template <typename T>
+void load_checkpoint(Solver<T>& solver, std::istream& is);
+
+/// File-path convenience wrappers.
+template <typename T>
+void save_checkpoint_file(const Solver<T>& solver, const std::string& path);
+
+template <typename T>
+void load_checkpoint_file(Solver<T>& solver, const std::string& path);
+
+}  // namespace hemo::lbm

@@ -1,0 +1,26 @@
+#include "lbm/kernel_config.hpp"
+
+namespace hemo::lbm {
+
+std::string to_string(Layout l) {
+  return l == Layout::kAoS ? "AoS" : "SoA";
+}
+
+std::string to_string(Propagation p) {
+  return p == Propagation::kAB ? "AB" : "AA";
+}
+
+std::string to_string(Unroll u) {
+  return u == Unroll::kYes ? "unrolled" : "looped";
+}
+
+std::string to_string(Precision p) {
+  return p == Precision::kSingle ? "single" : "double";
+}
+
+std::string kernel_name(const KernelConfig& config) {
+  return to_string(config.propagation) + "-" + to_string(config.layout) +
+         "-" + to_string(config.unroll);
+}
+
+}  // namespace hemo::lbm

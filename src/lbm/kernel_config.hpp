@@ -1,0 +1,63 @@
+// Kernel taxonomy of the paper's two codes.
+//
+// lbm-proxy-app exposes AA/AB propagation patterns, AoS/SoA data layouts and
+// (for SoA) unrolled or plain inner loops; HARVEY uses the fused AB kernel
+// with AoS. Each combination has distinct memory traffic (Eq. 9) and
+// per-point loop overhead, which drive both the virtual-cluster "measured"
+// time and the performance-model predictions.
+#pragma once
+
+#include <string>
+
+#include "util/common.hpp"
+
+namespace hemo::lbm {
+
+/// Memory layout of the distribution array.
+enum class Layout {
+  kAoS,  ///< f[point][direction] — contiguous per point (CPU-friendly)
+  kSoA,  ///< f[direction][point] — contiguous per direction (GPU-friendly)
+};
+
+/// Propagation (streaming) pattern.
+enum class Propagation {
+  kAB,  ///< two arrays: read A, write B, swap each step
+  kAA,  ///< one array: direction-swapped writes, even/odd step pair
+};
+
+/// Inner-loop code generation of the kernel.
+enum class Unroll {
+  kNo,   ///< runtime loop over the 19 directions
+  kYes,  ///< fully unrolled at compile time
+};
+
+/// Floating-point precision of the distribution array.
+enum class Precision {
+  kSingle,  ///< 4-byte float
+  kDouble,  ///< 8-byte double
+};
+
+/// Full kernel configuration.
+struct KernelConfig {
+  Layout layout = Layout::kAoS;
+  Propagation propagation = Propagation::kAB;
+  Unroll unroll = Unroll::kYes;
+  Precision precision = Precision::kDouble;
+
+  friend bool operator==(const KernelConfig&, const KernelConfig&) = default;
+};
+
+/// Bytes per distribution value for a precision (d_size in Eq. 9).
+[[nodiscard]] constexpr index_t data_size(Precision p) noexcept {
+  return p == Precision::kSingle ? 4 : 8;
+}
+
+[[nodiscard]] std::string to_string(Layout l);
+[[nodiscard]] std::string to_string(Propagation p);
+[[nodiscard]] std::string to_string(Unroll u);
+[[nodiscard]] std::string to_string(Precision p);
+
+/// Short display name, e.g. "AA-SoA-unrolled".
+[[nodiscard]] std::string kernel_name(const KernelConfig& config);
+
+}  // namespace hemo::lbm

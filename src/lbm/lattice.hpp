@@ -1,0 +1,80 @@
+// D3Q19 lattice constants and local (per-point) LBM operations.
+//
+// The solver uses the single-relaxation-time BGK collision operator with the
+// standard second-order Maxwell-Boltzmann equilibrium, as HARVEY does
+// (paper Section II-C).
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "geometry/stencil.hpp"
+#include "util/common.hpp"
+
+namespace hemo::lbm {
+
+using geometry::kD3Q19;
+using geometry::kQ;
+using geometry::opposite;
+
+/// D3Q19 quadrature weights: 1/3 rest, 1/18 axis, 1/36 diagonal.
+inline constexpr std::array<real_t, kQ> kWeights = {
+    1.0 / 3.0,
+    1.0 / 18.0, 1.0 / 18.0, 1.0 / 18.0, 1.0 / 18.0, 1.0 / 18.0, 1.0 / 18.0,
+    1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0,
+    1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0};
+
+/// Lattice speed of sound squared (c_s^2 = 1/3 in lattice units).
+inline constexpr real_t kCs2 = 1.0 / 3.0;
+
+/// Macroscopic moments of a distribution.
+template <typename T>
+struct Moments {
+  T rho = T{0};
+  T ux = T{0};
+  T uy = T{0};
+  T uz = T{0};
+};
+
+/// Computes density and velocity from the 19 distribution values.
+template <typename T>
+[[nodiscard]] Moments<T> moments(std::span<const T, kQ> f) noexcept {
+  Moments<T> m;
+  for (index_t i = 0; i < kQ; ++i) {
+    const T fi = f[static_cast<std::size_t>(i)];
+    const auto& c = kD3Q19[static_cast<std::size_t>(i)];
+    m.rho += fi;
+    m.ux += fi * static_cast<T>(c.dx);
+    m.uy += fi * static_cast<T>(c.dy);
+    m.uz += fi * static_cast<T>(c.dz);
+  }
+  const T inv_rho = T{1} / m.rho;
+  m.ux *= inv_rho;
+  m.uy *= inv_rho;
+  m.uz *= inv_rho;
+  return m;
+}
+
+/// Maxwell-Boltzmann equilibrium for direction i at (rho, u).
+template <typename T>
+[[nodiscard]] T equilibrium(index_t i, T rho, T ux, T uy, T uz) noexcept {
+  const auto& c = kD3Q19[static_cast<std::size_t>(i)];
+  const T cu = static_cast<T>(c.dx) * ux + static_cast<T>(c.dy) * uy +
+               static_cast<T>(c.dz) * uz;
+  const T u2 = ux * ux + uy * uy + uz * uz;
+  return static_cast<T>(kWeights[static_cast<std::size_t>(i)]) * rho *
+         (T{1} + T{3} * cu + T{4.5} * cu * cu - T{1.5} * u2);
+}
+
+/// BGK relaxation: f_i + omega * (feq_i - f_i), omega = 1 / tau.
+template <typename T>
+[[nodiscard]] T bgk_collide(T f, T feq, T omega) noexcept {
+  return f + omega * (feq - f);
+}
+
+/// Kinematic viscosity implied by relaxation time tau (lattice units).
+[[nodiscard]] constexpr real_t viscosity_from_tau(real_t tau) noexcept {
+  return kCs2 * (tau - 0.5);
+}
+
+}  // namespace hemo::lbm

@@ -1,0 +1,96 @@
+#include "lbm/observables.hpp"
+
+#include <cmath>
+
+namespace hemo::lbm {
+
+template <typename T>
+StressTensor deviatoric_stress(const Solver<T>& solver, index_t p) {
+  HEMO_REQUIRE(solver.natural_order(),
+               "stress requires natural order (AA: even step)");
+  const real_t tau = solver.params().tau;
+  const real_t omega = 1.0 / tau;
+  // The AB array stores POST-collision values, which scale the
+  // non-equilibrium part by (1 - omega) relative to the pre-collision
+  // state the stress formula wants; undo that. (At tau = 1 the collision
+  // erases the non-equilibrium information entirely.) The AA natural
+  // state holds pre-collision arrivals and needs no correction.
+  real_t neq_scale = 1.0;
+  if (solver.params().kernel.propagation == Propagation::kAB) {
+    const real_t post_factor = 1.0 - omega;
+    HEMO_REQUIRE(std::abs(post_factor) > 1e-9,
+                 "AB stress undefined at tau == 1 (post-collision state "
+                 "holds no non-equilibrium information)");
+    neq_scale = 1.0 / post_factor;
+  }
+
+  const auto m = solver.moments_at(p);
+  StressTensor sigma{};
+  for (index_t q = 0; q < kQ; ++q) {
+    const real_t f = solver.f_value(p, q);
+    const real_t feq = equilibrium<real_t>(q, m.rho, m.ux, m.uy, m.uz);
+    const real_t fneq = (f - feq) * neq_scale;
+    const auto& c = kD3Q19[static_cast<std::size_t>(q)];
+    const real_t cx = c.dx, cy = c.dy, cz = c.dz;
+    sigma[0] += fneq * cx * cx;
+    sigma[1] += fneq * cy * cy;
+    sigma[2] += fneq * cz * cz;
+    sigma[3] += fneq * cx * cy;
+    sigma[4] += fneq * cx * cz;
+    sigma[5] += fneq * cy * cz;
+  }
+  const real_t factor = -(1.0 - 1.0 / (2.0 * tau));
+  for (real_t& s : sigma) s *= factor;
+  return sigma;
+}
+
+real_t axial_shear_magnitude(const StressTensor& sigma) {
+  return std::sqrt(sigma[4] * sigma[4] + sigma[5] * sigma[5]);
+}
+
+template <typename T>
+real_t flow_rate(const Solver<T>& solver, int axis, index_t plane) {
+  HEMO_REQUIRE(axis >= 0 && axis <= 2, "axis must be 0, 1 or 2");
+  const FluidMesh& mesh = solver.mesh();
+  real_t rate = 0.0;
+  for (index_t p = 0; p < mesh.num_points(); ++p) {
+    const Voxel& v = mesh.voxel(p);
+    const index_t along = axis == 0 ? v.x : axis == 1 ? v.y : v.z;
+    if (along != plane) continue;
+    const auto m = solver.moments_at(p);
+    const real_t u = axis == 0 ? m.ux : axis == 1 ? m.uy : m.uz;
+    rate += m.rho * u;
+  }
+  return rate;
+}
+
+template <typename T>
+real_t mean_gauge_pressure(const Solver<T>& solver, int axis,
+                           index_t plane) {
+  HEMO_REQUIRE(axis >= 0 && axis <= 2, "axis must be 0, 1 or 2");
+  const FluidMesh& mesh = solver.mesh();
+  real_t rho_sum = 0.0;
+  index_t count = 0;
+  for (index_t p = 0; p < mesh.num_points(); ++p) {
+    const Voxel& v = mesh.voxel(p);
+    const index_t along = axis == 0 ? v.x : axis == 1 ? v.y : v.z;
+    if (along != plane) continue;
+    rho_sum += solver.moments_at(p).rho;
+    ++count;
+  }
+  HEMO_REQUIRE(count > 0, "no fluid points in the requested plane");
+  return kCs2 * (rho_sum / static_cast<real_t>(count) - 1.0);
+}
+
+template StressTensor deviatoric_stress<float>(const Solver<float>&,
+                                               index_t);
+template StressTensor deviatoric_stress<double>(const Solver<double>&,
+                                                index_t);
+template real_t flow_rate<float>(const Solver<float>&, int, index_t);
+template real_t flow_rate<double>(const Solver<double>&, int, index_t);
+template real_t mean_gauge_pressure<float>(const Solver<float>&, int,
+                                           index_t);
+template real_t mean_gauge_pressure<double>(const Solver<double>&, int,
+                                            index_t);
+
+}  // namespace hemo::lbm

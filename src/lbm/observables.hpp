@@ -1,0 +1,58 @@
+// Hemodynamic observables computed from the solver state.
+//
+// Clinical hemodynamics studies report flow rates, pressure drops, and
+// wall shear stress (WSS) — the quantity linked to plaque formation and
+// aneurysm risk in the works HARVEY supports. In LBM all of these are
+// local: pressure is c_s^2 * rho, and the deviatoric (viscous) stress
+// follows from the non-equilibrium part of the distributions,
+//
+//   sigma_ab = -(1 - 1/(2 tau)) * sum_i f_i^neq c_ia c_ib .
+#pragma once
+
+#include <array>
+
+#include "lbm/solver.hpp"
+#include "util/common.hpp"
+
+namespace hemo::lbm {
+
+/// Symmetric deviatoric stress tensor, packed {xx, yy, zz, xy, xz, yz}.
+using StressTensor = std::array<real_t, 6>;
+
+/// Viscous stress at point p from the non-equilibrium distributions.
+/// Requires natural order (AA: even step).
+template <typename T>
+[[nodiscard]] StressTensor deviatoric_stress(const Solver<T>& solver,
+                                             index_t p);
+
+/// Shear-stress magnitude in a plane through the axis direction: for an
+/// axial flow along z this is sqrt(sigma_xz^2 + sigma_yz^2) — the wall
+/// shear stress when evaluated at a wall point.
+[[nodiscard]] real_t axial_shear_magnitude(const StressTensor& sigma);
+
+/// Volumetric flow rate through the lattice plane `plane` normal to
+/// `axis` (0 = x, 1 = y, 2 = z): sum over fluid points in the plane of
+/// rho * u_axis. Requires natural order.
+template <typename T>
+[[nodiscard]] real_t flow_rate(const Solver<T>& solver, int axis,
+                               index_t plane);
+
+/// Mean gauge pressure over the fluid points of a plane:
+/// c_s^2 * (mean rho - 1). Requires natural order.
+template <typename T>
+[[nodiscard]] real_t mean_gauge_pressure(const Solver<T>& solver, int axis,
+                                         index_t plane);
+
+extern template StressTensor deviatoric_stress<float>(const Solver<float>&,
+                                                      index_t);
+extern template StressTensor deviatoric_stress<double>(
+    const Solver<double>&, index_t);
+extern template real_t flow_rate<float>(const Solver<float>&, int, index_t);
+extern template real_t flow_rate<double>(const Solver<double>&, int,
+                                         index_t);
+extern template real_t mean_gauge_pressure<float>(const Solver<float>&, int,
+                                                  index_t);
+extern template real_t mean_gauge_pressure<double>(const Solver<double>&,
+                                                   int, index_t);
+
+}  // namespace hemo::lbm

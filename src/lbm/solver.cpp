@@ -1,0 +1,216 @@
+#include "lbm/solver.hpp"
+
+#include <cmath>
+
+#include "lbm/point_update.hpp"
+
+namespace hemo::lbm {
+
+template <typename T>
+Solver<T>::Solver(const FluidMesh& mesh, const SolverParams& params,
+                  std::span<const geometry::InletSpec> inlets)
+    : mesh_(&mesh), params_(params), n_(mesh.num_points()) {
+  HEMO_REQUIRE(params.tau > 0.5, "tau must exceed 0.5 for stability");
+  HEMO_REQUIRE(n_ > 0, "empty mesh");
+  omega_ = static_cast<T>(1.0 / params.tau);
+
+  f_.assign(static_cast<std::size_t>(n_ * kQ), T{0});
+  if (params_.kernel.propagation == Propagation::kAB) {
+    f2_.assign(static_cast<std::size_t>(n_ * kQ), T{0});
+  }
+
+  // Precompute inlet velocity targets from the Poiseuille profiles.
+  bc_velocity_ = inlet_velocities<T>(mesh, inlets);
+  bc_pulse_ = inlet_pulse_params<T>(mesh, inlets);
+  for (std::size_t d = 0; d < 3; ++d) {
+    force_shift_[d] = static_cast<T>(params.tau * params.body_force[d]);
+  }
+  initialize();
+}
+
+template <typename T>
+void Solver<T>::initialize() {
+  for (index_t p = 0; p < n_; ++p) {
+    for (index_t q = 0; q < kQ; ++q) {
+      const T feq = equilibrium<T>(q, T{1}, T{0}, T{0}, T{0});
+      // Both layouts initialize identically since equilibrium at rest is
+      // direction-symmetric only for opposite pairs; write via the active
+      // layout to keep indexing consistent.
+      const index_t i = params_.kernel.layout == Layout::kAoS
+                            ? p * kQ + q
+                            : q * n_ + p;
+      f_[static_cast<std::size_t>(i)] = feq;
+      if (!f2_.empty()) f2_[static_cast<std::size_t>(i)] = feq;
+    }
+  }
+  timestep_ = 0;
+}
+
+template <typename T>
+void Solver<T>::update_point(index_t p, const T* g, T* out) const {
+  std::array<T, 3> bc = bc_velocity_[static_cast<std::size_t>(p)];
+  const auto& pulse = bc_pulse_[static_cast<std::size_t>(p)];
+  if (pulse[0] != T{0}) {
+    const T scale = pulse_scale<T>(pulse[0], pulse[1], timestep_);
+    for (auto& component : bc) component *= scale;
+  }
+  update_point_values<T>(
+      mesh_->type(p), g, out, omega_, bc, force_shift_,
+      static_cast<T>(params_.smagorinsky_cs * params_.smagorinsky_cs));
+}
+
+// Parallelization notes: in the AB pull kernel every point writes only its
+// own row of the back buffer; in the AA even kernel every point reads and
+// writes only its own row; in the AA odd kernel every array location is
+// read and written by exactly one point (the reader is the writer — see
+// the derivation in tests/test_solver.cpp and DESIGN.md), so all three
+// loops are race-free under OpenMP with per-iteration locals.
+
+template <typename T>
+template <Layout L>
+void Solver<T>::step_ab() {
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (index_t p = 0; p < n_; ++p) {
+    T g[kQ], out[kQ];
+    for (index_t q = 0; q < kQ; ++q) {
+      const std::int32_t nb = mesh_->neighbor(p, opposite(q));
+      g[q] = nb != kSolidLink
+                 ? f_[static_cast<std::size_t>(idx<L>(nb, q))]
+                 : f_[static_cast<std::size_t>(idx<L>(p, opposite(q)))];
+    }
+    update_point(p, g, out);
+    for (index_t q = 0; q < kQ; ++q) {
+      f2_[static_cast<std::size_t>(idx<L>(p, q))] = out[q];
+    }
+  }
+  f_.swap(f2_);
+}
+
+template <typename T>
+template <Layout L>
+void Solver<T>::step_aa_even() {
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (index_t p = 0; p < n_; ++p) {
+    T g[kQ], out[kQ];
+    for (index_t q = 0; q < kQ; ++q) {
+      g[q] = f_[static_cast<std::size_t>(idx<L>(p, q))];
+    }
+    update_point(p, g, out);
+    for (index_t q = 0; q < kQ; ++q) {
+      f_[static_cast<std::size_t>(idx<L>(p, opposite(q)))] = out[q];
+    }
+  }
+}
+
+template <typename T>
+template <Layout L>
+void Solver<T>::step_aa_odd() {
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (index_t p = 0; p < n_; ++p) {
+    T g[kQ], out[kQ];
+    for (index_t q = 0; q < kQ; ++q) {
+      const std::int32_t m = mesh_->neighbor(p, opposite(q));
+      g[q] = m != kSolidLink
+                 ? f_[static_cast<std::size_t>(idx<L>(m, opposite(q)))]
+                 : f_[static_cast<std::size_t>(idx<L>(p, q))];
+    }
+    update_point(p, g, out);
+    for (index_t q = 0; q < kQ; ++q) {
+      const std::int32_t nb = mesh_->neighbor(p, q);
+      if (nb != kSolidLink) {
+        f_[static_cast<std::size_t>(idx<L>(nb, q))] = out[q];
+      } else {
+        f_[static_cast<std::size_t>(idx<L>(p, opposite(q)))] = out[q];
+      }
+    }
+  }
+}
+
+template <typename T>
+void Solver<T>::step() {
+  const bool aos = params_.kernel.layout == Layout::kAoS;
+  if (params_.kernel.propagation == Propagation::kAB) {
+    if (aos) step_ab<Layout::kAoS>();
+    else step_ab<Layout::kSoA>();
+  } else {
+    if (timestep_ % 2 == 0) {
+      if (aos) step_aa_even<Layout::kAoS>();
+      else step_aa_even<Layout::kSoA>();
+    } else {
+      if (aos) step_aa_odd<Layout::kAoS>();
+      else step_aa_odd<Layout::kSoA>();
+    }
+  }
+  ++timestep_;
+}
+
+template <typename T>
+void Solver<T>::run(index_t n) {
+  HEMO_REQUIRE(n >= 0, "negative step count");
+  for (index_t i = 0; i < n; ++i) step();
+}
+
+template <typename T>
+Moments<real_t> Solver<T>::moments_at(index_t p) const {
+  HEMO_REQUIRE(p >= 0 && p < n_, "point index out of range");
+  HEMO_REQUIRE(natural_order(),
+               "moments require natural distribution order (AA: even step)");
+  std::array<T, kQ> g;
+  const bool aos = params_.kernel.layout == Layout::kAoS;
+  for (index_t q = 0; q < kQ; ++q) {
+    const index_t i = aos ? p * kQ + q : q * n_ + p;
+    g[static_cast<std::size_t>(q)] = f_[static_cast<std::size_t>(i)];
+  }
+  const Moments<T> m = moments<T>(std::span<const T, kQ>(g));
+  return Moments<real_t>{static_cast<real_t>(m.rho),
+                         static_cast<real_t>(m.ux),
+                         static_cast<real_t>(m.uy),
+                         static_cast<real_t>(m.uz)};
+}
+
+template <typename T>
+real_t Solver<T>::total_mass() const {
+  HEMO_REQUIRE(natural_order(), "total_mass requires natural order");
+  real_t mass = 0.0;
+  for (T v : f_) mass += static_cast<real_t>(v);
+  return mass;
+}
+
+template <typename T>
+real_t Solver<T>::mean_speed() const {
+  real_t acc = 0.0;
+  for (index_t p = 0; p < n_; ++p) {
+    const auto m = moments_at(p);
+    acc += std::sqrt(m.ux * m.ux + m.uy * m.uy + m.uz * m.uz);
+  }
+  return acc / static_cast<real_t>(n_);
+}
+
+template <typename T>
+void Solver<T>::restore_state(std::span<const T> state, index_t timestep) {
+  HEMO_REQUIRE(state.size() == f_.size(),
+               "restore_state: state size mismatch");
+  HEMO_REQUIRE(timestep >= 0, "restore_state: negative timestep");
+  std::copy(state.begin(), state.end(), f_.begin());
+  timestep_ = timestep;
+}
+
+template <typename T>
+real_t Solver<T>::f_value(index_t p, index_t q) const {
+  HEMO_REQUIRE(p >= 0 && p < n_ && q >= 0 && q < kQ,
+               "f_value index out of range");
+  const index_t i =
+      params_.kernel.layout == Layout::kAoS ? p * kQ + q : q * n_ + p;
+  return static_cast<real_t>(f_[static_cast<std::size_t>(i)]);
+}
+
+template class Solver<float>;
+template class Solver<double>;
+
+}  // namespace hemo::lbm

@@ -1,0 +1,41 @@
+// PingPong message-timing microbenchmark, simulated and (threaded) real.
+//
+// The paper uses the Intel MPI Benchmarks PingPong to measure per-message
+// communication time between rank pairs, intranodal and internodal, over a
+// range of message sizes (Fig. 6), then fits the linear model of Eq. 12.
+// Here simulated_pingpong() samples the virtual interconnect, and
+// run_pingpong_local() bounces a buffer between two host threads through a
+// shared mailbox to demonstrate the same measurement on real hardware.
+#pragma once
+
+#include <vector>
+
+#include "cluster/instance.hpp"
+#include "util/common.hpp"
+
+namespace hemo::microbench {
+
+/// One PingPong measurement.
+struct PingPongSample {
+  real_t bytes = 0.0;
+  real_t time_us = 0.0;  ///< one-way time (round trip / 2)
+};
+
+/// Standard IMB-style size ladder: 0 B, then powers of two up to
+/// `max_bytes` (default 4 MiB).
+[[nodiscard]] std::vector<real_t> default_message_sizes(
+    real_t max_bytes = 4.0 * 1024 * 1024);
+
+/// Samples the virtual interconnect at each size. `internode` selects the
+/// inter- vs intranodal path; `sample` decorrelates repeats.
+[[nodiscard]] std::vector<PingPongSample> simulated_pingpong(
+    const cluster::InstanceProfile& profile, bool internode,
+    const std::vector<real_t>& sizes, index_t sample = 0);
+
+/// Real two-thread pingpong on the host: two threads alternately copy a
+/// message buffer through shared memory, `iterations` round trips per
+/// size; reports one-way time.
+[[nodiscard]] std::vector<PingPongSample> run_pingpong_local(
+    const std::vector<real_t>& sizes, index_t iterations = 200);
+
+}  // namespace hemo::microbench

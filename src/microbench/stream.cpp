@@ -1,0 +1,71 @@
+#include "microbench/stream.hpp"
+
+#include <chrono>
+#include <vector>
+
+#include "cluster/hardware.hpp"
+
+namespace hemo::microbench {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+real_t seconds_since(Clock::time_point start) {
+  return std::chrono::duration<real_t>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+StreamResult run_stream_local(index_t elements, index_t repetitions) {
+  HEMO_REQUIRE(elements >= 1024, "STREAM arrays must hold >= 1024 elements");
+  HEMO_REQUIRE(repetitions >= 1, "need at least one repetition");
+  const auto n = static_cast<std::size_t>(elements);
+  std::vector<double> a(n, 1.0), b(n, 2.0), c(n, 0.0);
+  const double scalar = 3.0;
+
+  const real_t mb_two = 2.0 * static_cast<real_t>(n) * 8.0 / 1e6;
+  const real_t mb_three = 3.0 * static_cast<real_t>(n) * 8.0 / 1e6;
+
+  StreamResult best;
+  for (index_t rep = 0; rep < repetitions; ++rep) {
+    auto t0 = Clock::now();
+    for (std::size_t i = 0; i < n; ++i) c[i] = a[i];
+    best.copy = std::max(best.copy, mb_two / seconds_since(t0));
+
+    t0 = Clock::now();
+    for (std::size_t i = 0; i < n; ++i) b[i] = scalar * c[i];
+    best.scale = std::max(best.scale, mb_two / seconds_since(t0));
+
+    t0 = Clock::now();
+    for (std::size_t i = 0; i < n; ++i) c[i] = a[i] + b[i];
+    best.add = std::max(best.add, mb_three / seconds_since(t0));
+
+    t0 = Clock::now();
+    for (std::size_t i = 0; i < n; ++i) a[i] = b[i] + scalar * c[i];
+    best.triad = std::max(best.triad, mb_three / seconds_since(t0));
+  }
+  return best;
+}
+
+std::vector<BandwidthSample> simulated_stream_sweep(
+    const cluster::InstanceProfile& profile, index_t max_threads,
+    index_t sample) {
+  HEMO_REQUIRE(max_threads >= 1, "sweep needs at least one thread");
+  cluster::MemorySystem memory(profile);
+  std::vector<BandwidthSample> sweep;
+  sweep.reserve(static_cast<std::size_t>(max_threads));
+  for (index_t t = 1; t <= max_threads; ++t) {
+    sweep.push_back(
+        BandwidthSample{t, memory.measured_node_bandwidth_mbs(t, sample)});
+  }
+  return sweep;
+}
+
+std::vector<BandwidthSample> simulated_stream_sweep_full_node(
+    const cluster::InstanceProfile& profile, index_t sample) {
+  return simulated_stream_sweep(
+      profile, profile.cores_per_node * profile.vcpus_per_core, sample);
+}
+
+}  // namespace hemo::microbench

@@ -1,0 +1,51 @@
+// STREAM memory-bandwidth microbenchmark (McCalpin), real and simulated.
+//
+// The paper uses STREAM COPY over an OpenMP thread sweep to characterize
+// each node's memory subsystem (Fig. 5 / Table II / Table III). Here:
+//  * run_stream_local() executes the four kernels for real on the host —
+//    the measurement pipeline demonstrated end-to-end on the one machine
+//    we actually have;
+//  * simulated_stream_sweep() produces a thread sweep against a virtual
+//    instance profile, which the fitting layer turns back into Table III
+//    parameters.
+#pragma once
+
+#include <vector>
+
+#include "cluster/instance.hpp"
+#include "util/common.hpp"
+
+namespace hemo::microbench {
+
+/// Sustained bandwidths in MB/s for the four STREAM kernels.
+struct StreamResult {
+  real_t copy = 0.0;
+  real_t scale = 0.0;
+  real_t add = 0.0;
+  real_t triad = 0.0;
+};
+
+/// Runs STREAM on the host. `elements` is the per-array length (three
+/// arrays of doubles are allocated); `repetitions` timed sweeps are run and
+/// the best bandwidth is reported, as standard STREAM does.
+[[nodiscard]] StreamResult run_stream_local(index_t elements = 1 << 22,
+                                            index_t repetitions = 5);
+
+/// One point of a thread-count sweep.
+struct BandwidthSample {
+  index_t threads = 0;
+  real_t bandwidth_mbs = 0.0;
+};
+
+/// A full sweep: one COPY measurement per thread count from 1 to
+/// max_threads (the paper's Fig. 5 x-axis). `sample` decorrelates repeats.
+[[nodiscard]] std::vector<BandwidthSample> simulated_stream_sweep(
+    const cluster::InstanceProfile& profile, index_t max_threads,
+    index_t sample = 0);
+
+/// Convenience: sweep to one thread per physical core (or per vCPU when
+/// the profile models hyperthreading, e.g. "CSP-2 Hyp.").
+[[nodiscard]] std::vector<BandwidthSample> simulated_stream_sweep_full_node(
+    const cluster::InstanceProfile& profile, index_t sample = 0);
+
+}  // namespace hemo::microbench

@@ -1,0 +1,15 @@
+#include "util/common.hpp"
+
+#include <sstream>
+
+namespace hemo::detail {
+
+void throw_precondition(const char* expr, const char* file, int line,
+                        const std::string& msg) {
+  std::ostringstream oss;
+  oss << "precondition failed: " << msg << " [" << expr << " at " << file
+      << ":" << line << "]";
+  throw PreconditionError(oss.str());
+}
+
+}  // namespace hemo::detail

@@ -1,0 +1,49 @@
+// Common type aliases and small helpers shared across all HemoCloud modules.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace hemo {
+
+/// Signed index type used for all array arithmetic (C++ Core Guidelines
+/// ES.102: use signed types for arithmetic; ES.107: don't use unsigned for
+/// subscripts beyond interfacing with the standard library).
+using index_t = std::ptrdiff_t;
+
+/// Floating-point type for model arithmetic. LBM state arrays choose their
+/// own precision via templates; the performance model always uses double.
+using real_t = double;
+
+/// Exception thrown on precondition violations in public APIs.
+class PreconditionError : public std::logic_error {
+ public:
+  explicit PreconditionError(const std::string& what_arg)
+      : std::logic_error(what_arg) {}
+};
+
+/// Exception thrown when a numeric routine cannot produce a valid result
+/// (singular fit, empty dataset, non-converged iteration).
+class NumericError : public std::runtime_error {
+ public:
+  explicit NumericError(const std::string& what_arg)
+      : std::runtime_error(what_arg) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_precondition(const char* expr, const char* file,
+                                     int line, const std::string& msg);
+}  // namespace detail
+
+/// Precondition check that is always on (cheap checks on public interfaces).
+#define HEMO_REQUIRE(expr, msg)                                         \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::hemo::detail::throw_precondition(#expr, __FILE__, __LINE__,     \
+                                         (msg));                        \
+    }                                                                   \
+  } while (false)
+
+}  // namespace hemo

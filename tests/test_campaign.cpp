@@ -1,0 +1,90 @@
+// Tests for the campaign tracker (iterative refinement) and the
+// model-driven job guard (overrun protection).
+#include <gtest/gtest.h>
+
+#include "core/campaign.hpp"
+
+namespace hemo::core {
+namespace {
+
+Observation obs(real_t predicted, real_t measured) {
+  return Observation{"aorta", "CSP-2", 36, predicted, measured};
+}
+
+TEST(CampaignTracker, EmptyTrackerIsNeutral) {
+  CampaignTracker t;
+  EXPECT_DOUBLE_EQ(t.correction_factor(), 1.0);
+  EXPECT_DOUBLE_EQ(t.refined_mflups(50.0), 50.0);
+  EXPECT_DOUBLE_EQ(t.mean_abs_relative_error(), 0.0);
+}
+
+TEST(CampaignTracker, LearnsConsistentOverprediction) {
+  CampaignTracker t;
+  // Model predicts 25 % high everywhere.
+  for (real_t measured : {40.0, 80.0, 120.0}) {
+    t.record(obs(measured * 1.25, measured));
+  }
+  EXPECT_NEAR(t.correction_factor(), 0.8, 1e-12);
+  EXPECT_NEAR(t.refined_mflups(100.0), 80.0, 1e-9);
+  // Refinement collapses the error for a consistent bias.
+  EXPECT_NEAR(t.mean_abs_relative_error(), 0.25, 1e-12);
+  EXPECT_NEAR(t.refined_mean_abs_relative_error(), 0.0, 1e-12);
+}
+
+TEST(CampaignTracker, GeometricMeanIsScaleInvariant) {
+  CampaignTracker t;
+  t.record(obs(200.0, 100.0));  // ratio 0.5
+  t.record(obs(50.0, 100.0));   // ratio 2.0
+  EXPECT_NEAR(t.correction_factor(), 1.0, 1e-12);
+}
+
+TEST(CampaignTracker, RefinementImprovesNoisyButBiasedData) {
+  CampaignTracker t;
+  const real_t ratios[] = {0.72, 0.78, 0.81, 0.75, 0.79};
+  for (real_t r : ratios) t.record(obs(100.0, 100.0 * r));
+  EXPECT_LT(t.refined_mean_abs_relative_error(),
+            t.mean_abs_relative_error() * 0.25);
+}
+
+TEST(CampaignTracker, RejectsNonPositiveThroughputs) {
+  CampaignTracker t;
+  EXPECT_THROW(t.record(obs(0.0, 10.0)), PreconditionError);
+  EXPECT_THROW(t.record(obs(10.0, -1.0)), PreconditionError);
+}
+
+TEST(JobGuard, LimitsFollowToleranceAndPrice) {
+  JobGuard g;
+  g.predicted_seconds = 3600.0;
+  g.tolerance = 0.10;
+  g.price_per_hour = 12.0;
+  EXPECT_NEAR(g.max_seconds(), 3960.0, 1e-9);
+  EXPECT_NEAR(g.max_dollars(), 3960.0 / 3600.0 * 12.0, 1e-9);
+}
+
+TEST(JobGuard, AbortsWhenHardLimitExceeded) {
+  JobGuard g;
+  g.predicted_seconds = 100.0;
+  g.tolerance = 0.10;
+  EXPECT_TRUE(g.should_abort(111.0, 0.9));
+  EXPECT_FALSE(g.should_abort(50.0, 0.5));
+}
+
+TEST(JobGuard, AbortsOnProjectedOverrun) {
+  JobGuard g;
+  g.predicted_seconds = 100.0;
+  g.tolerance = 0.10;
+  // 30 s elapsed for 20 % done projects to 150 s > 110 s: flag it early.
+  EXPECT_TRUE(g.should_abort(30.0, 0.2));
+  // On pace: 22 s for 20 % projects exactly to the limit.
+  EXPECT_FALSE(g.should_abort(21.9, 0.2));
+}
+
+TEST(JobGuard, NoProgressYetOnlyHardLimitApplies) {
+  JobGuard g;
+  g.predicted_seconds = 100.0;
+  EXPECT_FALSE(g.should_abort(5.0, 0.0));
+  EXPECT_TRUE(g.should_abort(120.0, 0.0));
+}
+
+}  // namespace
+}  // namespace hemo::core

@@ -1,0 +1,224 @@
+// Unit tests for the virtual cluster substrate: instance catalog, memory
+// system, interconnect, noise model, and workload execution.
+#include <gtest/gtest.h>
+
+#include "cluster/hardware.hpp"
+#include "cluster/instance.hpp"
+#include "cluster/virtual_cluster.hpp"
+#include "decomp/partition.hpp"
+#include "geometry/generators.hpp"
+#include "lbm/mesh.hpp"
+
+namespace hemo::cluster {
+namespace {
+
+TEST(Catalog, ContainsThePapersSystems) {
+  const auto& cat = default_catalog();
+  EXPECT_EQ(cat.size(), 7u);  // Table I systems + CSP-2 Hyp. + CSP-2 GPU
+  for (const char* abbrev :
+       {"TRC", "CSP-1", "CSP-2 Small", "CSP-2", "CSP-2 EC", "CSP-2 Hyp."}) {
+    EXPECT_NO_THROW((void)instance_by_abbrev(abbrev)) << abbrev;
+  }
+  EXPECT_THROW((void)instance_by_abbrev("CSP-9"), PreconditionError);
+}
+
+TEST(Catalog, TableOneValuesSeeded) {
+  const auto& trc = instance_by_abbrev("TRC");
+  EXPECT_EQ(trc.cores_per_node, 40);
+  EXPECT_EQ(trc.total_cores, 2000);
+  EXPECT_DOUBLE_EQ(trc.interconnect_gbits, 56.0);
+  const auto& ec = instance_by_abbrev("CSP-2 EC");
+  EXPECT_EQ(ec.cores_per_node, 36);
+  EXPECT_DOUBLE_EQ(ec.interconnect_gbits, 100.0);
+  // Table III values drive the ground truth.
+  EXPECT_NEAR(ec.memory.a1, 7605.85, 1e-6);
+  EXPECT_NEAR(ec.inter.latency_us, 20.94, 1e-6);
+}
+
+TEST(MemoryParams, TwoLineLawContinuousAndSaturating) {
+  const auto& p = instance_by_abbrev("CSP-2");
+  const real_t at_knee = p.memory.node_bandwidth_mbs(p.memory.a3);
+  EXPECT_NEAR(at_knee, p.memory.a1 * p.memory.a3, 1e-6);
+  // Slope flattens after the knee.
+  const real_t before = p.memory.node_bandwidth_mbs(5.0) -
+                        p.memory.node_bandwidth_mbs(4.0);
+  const real_t after = p.memory.node_bandwidth_mbs(20.0) -
+                       p.memory.node_bandwidth_mbs(19.0);
+  EXPECT_GT(before, after);
+}
+
+TEST(MemorySystem, MeasurementsAreDeterministicPerSample) {
+  const auto& p = instance_by_abbrev("CSP-2");
+  MemorySystem mem(p);
+  EXPECT_DOUBLE_EQ(mem.measured_node_bandwidth_mbs(8, 0),
+                   mem.measured_node_bandwidth_mbs(8, 0));
+  EXPECT_NE(mem.measured_node_bandwidth_mbs(8, 0),
+            mem.measured_node_bandwidth_mbs(8, 1));
+}
+
+TEST(MemorySystem, SharedChannelVarianceKicksInPastKnee) {
+  const auto& p = instance_by_abbrev("CSP-2");  // shared_memory_channels
+  MemorySystem mem(p);
+  auto spread = [&](index_t threads) {
+    real_t lo = 1e30, hi = 0.0;
+    for (index_t s = 0; s < 24; ++s) {
+      const real_t b = mem.measured_node_bandwidth_mbs(threads, s);
+      lo = std::min(lo, b);
+      hi = std::max(hi, b);
+    }
+    return (hi - lo) / hi;
+  };
+  EXPECT_GT(spread(30), spread(4) * 2.0);
+}
+
+TEST(MemorySystem, TaskShareSplitsNodeBandwidth) {
+  const auto& p = instance_by_abbrev("TRC");
+  MemorySystem mem(p);
+  const real_t full = mem.ideal_node_bandwidth_mbs(40.0);
+  EXPECT_NEAR(mem.task_bandwidth_mbs(40), full / 40.0, 1e-9);
+}
+
+TEST(Interconnect, EcBeatsNoEcAndTrcBeatsBoth) {
+  Interconnect ec(instance_by_abbrev("CSP-2 EC"));
+  Interconnect noec(instance_by_abbrev("CSP-2"));
+  Interconnect trc(instance_by_abbrev("TRC"));
+  for (real_t bytes : {0.0, 1024.0, 65536.0, 1048576.0}) {
+    EXPECT_LT(ec.message_time_us(bytes, true),
+              noec.message_time_us(bytes, true));
+    EXPECT_LT(trc.message_time_us(bytes, true),
+              ec.message_time_us(bytes, true));
+  }
+}
+
+TEST(Interconnect, IntranodeFasterThanInternode) {
+  Interconnect net(instance_by_abbrev("CSP-2"));
+  for (real_t bytes : {0.0, 4096.0, 1048576.0}) {
+    EXPECT_LT(net.message_time_us(bytes, false),
+              net.message_time_us(bytes, true));
+  }
+}
+
+TEST(Interconnect, TimeIsMonotoneInSize) {
+  Interconnect net(instance_by_abbrev("CSP-1"));
+  real_t prev = net.message_time_us(0.0, true);
+  for (real_t bytes = 1.0; bytes <= 1 << 22; bytes *= 4.0) {
+    const real_t t = net.message_time_us(bytes, true);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Interconnect, EffectiveLatencyGrowsWithSize) {
+  // The deliberate nonlinearity: zero-anchored linear fits underestimate
+  // latency at large sizes (paper Section III-E).
+  Interconnect net(instance_by_abbrev("CSP-2"));
+  const real_t l0 = net.message_time_us(0.0, true);
+  const real_t big = 4.0 * 1024 * 1024;
+  const real_t linear_estimate =
+      l0 + big / instance_by_abbrev("CSP-2").inter.bandwidth_mbs;
+  EXPECT_GT(net.message_time_us(big, true), linear_estimate);
+}
+
+TEST(NoiseModel, DeterministicAndCentered) {
+  NoiseModel noise(instance_by_abbrev("CSP-2 Small"));
+  EXPECT_DOUBLE_EQ(noise.factor(1, 6, 0), noise.factor(1, 6, 0));
+  real_t sum = 0.0;
+  index_t n = 0;
+  for (index_t day = 0; day < 7; ++day) {
+    for (index_t hour = 0; hour < 24; hour += 6) {
+      sum += noise.factor(day, hour, 0);
+      ++n;
+    }
+  }
+  EXPECT_NEAR(sum / static_cast<real_t>(n), 1.0, 0.02);
+}
+
+class WorkloadFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    geo_ = geometry::make_cylinder({.radius = 6, .length = 48});
+    mesh_ = std::make_unique<lbm::FluidMesh>(lbm::FluidMesh::build(geo_.grid));
+  }
+
+  WorkloadPlan plan(index_t n_tasks, index_t tasks_per_node) const {
+    const auto part =
+        decomp::make_partition(*mesh_, n_tasks, decomp::Strategy::kRcb);
+    return make_workload_plan(*mesh_, part, lbm::KernelConfig{},
+                              tasks_per_node, "cyl");
+  }
+
+  geometry::Geometry geo_{"", geometry::VoxelGrid(1, 1, 1), {}};
+  std::unique_ptr<lbm::FluidMesh> mesh_;
+};
+
+TEST_F(WorkloadFixture, PlanLaysOutNodesContiguously) {
+  const WorkloadPlan p = plan(72, 36);
+  EXPECT_EQ(p.n_nodes, 2);
+  EXPECT_EQ(p.task_node[0], 0);
+  EXPECT_EQ(p.task_node[35], 0);
+  EXPECT_EQ(p.task_node[36], 1);
+  EXPECT_EQ(p.task_node[71], 1);
+  // Messages crossing the node boundary are marked internode.
+  bool saw_internode = false, saw_intranode = false;
+  for (const auto& m : p.messages) {
+    const bool crosses = p.task_node[static_cast<std::size_t>(m.from)] !=
+                         p.task_node[static_cast<std::size_t>(m.to)];
+    EXPECT_EQ(m.internode, crosses);
+    saw_internode |= crosses;
+    saw_intranode |= !crosses;
+  }
+  EXPECT_TRUE(saw_internode);
+  EXPECT_TRUE(saw_intranode);
+}
+
+TEST_F(WorkloadFixture, ExecuteProducesPositiveThroughput) {
+  const auto& profile = instance_by_abbrev("CSP-2");
+  VirtualCluster vc(profile);
+  const auto result = vc.execute(plan(36, 36), 1000, {});
+  EXPECT_GT(result.mflups, 0.0);
+  EXPECT_GT(result.step_seconds, 0.0);
+  EXPECT_NEAR(result.total_seconds, result.step_seconds * 1000.0, 1e-9);
+  EXPECT_GT(result.critical.mem_s, 0.0);
+}
+
+TEST_F(WorkloadFixture, MoreTasksWithinNodeIncreaseThroughput) {
+  const auto& profile = instance_by_abbrev("CSP-2");
+  VirtualCluster vc(profile);
+  const real_t m4 = vc.execute(plan(4, 36), 100, {}).mflups;
+  const real_t m16 = vc.execute(plan(16, 36), 100, {}).mflups;
+  EXPECT_GT(m16, m4);
+}
+
+TEST_F(WorkloadFixture, EcOutperformsNoEcAtMultiNodeScale) {
+  // Same workload, 4 nodes: the EC interconnect must win (paper Table III
+  // and Fig. 3 discussion).
+  const WorkloadPlan p = plan(144, 36);
+  VirtualCluster ec(instance_by_abbrev("CSP-2 EC"));
+  VirtualCluster noec(instance_by_abbrev("CSP-2"));
+  EXPECT_GT(ec.execute(p, 100, {}).mflups, noec.execute(p, 100, {}).mflups);
+}
+
+TEST_F(WorkloadFixture, NoiseVariesByMeasurementContext) {
+  const auto& profile = instance_by_abbrev("CSP-2 Small");
+  VirtualCluster vc(profile);
+  const WorkloadPlan p = plan(16, 8);
+  const real_t a = vc.execute(p, 100, {0, 0, 0}).mflups;
+  const real_t b = vc.execute(p, 100, {3, 12, 0}).mflups;
+  EXPECT_NE(a, b);
+  EXPECT_NEAR(a, b, a * 0.2);  // but within noise scale
+}
+
+TEST_F(WorkloadFixture, BreakdownsCoverAllTasks) {
+  const auto& profile = instance_by_abbrev("TRC");
+  VirtualCluster vc(profile);
+  const WorkloadPlan p = plan(20, 40);
+  const auto breakdowns = vc.task_breakdowns(p);
+  ASSERT_EQ(static_cast<index_t>(breakdowns.size()), 20);
+  for (const auto& b : breakdowns) {
+    EXPECT_GT(b.mem_s, 0.0);
+    EXPECT_GE(b.total(), b.mem_s);
+  }
+}
+
+}  // namespace
+}  // namespace hemo::cluster

@@ -1,0 +1,192 @@
+// Unit tests for the domain decomposition and the communication graph.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "decomp/comm_graph.hpp"
+#include "decomp/partition.hpp"
+#include "geometry/generators.hpp"
+#include "lbm/access_counts.hpp"
+#include "lbm/mesh.hpp"
+
+namespace hemo::decomp {
+namespace {
+
+lbm::FluidMesh cylinder_mesh() {
+  const auto geo = geometry::make_cylinder({.radius = 6, .length = 48});
+  return lbm::FluidMesh::build(geo.grid);
+}
+
+class PartitionStrategyTest : public ::testing::TestWithParam<Strategy> {};
+
+TEST_P(PartitionStrategyTest, CoversEveryPointExactlyOnce) {
+  const auto mesh = cylinder_mesh();
+  const Partition part = make_partition(mesh, 8, GetParam());
+  EXPECT_EQ(part.n_tasks, 8);
+  index_t total = 0;
+  for (const auto& pts : part.points_of) {
+    total += static_cast<index_t>(pts.size());
+  }
+  EXPECT_EQ(total, mesh.num_points());
+  for (index_t p = 0; p < mesh.num_points(); ++p) {
+    const auto t = part.task_of[static_cast<std::size_t>(p)];
+    ASSERT_GE(t, 0);
+    ASSERT_LT(t, 8);
+    const auto& pts = part.points_of[static_cast<std::size_t>(t)];
+    EXPECT_TRUE(std::binary_search(pts.begin(), pts.end(), p));
+  }
+}
+
+TEST_P(PartitionStrategyTest, DeterministicAcrossCalls) {
+  const auto mesh = cylinder_mesh();
+  const Partition a = make_partition(mesh, 16, GetParam());
+  const Partition b = make_partition(mesh, 16, GetParam());
+  EXPECT_EQ(a.task_of, b.task_of);
+}
+
+TEST_P(PartitionStrategyTest, SingleTaskGetsEverything) {
+  const auto mesh = cylinder_mesh();
+  const Partition part = make_partition(mesh, 1, GetParam());
+  EXPECT_EQ(part.max_points(), mesh.num_points());
+  EXPECT_EQ(decomp::build_comm_graph(mesh, part).messages.size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, PartitionStrategyTest,
+                         ::testing::Values(Strategy::kGrid, Strategy::kRcb,
+                                           Strategy::kSlab),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(Partition, RcbBalancesPointCountsTightly) {
+  const auto mesh = cylinder_mesh();
+  const Partition part = make_partition(mesh, 12, Strategy::kRcb);
+  // RCB splits at medians: max/min within a couple of points.
+  EXPECT_LE(part.max_points() - part.min_points(), 2);
+}
+
+TEST(Partition, GridBalancesWorseThanRcbOnComplexGeometry) {
+  const auto geo = geometry::make_cerebral({.depth = 4});
+  const auto mesh = lbm::FluidMesh::build(geo.grid);
+  const Partition grid = make_partition(mesh, 16, Strategy::kGrid);
+  const Partition rcb = make_partition(mesh, 16, Strategy::kRcb);
+  EXPECT_GT(grid.max_points(), rcb.max_points());
+}
+
+TEST(Partition, MeasuredImbalanceAtLeastOneAndGrows) {
+  const auto mesh = cylinder_mesh();
+  const lbm::KernelConfig config{};
+  const real_t z2 = measured_imbalance(
+      mesh, make_partition(mesh, 2, Strategy::kRcb), config);
+  const real_t z32 = measured_imbalance(
+      mesh, make_partition(mesh, 32, Strategy::kRcb), config);
+  EXPECT_GE(z2, 1.0);
+  EXPECT_GE(z32, 1.0);
+  // Finer decompositions have proportionally more byte imbalance.
+  EXPECT_GE(z32, z2 - 1e-9);
+}
+
+TEST(Partition, TaskBytesSumToSerialBytes) {
+  const auto mesh = cylinder_mesh();
+  const lbm::KernelConfig config{};
+  const Partition part = make_partition(mesh, 8, Strategy::kRcb);
+  const auto bytes = task_bytes_per_step(mesh, part, config);
+  real_t sum = 0.0;
+  for (real_t b : bytes) sum += b;
+  EXPECT_NEAR(sum, lbm::serial_bytes_per_step(mesh, config), 1e-6);
+}
+
+TEST(Partition, RejectsInvalidTaskCounts) {
+  const auto mesh = cylinder_mesh();
+  EXPECT_THROW(make_partition(mesh, 0, Strategy::kRcb), PreconditionError);
+  EXPECT_THROW(make_partition(mesh, mesh.num_points() + 1, Strategy::kRcb),
+               PreconditionError);
+}
+
+TEST(CommGraph, MessagesAreSymmetricInLinkCounts) {
+  const auto mesh = cylinder_mesh();
+  const Partition part = make_partition(mesh, 8, Strategy::kRcb);
+  const CommGraph graph = build_comm_graph(mesh, part);
+  ASSERT_FALSE(graph.messages.empty());
+  // For every message from->to there is a reverse message with the same
+  // link count (pull-scheme reciprocity).
+  for (const Message& m : graph.messages) {
+    bool found = false;
+    for (const Message& r : graph.messages) {
+      if (r.from == m.to && r.to == m.from) {
+        EXPECT_EQ(r.link_count, m.link_count);
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(CommGraph, PerTaskTotalsMatchMessages) {
+  const auto mesh = cylinder_mesh();
+  const Partition part = make_partition(mesh, 6, Strategy::kSlab);
+  const CommGraph graph = build_comm_graph(mesh, part);
+  std::vector<index_t> sends(6, 0), links(6, 0);
+  for (const Message& m : graph.messages) {
+    ++sends[static_cast<std::size_t>(m.from)];
+    links[static_cast<std::size_t>(m.from)] += m.link_count;
+  }
+  for (index_t t = 0; t < 6; ++t) {
+    EXPECT_EQ(graph.per_task[static_cast<std::size_t>(t)].send_events,
+              sends[static_cast<std::size_t>(t)]);
+    EXPECT_EQ(graph.per_task[static_cast<std::size_t>(t)].send_links,
+              links[static_cast<std::size_t>(t)]);
+  }
+}
+
+TEST(CommGraph, SlabChainHasLinearNeighborStructure) {
+  const auto mesh = cylinder_mesh();
+  const Partition part = make_partition(mesh, 4, Strategy::kSlab);
+  const CommGraph graph = build_comm_graph(mesh, part);
+  // A 1-D chain: interior slabs talk to exactly 2 neighbors, ends to 1.
+  EXPECT_EQ(graph.per_task[0].send_events, 1);
+  EXPECT_EQ(graph.per_task[1].send_events, 2);
+  EXPECT_EQ(graph.per_task[2].send_events, 2);
+  EXPECT_EQ(graph.per_task[3].send_events, 1);
+}
+
+TEST(CommGraph, MessageBytesScaleWithPrecision) {
+  const auto mesh = cylinder_mesh();
+  const Partition part = make_partition(mesh, 4, Strategy::kRcb);
+  const CommGraph graph = build_comm_graph(mesh, part);
+  lbm::KernelConfig dbl{}, sgl{};
+  sgl.precision = lbm::Precision::kSingle;
+  EXPECT_DOUBLE_EQ(graph.max_total_bytes(dbl),
+                   2.0 * graph.max_total_bytes(sgl));
+}
+
+TEST(CommGraph, CylinderCommunicatesMoreThanCerebral) {
+  // The paper's core geometry observation: the compact cylinder exposes
+  // much larger cut surfaces per point than the spread-out cerebral tree
+  // (Section III-D).
+  const auto cyl_geo = geometry::make_cylinder({.radius = 10, .length = 60});
+  const auto cer_geo = geometry::make_cerebral({.depth = 5});
+  const auto cyl = lbm::FluidMesh::build(cyl_geo.grid);
+  const auto cer = lbm::FluidMesh::build(cer_geo.grid);
+  // Comparable point counts (~19k vs ~22k); compare total halo links per
+  // fluid point at two task counts.
+  for (index_t n_tasks : {16, 64}) {
+    const CommGraph gc =
+        build_comm_graph(cyl, make_partition(cyl, n_tasks, Strategy::kRcb));
+    const CommGraph ge =
+        build_comm_graph(cer, make_partition(cer, n_tasks, Strategy::kRcb));
+    auto links_per_point = [](const CommGraph& g, const lbm::FluidMesh& m) {
+      index_t total = 0;
+      for (const Message& msg : g.messages) total += msg.link_count;
+      return static_cast<real_t>(total) /
+             static_cast<real_t>(m.num_points());
+    };
+    EXPECT_GT(links_per_point(gc, cyl), 1.2 * links_per_point(ge, cer))
+        << "n_tasks = " << n_tasks;
+  }
+}
+
+}  // namespace
+}  // namespace hemo::decomp

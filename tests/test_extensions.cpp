@@ -1,0 +1,191 @@
+// Tests for the cloud-side extensions: GPU offload (the t_CPU-GPU term of
+// the paper's Eq. 2), the add-and-check term refinement loop (§IV), spot
+// pricing, and hyperthreaded planning.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/hardware.hpp"
+#include "core/calibration.hpp"
+#include "core/dashboard.hpp"
+#include "core/models.hpp"
+#include "core/refinement.hpp"
+#include "harvey/simulation.hpp"
+
+namespace hemo {
+namespace {
+
+harvey::Simulation make_cyl_sim() {
+  harvey::SimulationOptions opts;
+  opts.solver.tau = 0.8;
+  return harvey::Simulation(
+      geometry::make_cylinder({.radius = 10, .length = 80}), opts);
+}
+
+TEST(GpuSystem, CatalogHasGpuVariantWithSaneNumbers) {
+  const auto& p = cluster::instance_by_abbrev("CSP-2 GPU");
+  ASSERT_TRUE(p.gpu.has_value());
+  EXPECT_EQ(p.gpu->gpus_per_node, 4);
+  EXPECT_GT(p.gpu->memory_bandwidth_mbs, p.memory.node_bandwidth_mbs(36.0));
+  cluster::GpuSystem gpu(p);
+  EXPECT_LT(gpu.effective_bandwidth_mbs(), p.gpu->memory_bandwidth_mbs);
+  // CPU-only instances reject GpuSystem.
+  EXPECT_THROW(cluster::GpuSystem(cluster::instance_by_abbrev("TRC")),
+               PreconditionError);
+}
+
+TEST(GpuSystem, TransferTimeMonotoneAndSuperlinearLatency) {
+  cluster::GpuSystem gpu(cluster::instance_by_abbrev("CSP-2 GPU"));
+  real_t prev = gpu.transfer_time_us(0.0);
+  for (real_t bytes = 1024.0; bytes <= 1 << 22; bytes *= 4.0) {
+    const real_t t = gpu.transfer_time_us(bytes);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(GpuExecution, GpuBeatsCpuOnSameInstanceForBigDomains) {
+  // One GPU's effective bandwidth (~630 GB/s) dwarfs a 36-core node's
+  // ~104 GB/s; within-node GPU runs must win despite PCIe staging.
+  auto sim = make_cyl_sim();
+  const auto& gpu_profile = cluster::instance_by_abbrev("CSP-2 GPU");
+  const auto cpu = sim.measure(gpu_profile, 36, 200);
+  const auto gpu = sim.measure_gpu(gpu_profile, 4, 200);
+  EXPECT_GT(gpu.mflups, cpu.mflups * 2.0);
+  EXPECT_GT(gpu.critical.xfer_s, 0.0);   // PCIe staging is accounted
+  EXPECT_DOUBLE_EQ(cpu.critical.xfer_s, 0.0);
+}
+
+TEST(GpuExecution, MeasureGpuRejectsCpuOnlyInstances) {
+  auto sim = make_cyl_sim();
+  EXPECT_THROW(
+      (void)sim.measure_gpu(cluster::instance_by_abbrev("CSP-2"), 4, 10),
+      PreconditionError);
+}
+
+TEST(GpuModel, CalibrationCoversDeviceAndPcie) {
+  const auto cal =
+      core::calibrate_instance(cluster::instance_by_abbrev("CSP-2 GPU"));
+  ASSERT_TRUE(cal.gpu_bandwidth_mbs.has_value());
+  ASSERT_TRUE(cal.gpu_pcie.has_value());
+  // Device STREAM lands near the published HBM figure (not the hidden
+  // kernel-efficiency-derated one).
+  EXPECT_NEAR(*cal.gpu_bandwidth_mbs, 900000.0, 900000.0 * 0.05);
+  EXPECT_GT(cal.gpu_pcie->bandwidth, 8000.0);
+  // CPU-only calibration has no GPU fields.
+  const auto cpu_cal =
+      core::calibrate_instance(cluster::instance_by_abbrev("CSP-2"));
+  EXPECT_FALSE(cpu_cal.gpu_bandwidth_mbs.has_value());
+}
+
+TEST(GpuModel, DirectModelOverpredictsGpuRunsToo) {
+  auto sim = make_cyl_sim();
+  const auto& profile = cluster::instance_by_abbrev("CSP-2 GPU");
+  const auto cal = core::calibrate_instance(profile);
+  const auto& plan = sim.gpu_plan(4, 4);
+  const auto pred = core::predict_direct(plan, cal);
+  const auto meas = sim.measure_gpu(profile, 4, 200);
+  EXPECT_GT(pred.mflups, meas.mflups);       // kernel efficiency is hidden
+  EXPECT_LT(pred.mflups, meas.mflups * 2.0); // but in the right ballpark
+  EXPECT_GT(pred.t_xfer_s, 0.0);             // Eq. 2's t_CPU-GPU appears
+}
+
+TEST(GpuModel, CpuPlanOnGpuCalibrationIgnoresDeviceFields) {
+  auto sim = make_cyl_sim();
+  const auto& profile = cluster::instance_by_abbrev("CSP-2 GPU");
+  const auto cal = core::calibrate_instance(profile);
+  const auto pred = core::predict_direct(sim.plan(36, 36), cal);
+  EXPECT_DOUBLE_EQ(pred.t_xfer_s, 0.0);
+}
+
+TEST(TermSelector, KeepsUsefulTermDiscardsBogusOne) {
+  // Ground truth: measured = predicted + 2us * n_tasks (a real missing
+  // per-task cost). A candidate matching that shape is kept; a constant
+  // 1 ms term is discarded.
+  std::vector<core::RefinementSample> samples;
+  for (index_t n : {4, 8, 16, 32, 64}) {
+    const real_t base = 1e-3;
+    samples.push_back(core::RefinementSample{
+        n, base, base + 2e-6 * static_cast<real_t>(n)});
+  }
+  core::TermSelector selector(samples);
+  const real_t initial_error = selector.current_error();
+
+  core::CandidateTerm bogus{
+      "constant-overhead",
+      [](index_t) { return 1e-3; }};
+  const auto bogus_eval = selector.check(bogus);
+  EXPECT_FALSE(bogus_eval.keep);
+  EXPECT_GT(bogus_eval.with_term_error, bogus_eval.baseline_error);
+
+  core::CandidateTerm good{
+      "per-task-sync",
+      [](index_t n) { return 2e-6 * static_cast<real_t>(n); }};
+  const auto good_eval = selector.check(good);
+  EXPECT_TRUE(good_eval.keep);
+  EXPECT_LT(good_eval.with_term_error, 1e-9);
+  EXPECT_LT(selector.current_error(), initial_error);
+  ASSERT_EQ(selector.kept().size(), 1u);
+  EXPECT_EQ(selector.kept()[0], "per-task-sync");
+
+  // Refined predictions include the kept term only.
+  EXPECT_NEAR(selector.refined_step_s(1e-3, 16), 1e-3 + 32e-6, 1e-12);
+}
+
+TEST(TermSelector, MinImprovementThresholdBlocksMarginalTerms) {
+  std::vector<core::RefinementSample> samples = {
+      {8, 1e-3, 1.001e-3}, {16, 1e-3, 1.002e-3}};
+  core::TermSelector selector(samples);
+  core::CandidateTerm tiny{"tiny", [](index_t) { return 1.5e-6; }};
+  const auto eval = selector.check(tiny, /*min_improvement=*/0.05);
+  EXPECT_FALSE(eval.keep);  // improves, but below the threshold
+}
+
+TEST(SpotPricing, DiscountsShortJobsButInflatesWallTime) {
+  core::DashboardRow row;
+  row.instance = "CSP-2";
+  row.prediction.mflups = 100.0;
+  row.time_to_solution_s = 3600.0;
+  row.cost_rate_per_hour = 10.0;
+  row.total_dollars = 10.0;
+  row.mflups_per_dollar_hour = 10.0;
+
+  core::SpotOptions spot;  // 70 % discount, 0.15 preemptions/hour
+  const auto priced = core::apply_spot_pricing(row, spot);
+  EXPECT_GT(priced.time_to_solution_s, row.time_to_solution_s);
+  EXPECT_LT(priced.total_dollars, row.total_dollars * 0.5);
+  EXPECT_GT(priced.mflups_per_dollar_hour, row.mflups_per_dollar_hour);
+}
+
+TEST(SpotPricing, HeavyPreemptionErodesTheDiscount) {
+  core::DashboardRow row;
+  row.prediction.mflups = 100.0;
+  row.time_to_solution_s = 100.0 * 3600.0;  // a very long job
+  row.cost_rate_per_hour = 10.0;
+  row.total_dollars = 1000.0;
+
+  core::SpotOptions brutal;
+  brutal.discount = 0.10;
+  brutal.preemptions_per_hour = 6.0;
+  brutal.restart_overhead_s = 3000.0;
+  brutal.checkpoint_interval_s = 3600.0;
+  const auto priced = core::apply_spot_pricing(row, brutal);
+  EXPECT_GT(priced.total_dollars, row.total_dollars);
+}
+
+TEST(Hyperthreading, PlanningOneTaskPerVcpuIsCounterproductive) {
+  // The paper's Fig. 5 point: hyperthreads add no bandwidth, so planning
+  // 72 tasks/node on CSP-2 Hyp. predicts lower throughput than 36/node on
+  // plain CSP-2 at the same 144-core allocation.
+  auto sim = make_cyl_sim();
+  const auto cal_ht =
+      core::calibrate_instance(cluster::instance_by_abbrev("CSP-2 Hyp."));
+  const auto cal =
+      core::calibrate_instance(cluster::instance_by_abbrev("CSP-2"));
+  const auto ht = core::predict_direct(sim.plan(144, 72), cal_ht);
+  const auto regular = core::predict_direct(sim.plan(144, 36), cal);
+  EXPECT_LT(ht.mflups, regular.mflups);
+}
+
+}  // namespace
+}  // namespace hemo

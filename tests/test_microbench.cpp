@@ -1,0 +1,96 @@
+// Unit tests for the STREAM and PingPong microbenchmarks.
+#include <gtest/gtest.h>
+
+#include "cluster/instance.hpp"
+#include "microbench/pingpong.hpp"
+#include "microbench/stream.hpp"
+
+namespace hemo::microbench {
+namespace {
+
+TEST(StreamLocal, ReportsPositiveBandwidths) {
+  const StreamResult r = run_stream_local(1 << 18, 2);
+  EXPECT_GT(r.copy, 0.0);
+  EXPECT_GT(r.scale, 0.0);
+  EXPECT_GT(r.add, 0.0);
+  EXPECT_GT(r.triad, 0.0);
+  // Sanity: a modern core sustains well above 100 MB/s and below 1 TB/s.
+  EXPECT_GT(r.copy, 100.0);
+  EXPECT_LT(r.copy, 1e6);
+}
+
+TEST(StreamLocal, RejectsTinyArrays) {
+  EXPECT_THROW((void)run_stream_local(16, 1), PreconditionError);
+}
+
+TEST(StreamSimulated, SweepCoversOneToMax) {
+  const auto& p = cluster::instance_by_abbrev("CSP-2");
+  const auto sweep = simulated_stream_sweep(p, 36);
+  ASSERT_EQ(sweep.size(), 36u);
+  EXPECT_EQ(sweep.front().threads, 1);
+  EXPECT_EQ(sweep.back().threads, 36);
+  for (const auto& s : sweep) EXPECT_GT(s.bandwidth_mbs, 0.0);
+}
+
+TEST(StreamSimulated, FullNodeSweepHonorsHyperthreading) {
+  const auto& hyp = cluster::instance_by_abbrev("CSP-2 Hyp.");
+  const auto sweep = simulated_stream_sweep_full_node(hyp);
+  EXPECT_EQ(static_cast<index_t>(sweep.size()),
+            hyp.cores_per_node * hyp.vcpus_per_core);  // 72 vCPUs
+}
+
+TEST(StreamSimulated, HyperthreadedBandwidthDeclinesPastKnee) {
+  // CSP-2 Hyp. has a negative saturated slope (paper Table III): bandwidth
+  // at 72 threads is below the knee value.
+  const auto& hyp = cluster::instance_by_abbrev("CSP-2 Hyp.");
+  const auto sweep = simulated_stream_sweep_full_node(hyp);
+  const real_t knee = sweep[10].bandwidth_mbs;   // just past a3 = 9.87
+  const real_t full = sweep.back().bandwidth_mbs;
+  EXPECT_LT(full, knee);
+}
+
+TEST(MessageSizes, LadderStartsAtZeroAndDoubles) {
+  const auto sizes = default_message_sizes(1024.0);
+  ASSERT_GE(sizes.size(), 3u);
+  EXPECT_DOUBLE_EQ(sizes[0], 0.0);
+  EXPECT_DOUBLE_EQ(sizes[1], 1.0);
+  EXPECT_DOUBLE_EQ(sizes.back(), 1024.0);
+  for (std::size_t i = 2; i < sizes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sizes[i], 2.0 * sizes[i - 1]);
+  }
+}
+
+TEST(PingPongSimulated, InterSlowerThanIntra) {
+  const auto& p = cluster::instance_by_abbrev("CSP-2");
+  const auto sizes = default_message_sizes(1 << 20);
+  const auto inter = simulated_pingpong(p, true, sizes);
+  const auto intra = simulated_pingpong(p, false, sizes);
+  ASSERT_EQ(inter.size(), intra.size());
+  for (std::size_t i = 0; i < inter.size(); ++i) {
+    EXPECT_GT(inter[i].time_us, intra[i].time_us * 0.9);
+  }
+  // At the large end the gap is decisive.
+  EXPECT_GT(inter.back().time_us, intra.back().time_us * 2.0);
+}
+
+TEST(PingPongSimulated, DeterministicPerSample) {
+  const auto& p = cluster::instance_by_abbrev("TRC");
+  const auto sizes = default_message_sizes(4096.0);
+  const auto a = simulated_pingpong(p, true, sizes, 0);
+  const auto b = simulated_pingpong(p, true, sizes, 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].time_us, b[i].time_us);
+  }
+}
+
+TEST(PingPongLocal, TimesGrowWithMessageSize) {
+  const std::vector<real_t> sizes = {0.0, 1024.0, 262144.0};
+  const auto samples = run_pingpong_local(sizes, 50);
+  ASSERT_EQ(samples.size(), 3u);
+  for (const auto& s : samples) EXPECT_GT(s.time_us, 0.0);
+  // A 256 KiB copy costs measurably more than a zero-byte handshake.
+  EXPECT_GT(samples[2].time_us, samples[0].time_us);
+}
+
+}  // namespace
+}  // namespace hemo::microbench

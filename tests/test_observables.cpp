@@ -1,0 +1,182 @@
+// Tests for the hemodynamic observables (stress/WSS, flow rate, pressure)
+// and the stenosis/aneurysm pathology geometries.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/generators.hpp"
+#include "lbm/mesh.hpp"
+#include "lbm/observables.hpp"
+#include "lbm/solver.hpp"
+
+namespace hemo::lbm {
+namespace {
+
+TEST(Stress, VanishesAtEquilibriumRest) {
+  const auto geo = geometry::make_cylinder({.radius = 4, .length = 12});
+  const FluidMesh mesh = FluidMesh::build(geo.grid);
+  SolverParams params;
+  Solver<double> solver(mesh, params, {});  // no inlets: stays at rest
+  solver.run(4);
+  for (index_t p = 0; p < mesh.num_points(); p += 17) {
+    const auto sigma = deviatoric_stress(solver, p);
+    for (real_t s : sigma) EXPECT_NEAR(s, 0.0, 1e-13);
+  }
+}
+
+TEST(Stress, ShearGrowsLinearlyWithRadiusInPoiseuilleFlow) {
+  // Force-driven Poiseuille: the shear stress magnitude is F r / 2 — zero
+  // on the axis, maximal at the wall. This validates both the stress
+  // computation and its link to wall shear stress.
+  const index_t radius = 6;
+  const auto geo = geometry::make_periodic_cylinder(
+      {.radius = radius, .length = 10});
+  MeshOptions options;
+  options.periodic_z = true;
+  const FluidMesh mesh = FluidMesh::build(geo.grid, options);
+  SolverParams params;
+  params.tau = 0.9;
+  const real_t force = 1e-5;
+  params.body_force = {0.0, 0.0, force};
+  Solver<double> solver(mesh, params, {});
+  solver.run(3000);
+
+  const real_t c = static_cast<real_t>(geo.grid.nx() - 1) / 2.0;
+  real_t worst_rel = 0.0;
+  index_t checked = 0;
+  for (index_t p = 0; p < mesh.num_points(); ++p) {
+    const auto& v = mesh.voxel(p);
+    if (v.z != 4) continue;
+    const real_t dx = static_cast<real_t>(v.x) - c;
+    const real_t dy = static_cast<real_t>(v.y) - c;
+    const real_t r = std::sqrt(dx * dx + dy * dy);
+    if (r < 2.0 || r > static_cast<real_t>(radius) - 1.0) continue;
+    const real_t expected = force * r / 2.0;
+    const real_t actual =
+        axial_shear_magnitude(deviatoric_stress(solver, p));
+    worst_rel = std::max(worst_rel,
+                         std::abs(actual - expected) / expected);
+    ++checked;
+  }
+  EXPECT_GT(checked, 20);
+  EXPECT_LT(worst_rel, 0.15);
+}
+
+TEST(FlowRate, ConservedAlongTheVessel) {
+  const auto geo = geometry::make_cylinder({.radius = 5, .length = 30});
+  const FluidMesh mesh = FluidMesh::build(geo.grid);
+  SolverParams params;
+  Solver<double> solver(mesh, params, std::span(geo.inlets));
+  solver.run(2000);
+  const real_t q10 = flow_rate(solver, 2, 10);
+  const real_t q15 = flow_rate(solver, 2, 15);
+  const real_t q20 = flow_rate(solver, 2, 20);
+  EXPECT_GT(q10, 0.0);
+  EXPECT_NEAR(q15, q10, q10 * 0.01);
+  EXPECT_NEAR(q20, q10, q10 * 0.01);
+}
+
+TEST(Pressure, DropsDownstreamDrivingTheFlow) {
+  const auto geo = geometry::make_cylinder({.radius = 5, .length = 30});
+  const FluidMesh mesh = FluidMesh::build(geo.grid);
+  SolverParams params;
+  Solver<double> solver(mesh, params, std::span(geo.inlets));
+  solver.run(2000);
+  const real_t p_up = mean_gauge_pressure(solver, 2, 4);
+  const real_t p_down = mean_gauge_pressure(solver, 2, 26);
+  EXPECT_GT(p_up, p_down);  // pressure gradient drives the flow
+}
+
+TEST(Stenosis, GeometryNarrowsAtThroat) {
+  const auto geo = geometry::make_stenosis(
+      {.radius = 8, .length = 60, .severity = 0.5});
+  index_t healthy = 0, throat = 0;
+  const index_t zc = geo.grid.nz() / 2;
+  for (index_t y = 0; y < geo.grid.ny(); ++y) {
+    for (index_t x = 0; x < geo.grid.nx(); ++x) {
+      if (geo.grid.is_fluid(x, y, 4)) ++healthy;
+      if (geo.grid.is_fluid(x, y, zc)) ++throat;
+    }
+  }
+  // 50 % radius reduction => ~75 % area reduction.
+  EXPECT_LT(static_cast<real_t>(throat),
+            0.4 * static_cast<real_t>(healthy));
+  EXPECT_GT(throat, 0);
+}
+
+TEST(Stenosis, FlowAcceleratesAndWssPeaksAtThroat) {
+  const auto geo = geometry::make_stenosis(
+      {.radius = 7, .length = 48, .severity = 0.45});
+  const FluidMesh mesh = FluidMesh::build(geo.grid);
+  SolverParams params;
+  Solver<double> solver(mesh, params, std::span(geo.inlets));
+  solver.run(2500);
+
+  const index_t zc = geo.grid.nz() / 2;
+  // Peak axial velocity by plane.
+  auto peak_speed = [&](index_t plane) {
+    real_t peak = 0.0;
+    for (index_t p = 0; p < mesh.num_points(); ++p) {
+      if (mesh.voxel(p).z != plane) continue;
+      peak = std::max(peak, solver.moments_at(p).uz);
+    }
+    return peak;
+  };
+  // Wall shear by plane (max over wall points).
+  auto peak_wss = [&](index_t plane) {
+    real_t peak = 0.0;
+    for (index_t p = 0; p < mesh.num_points(); ++p) {
+      if (mesh.voxel(p).z != plane) continue;
+      if (mesh.type(p) != PointType::kWall) continue;
+      peak = std::max(peak,
+                      axial_shear_magnitude(deviatoric_stress(solver, p)));
+    }
+    return peak;
+  };
+  EXPECT_GT(peak_speed(zc), 1.8 * peak_speed(6));
+  EXPECT_GT(peak_wss(zc), 2.0 * peak_wss(6));
+  // Mass still conserved through the constriction.
+  EXPECT_NEAR(flow_rate(solver, 2, zc), flow_rate(solver, 2, 6),
+              std::abs(flow_rate(solver, 2, 6)) * 0.02);
+}
+
+TEST(Aneurysm, FlowDeceleratesAndWssDropsInTheSac) {
+  const auto geo = geometry::make_aneurysm(
+      {.radius = 6, .length = 48, .dilation = 0.8});
+  const FluidMesh mesh = FluidMesh::build(geo.grid);
+  SolverParams params;
+  Solver<double> solver(mesh, params, std::span(geo.inlets));
+  solver.run(2500);
+
+  const index_t zc = geo.grid.nz() / 2;
+  auto peak_speed = [&](index_t plane) {
+    real_t peak = 0.0;
+    for (index_t p = 0; p < mesh.num_points(); ++p) {
+      if (mesh.voxel(p).z != plane) continue;
+      peak = std::max(peak, solver.moments_at(p).uz);
+    }
+    return peak;
+  };
+  auto peak_wss = [&](index_t plane) {
+    real_t peak = 0.0;
+    for (index_t p = 0; p < mesh.num_points(); ++p) {
+      if (mesh.voxel(p).z != plane) continue;
+      if (mesh.type(p) != PointType::kWall) continue;
+      peak = std::max(peak,
+                      axial_shear_magnitude(deviatoric_stress(solver, p)));
+    }
+    return peak;
+  };
+  EXPECT_LT(peak_speed(zc), 0.75 * peak_speed(6));
+  EXPECT_LT(peak_wss(zc), 0.6 * peak_wss(6));
+}
+
+TEST(PathologyGeometries, RejectDegenerateParameters) {
+  EXPECT_THROW(geometry::make_stenosis({.severity = 0.95}),
+               PreconditionError);
+  EXPECT_THROW(geometry::make_aneurysm({.dilation = 2.5}),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace hemo::lbm

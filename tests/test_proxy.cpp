@@ -1,0 +1,95 @@
+// Unit tests for the lbm-proxy-app equivalent.
+#include <gtest/gtest.h>
+
+#include "proxy/proxy_app.hpp"
+
+namespace hemo::proxy {
+namespace {
+
+TEST(ProxyVariants, Fig4SetCoversLayoutsAndPatterns) {
+  const auto v = fig4_variants();
+  ASSERT_EQ(v.size(), 4u);
+  index_t aa = 0, soa = 0;
+  for (const auto& k : v) {
+    if (k.propagation == lbm::Propagation::kAA) ++aa;
+    if (k.layout == lbm::Layout::kSoA) ++soa;
+    EXPECT_EQ(k.unroll, lbm::Unroll::kYes);
+  }
+  EXPECT_EQ(aa, 2);
+  EXPECT_EQ(soa, 2);
+}
+
+TEST(ProxyVariants, Fig8SetIsAllSoAWithUnrollSweep) {
+  const auto v = fig8_variants();
+  ASSERT_EQ(v.size(), 4u);
+  index_t unrolled = 0;
+  for (const auto& k : v) {
+    EXPECT_EQ(k.layout, lbm::Layout::kSoA);
+    if (k.unroll == lbm::Unroll::kYes) ++unrolled;
+  }
+  EXPECT_EQ(unrolled, 2);
+}
+
+TEST(ProxyApp, LocalRunProducesThroughput) {
+  ProxyParams params;
+  params.radius = 5;
+  params.length = 24;
+  ProxyApp app(params, lbm::KernelConfig{});
+  const LocalRun run = app.run_local(20);
+  EXPECT_EQ(run.steps, 20);
+  EXPECT_GT(run.seconds, 0.0);
+  EXPECT_GT(run.mflups, 0.0);
+}
+
+TEST(ProxyApp, AaStepCountRoundedUpToEven) {
+  ProxyParams params;
+  params.radius = 4;
+  params.length = 16;
+  lbm::KernelConfig aa;
+  aa.propagation = lbm::Propagation::kAA;
+  ProxyApp app(params, aa);
+  const LocalRun run = app.run_local(7);
+  EXPECT_EQ(run.steps, 8);
+}
+
+TEST(ProxyApp, MeasuredAaBeatsAbOnVirtualCluster) {
+  // Fig. 4: the AA pattern's reduced memory traffic lifts throughput.
+  ProxyParams params;
+  lbm::KernelConfig aa, ab;
+  aa.propagation = lbm::Propagation::kAA;
+  ab.propagation = lbm::Propagation::kAB;
+  ProxyApp app_aa(params, aa), app_ab(params, ab);
+  const auto& csp2 = cluster::instance_by_abbrev("CSP-2");
+  EXPECT_GT(app_aa.measure(csp2, 36, 100).mflups,
+            app_ab.measure(csp2, 36, 100).mflups);
+}
+
+TEST(ProxyApp, UnrolledBeatsLoopedOnVirtualCluster) {
+  ProxyParams params;
+  lbm::KernelConfig unrolled, looped;
+  looped.unroll = lbm::Unroll::kNo;
+  ProxyApp a(params, unrolled), b(params, looped);
+  const auto& csp2 = cluster::instance_by_abbrev("CSP-2");
+  EXPECT_GT(a.measure(csp2, 36, 100).mflups,
+            b.measure(csp2, 36, 100).mflups);
+}
+
+TEST(ProxyApp, AaAdvantageVanishesWithoutUnrolling) {
+  // The paper's Fig. 8 observation: AA beats AB only for unrolled kernels.
+  ProxyParams params;
+  lbm::KernelConfig aa_l, ab_l;
+  aa_l.propagation = lbm::Propagation::kAA;
+  aa_l.unroll = lbm::Unroll::kNo;
+  aa_l.layout = lbm::Layout::kSoA;
+  ab_l.propagation = lbm::Propagation::kAB;
+  ab_l.unroll = lbm::Unroll::kNo;
+  ab_l.layout = lbm::Layout::kSoA;
+  ProxyApp app_aa(params, aa_l), app_ab(params, ab_l);
+  const auto& csp2 = cluster::instance_by_abbrev("CSP-2");
+  const real_t maa = app_aa.measure(csp2, 36, 100).mflups;
+  const real_t mab = app_ab.measure(csp2, 36, 100).mflups;
+  EXPECT_LT(maa, mab * 1.05);  // no meaningful AA advantage when looped
+}
+
+}  // namespace
+}  // namespace hemo::proxy

@@ -1,0 +1,253 @@
+// Physics and consistency tests of the D3Q19 BGK solver: conservation,
+// steady states, layout/propagation equivalence, and Poiseuille flow
+// against the analytic solution. These validate that the HARVEY-equivalent
+// is a real CFD code, not a performance mock.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/generators.hpp"
+#include "lbm/mesh.hpp"
+#include "lbm/solver.hpp"
+
+namespace hemo::lbm {
+namespace {
+
+/// A closed fluid box (no inlets/outlets): mass must be conserved exactly.
+geometry::Geometry make_closed_box(index_t n) {
+  geometry::VoxelGrid grid(n, n, n);
+  for (index_t z = 0; z < n; ++z) {
+    for (index_t y = 0; y < n; ++y) {
+      for (index_t x = 0; x < n; ++x) {
+        grid.set(x, y, z, geometry::PointType::kBulk);
+      }
+    }
+  }
+  grid.classify_walls();
+  return geometry::Geometry{"box", std::move(grid), {}};
+}
+
+class SolverKernelTest
+    : public ::testing::TestWithParam<std::tuple<Layout, Propagation>> {};
+
+TEST_P(SolverKernelTest, ClosedBoxConservesMass) {
+  const auto [layout, prop] = GetParam();
+  const auto geo = make_closed_box(8);
+  const FluidMesh mesh = FluidMesh::build(geo.grid);
+  SolverParams params;
+  params.kernel.layout = layout;
+  params.kernel.propagation = prop;
+  Solver<double> solver(mesh, params, {});
+  const real_t mass0 = solver.total_mass();
+  solver.run(40);  // even count keeps AA in natural order
+  EXPECT_NEAR(solver.total_mass(), mass0, mass0 * 1e-12);
+}
+
+TEST_P(SolverKernelTest, RestEquilibriumIsSteady) {
+  const auto [layout, prop] = GetParam();
+  const auto geo = make_closed_box(6);
+  const FluidMesh mesh = FluidMesh::build(geo.grid);
+  SolverParams params;
+  params.kernel.layout = layout;
+  params.kernel.propagation = prop;
+  Solver<double> solver(mesh, params, {});
+  solver.run(20);
+  for (index_t p = 0; p < mesh.num_points(); p += 7) {
+    const auto m = solver.moments_at(p);
+    EXPECT_NEAR(m.rho, 1.0, 1e-12);
+    EXPECT_NEAR(m.ux, 0.0, 1e-13);
+    EXPECT_NEAR(m.uy, 0.0, 1e-13);
+    EXPECT_NEAR(m.uz, 0.0, 1e-13);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, SolverKernelTest,
+    ::testing::Combine(::testing::Values(Layout::kAoS, Layout::kSoA),
+                       ::testing::Values(Propagation::kAB, Propagation::kAA)),
+    [](const auto& info) {
+      return to_string(std::get<1>(info.param)) + "_" +
+             to_string(std::get<0>(info.param));
+    });
+
+TEST(Solver, LayoutsProduceIdenticalStates) {
+  // AoS and SoA perform identical arithmetic in identical order.
+  const auto geo = geometry::make_cylinder({.radius = 4, .length = 20});
+  const FluidMesh mesh = FluidMesh::build(geo.grid);
+  SolverParams aos, soa;
+  aos.kernel.layout = Layout::kAoS;
+  soa.kernel.layout = Layout::kSoA;
+  Solver<double> sa(mesh, aos, std::span(geo.inlets));
+  Solver<double> sb(mesh, soa, std::span(geo.inlets));
+  sa.run(30);
+  sb.run(30);
+  for (index_t p = 0; p < mesh.num_points(); ++p) {
+    for (index_t q = 0; q < kQ; ++q) {
+      EXPECT_DOUBLE_EQ(sa.f_value(p, q), sb.f_value(p, q));
+    }
+  }
+}
+
+TEST(Solver, AaAndAbConvergeToSameSteadyFlow) {
+  // The propagation patterns differ in intermediate representation but must
+  // agree on the converged flow field.
+  const auto geo = geometry::make_cylinder({.radius = 4, .length = 24});
+  const FluidMesh mesh = FluidMesh::build(geo.grid);
+  SolverParams ab, aa;
+  ab.kernel.propagation = Propagation::kAB;
+  aa.kernel.propagation = Propagation::kAA;
+  Solver<double> sab(mesh, ab, std::span(geo.inlets));
+  Solver<double> saa(mesh, aa, std::span(geo.inlets));
+  sab.run(800);
+  saa.run(800);
+  // Compare interior points only: at boundary points the two patterns
+  // expose different representations (AB stores post-BC values, AA's
+  // natural state holds pre-BC arrivals). Interior moments also differ by
+  // one streaming step of representation, so allow a small gradient-scale
+  // tolerance.
+  real_t max_diff = 0.0;
+  for (index_t p = 0; p < mesh.num_points(); ++p) {
+    const PointType type = mesh.type(p);
+    if (type == PointType::kInlet || type == PointType::kOutlet) continue;
+    const auto ma = sab.moments_at(p);
+    const auto mb = saa.moments_at(p);
+    max_diff = std::max(max_diff, std::abs(ma.uz - mb.uz));
+  }
+  EXPECT_LT(max_diff, 2e-3);
+  EXPECT_GT(max_diff, 0.0);  // genuinely different code paths ran
+}
+
+TEST(Solver, FloatAndDoubleAgreeApproximately) {
+  const auto geo = geometry::make_cylinder({.radius = 4, .length = 16});
+  const FluidMesh mesh = FluidMesh::build(geo.grid);
+  SolverParams params;
+  Solver<double> sd(mesh, params, std::span(geo.inlets));
+  Solver<float> sf(mesh, params, std::span(geo.inlets));
+  sd.run(100);
+  sf.run(100);
+  for (index_t p = 0; p < mesh.num_points(); p += 11) {
+    const auto md = sd.moments_at(p);
+    const auto mf = sf.moments_at(p);
+    EXPECT_NEAR(md.uz, mf.uz, 5e-4);
+    EXPECT_NEAR(md.rho, mf.rho, 5e-3);
+  }
+}
+
+TEST(Solver, PoiseuilleProfileMatchesAnalyticSolution) {
+  // Steady cylindrical Poiseuille flow: u(r) = u0 (1 - (r/Reff)^2). The
+  // staircase bounce-back boundary puts the effective no-slip radius
+  // within about a voxel of the nominal radius, so we fit (u0, Reff) by
+  // least squares and assert the parabolic *shape* (R^2) plus a physical
+  // effective radius.
+  const index_t radius = 6;
+  const auto geo = geometry::make_cylinder(
+      {.radius = radius, .length = 36, .peak_velocity = 0.04});
+  const FluidMesh mesh = FluidMesh::build(geo.grid);
+  SolverParams params;
+  params.tau = 0.8;
+  Solver<double> solver(mesh, params, std::span(geo.inlets));
+  solver.run(3000);
+
+  // Collect u(r^2) on the mid-length cross-section; u = a + b r^2 is
+  // linear in r^2 with u0 = a and Reff^2 = -a / b.
+  const real_t c = geo.inlets[0].center.x;
+  const index_t zmid = geo.grid.nz() / 2;
+  std::vector<real_t> r2s, us;
+  real_t u_center = 0.0;
+  for (index_t p = 0; p < mesh.num_points(); ++p) {
+    const auto& v = mesh.voxel(p);
+    if (v.z != zmid) continue;
+    const auto m = solver.moments_at(p);
+    const real_t dx = static_cast<real_t>(v.x) - c;
+    const real_t dy = static_cast<real_t>(v.y) - c;
+    const real_t r2 = dx * dx + dy * dy;
+    if (r2 < 0.25) u_center = m.uz;
+    r2s.push_back(r2);
+    us.push_back(m.uz);
+  }
+  ASSERT_GT(r2s.size(), 80u);
+  EXPECT_GT(u_center, 0.01);  // flow actually developed
+
+  // Least-squares line u = a + b r^2.
+  const real_t n = static_cast<real_t>(r2s.size());
+  real_t sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < r2s.size(); ++i) {
+    sx += r2s[i];
+    sy += us[i];
+    sxx += r2s[i] * r2s[i];
+    sxy += r2s[i] * us[i];
+  }
+  const real_t b = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+  const real_t a = (sy - b * sx) / n;
+  EXPECT_LT(b, 0.0);  // velocity decreases with radius
+  const real_t reff = std::sqrt(-a / b);
+  EXPECT_GT(reff, static_cast<real_t>(radius) - 1.0);
+  EXPECT_LT(reff, static_cast<real_t>(radius) + 1.5);
+
+  // Shape quality: R^2 of the parabola fit.
+  real_t ss_res = 0, ss_tot = 0;
+  const real_t mean_u = sy / n;
+  for (std::size_t i = 0; i < r2s.size(); ++i) {
+    const real_t pred = a + b * r2s[i];
+    ss_res += (us[i] - pred) * (us[i] - pred);
+    ss_tot += (us[i] - mean_u) * (us[i] - mean_u);
+  }
+  EXPECT_GT(1.0 - ss_res / ss_tot, 0.97);
+}
+
+TEST(Solver, FlowIsAxialInCylinder) {
+  const auto geo = geometry::make_cylinder({.radius = 5, .length = 24});
+  const FluidMesh mesh = FluidMesh::build(geo.grid);
+  SolverParams params;
+  Solver<double> solver(mesh, params, std::span(geo.inlets));
+  solver.run(800);
+  real_t axial = 0.0, transverse = 0.0;
+  for (index_t p = 0; p < mesh.num_points(); ++p) {
+    const auto m = solver.moments_at(p);
+    axial += std::abs(m.uz);
+    transverse += std::abs(m.ux) + std::abs(m.uy);
+  }
+  EXPECT_GT(axial, 5.0 * transverse);
+}
+
+TEST(Solver, MeanSpeedGrowsFromRestThenSettles) {
+  const auto geo = geometry::make_cylinder({.radius = 4, .length = 20});
+  const FluidMesh mesh = FluidMesh::build(geo.grid);
+  SolverParams params;
+  Solver<double> solver(mesh, params, std::span(geo.inlets));
+  EXPECT_NEAR(solver.mean_speed(), 0.0, 1e-12);
+  solver.run(200);
+  const real_t early = solver.mean_speed();
+  EXPECT_GT(early, 1e-4);
+  solver.run(1400);
+  const real_t late = solver.mean_speed();
+  solver.run(200);
+  // Converged: change below 1 % over 200 further steps.
+  EXPECT_NEAR(solver.mean_speed(), late, late * 0.01);
+  EXPECT_GT(late, early * 0.5);
+}
+
+TEST(Solver, RejectsBadParameters) {
+  const auto geo = make_closed_box(4);
+  const FluidMesh mesh = FluidMesh::build(geo.grid);
+  SolverParams bad;
+  bad.tau = 0.5;
+  EXPECT_THROW(Solver<double>(mesh, bad, {}), PreconditionError);
+}
+
+TEST(Solver, AaMomentsRequireNaturalOrder) {
+  const auto geo = make_closed_box(4);
+  const FluidMesh mesh = FluidMesh::build(geo.grid);
+  SolverParams params;
+  params.kernel.propagation = Propagation::kAA;
+  Solver<double> solver(mesh, params, {});
+  solver.step();  // odd parity: direction-swapped storage
+  EXPECT_FALSE(solver.natural_order());
+  EXPECT_THROW((void)solver.total_mass(), PreconditionError);
+  solver.step();
+  EXPECT_TRUE(solver.natural_order());
+  EXPECT_NO_THROW((void)solver.total_mass());
+}
+
+}  // namespace
+}  // namespace hemo::lbm
