@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gpu_offload.dir/ablation_gpu_offload.cpp.o"
+  "CMakeFiles/ablation_gpu_offload.dir/ablation_gpu_offload.cpp.o.d"
+  "ablation_gpu_offload"
+  "ablation_gpu_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gpu_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

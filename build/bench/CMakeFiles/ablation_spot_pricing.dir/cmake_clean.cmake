@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_spot_pricing.dir/ablation_spot_pricing.cpp.o"
+  "CMakeFiles/ablation_spot_pricing.dir/ablation_spot_pricing.cpp.o.d"
+  "ablation_spot_pricing"
+  "ablation_spot_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_spot_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

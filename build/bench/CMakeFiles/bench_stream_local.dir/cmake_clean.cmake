@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stream_local.dir/bench_stream_local.cpp.o"
+  "CMakeFiles/bench_stream_local.dir/bench_stream_local.cpp.o.d"
+  "bench_stream_local"
+  "bench_stream_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stream_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_composition_general.dir/fig10_composition_general.cpp.o"
+  "CMakeFiles/fig10_composition_general.dir/fig10_composition_general.cpp.o.d"
+  "fig10_composition_general"
+  "fig10_composition_general.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_composition_general.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_relative_value.dir/fig11_relative_value.cpp.o"
+  "CMakeFiles/fig11_relative_value.dir/fig11_relative_value.cpp.o.d"
+  "fig11_relative_value"
+  "fig11_relative_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_relative_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_geometries.dir/fig2_geometries.cpp.o"
+  "CMakeFiles/fig2_geometries.dir/fig2_geometries.cpp.o.d"
+  "fig2_geometries"
+  "fig2_geometries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_geometries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_pingpong.dir/fig6_pingpong.cpp.o"
+  "CMakeFiles/fig6_pingpong.dir/fig6_pingpong.cpp.o.d"
+  "fig6_pingpong"
+  "fig6_pingpong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

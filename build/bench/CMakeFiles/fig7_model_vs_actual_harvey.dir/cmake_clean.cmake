@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_model_vs_actual_harvey.dir/fig7_model_vs_actual_harvey.cpp.o"
+  "CMakeFiles/fig7_model_vs_actual_harvey.dir/fig7_model_vs_actual_harvey.cpp.o.d"
+  "fig7_model_vs_actual_harvey"
+  "fig7_model_vs_actual_harvey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_model_vs_actual_harvey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

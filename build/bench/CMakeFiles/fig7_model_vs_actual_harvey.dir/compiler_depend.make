@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_model_vs_actual_harvey.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_model_vs_actual_proxy.dir/fig8_model_vs_actual_proxy.cpp.o"
+  "CMakeFiles/fig8_model_vs_actual_proxy.dir/fig8_model_vs_actual_proxy.cpp.o.d"
+  "fig8_model_vs_actual_proxy"
+  "fig8_model_vs_actual_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_model_vs_actual_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

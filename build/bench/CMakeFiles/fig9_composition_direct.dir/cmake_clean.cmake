@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_composition_direct.dir/fig9_composition_direct.cpp.o"
+  "CMakeFiles/fig9_composition_direct.dir/fig9_composition_direct.cpp.o.d"
+  "fig9_composition_direct"
+  "fig9_composition_direct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_composition_direct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_stream_vs_published.dir/table2_stream_vs_published.cpp.o"
+  "CMakeFiles/table2_stream_vs_published.dir/table2_stream_vs_published.cpp.o.d"
+  "table2_stream_vs_published"
+  "table2_stream_vs_published.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_stream_vs_published.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

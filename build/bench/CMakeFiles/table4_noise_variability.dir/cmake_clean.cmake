@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_noise_variability.dir/table4_noise_variability.cpp.o"
+  "CMakeFiles/table4_noise_variability.dir/table4_noise_variability.cpp.o.d"
+  "table4_noise_variability"
+  "table4_noise_variability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_noise_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aorta_campaign.dir/aorta_campaign.cpp.o"
+  "CMakeFiles/aorta_campaign.dir/aorta_campaign.cpp.o.d"
+  "aorta_campaign"
+  "aorta_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aorta_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/cerebral_scaling.cpp" "examples/CMakeFiles/cerebral_scaling.dir/cerebral_scaling.cpp.o" "gcc" "examples/CMakeFiles/cerebral_scaling.dir/cerebral_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hemo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/hemo_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/harvey/CMakeFiles/hemo_harvey.dir/DependInfo.cmake"
+  "/root/repo/build/src/microbench/CMakeFiles/hemo_microbench.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hemo_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/decomp/CMakeFiles/hemo_decomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lbm/CMakeFiles/hemo_lbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/hemo_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/fit/CMakeFiles/hemo_fit.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hemo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

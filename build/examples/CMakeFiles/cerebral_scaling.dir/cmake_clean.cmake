@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cerebral_scaling.dir/cerebral_scaling.cpp.o"
+  "CMakeFiles/cerebral_scaling.dir/cerebral_scaling.cpp.o.d"
+  "cerebral_scaling"
+  "cerebral_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cerebral_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_guard.dir/cost_guard.cpp.o"
+  "CMakeFiles/cost_guard.dir/cost_guard.cpp.o.d"
+  "cost_guard"
+  "cost_guard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

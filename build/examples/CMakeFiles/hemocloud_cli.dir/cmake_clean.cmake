@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemocloud_cli.dir/hemocloud_cli.cpp.o"
+  "CMakeFiles/hemocloud_cli.dir/hemocloud_cli.cpp.o.d"
+  "hemocloud_cli"
+  "hemocloud_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemocloud_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathology_study.dir/pathology_study.cpp.o"
+  "CMakeFiles/pathology_study.dir/pathology_study.cpp.o.d"
+  "pathology_study"
+  "pathology_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathology_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemo_cluster.dir/hardware.cpp.o"
+  "CMakeFiles/hemo_cluster.dir/hardware.cpp.o.d"
+  "CMakeFiles/hemo_cluster.dir/instance.cpp.o"
+  "CMakeFiles/hemo_cluster.dir/instance.cpp.o.d"
+  "CMakeFiles/hemo_cluster.dir/virtual_cluster.cpp.o"
+  "CMakeFiles/hemo_cluster.dir/virtual_cluster.cpp.o.d"
+  "libhemo_cluster.a"
+  "libhemo_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemo_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

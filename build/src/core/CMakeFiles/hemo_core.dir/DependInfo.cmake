@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/calibration.cpp" "src/core/CMakeFiles/hemo_core.dir/calibration.cpp.o" "gcc" "src/core/CMakeFiles/hemo_core.dir/calibration.cpp.o.d"
+  "/root/repo/src/core/campaign.cpp" "src/core/CMakeFiles/hemo_core.dir/campaign.cpp.o" "gcc" "src/core/CMakeFiles/hemo_core.dir/campaign.cpp.o.d"
+  "/root/repo/src/core/dashboard.cpp" "src/core/CMakeFiles/hemo_core.dir/dashboard.cpp.o" "gcc" "src/core/CMakeFiles/hemo_core.dir/dashboard.cpp.o.d"
+  "/root/repo/src/core/models.cpp" "src/core/CMakeFiles/hemo_core.dir/models.cpp.o" "gcc" "src/core/CMakeFiles/hemo_core.dir/models.cpp.o.d"
+  "/root/repo/src/core/persistence.cpp" "src/core/CMakeFiles/hemo_core.dir/persistence.cpp.o" "gcc" "src/core/CMakeFiles/hemo_core.dir/persistence.cpp.o.d"
+  "/root/repo/src/core/refinement.cpp" "src/core/CMakeFiles/hemo_core.dir/refinement.cpp.o" "gcc" "src/core/CMakeFiles/hemo_core.dir/refinement.cpp.o.d"
+  "/root/repo/src/core/roofline.cpp" "src/core/CMakeFiles/hemo_core.dir/roofline.cpp.o" "gcc" "src/core/CMakeFiles/hemo_core.dir/roofline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harvey/CMakeFiles/hemo_harvey.dir/DependInfo.cmake"
+  "/root/repo/build/src/microbench/CMakeFiles/hemo_microbench.dir/DependInfo.cmake"
+  "/root/repo/build/src/fit/CMakeFiles/hemo_fit.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hemo_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/decomp/CMakeFiles/hemo_decomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lbm/CMakeFiles/hemo_lbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/hemo_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hemo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemo_core.dir/calibration.cpp.o"
+  "CMakeFiles/hemo_core.dir/calibration.cpp.o.d"
+  "CMakeFiles/hemo_core.dir/campaign.cpp.o"
+  "CMakeFiles/hemo_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/hemo_core.dir/dashboard.cpp.o"
+  "CMakeFiles/hemo_core.dir/dashboard.cpp.o.d"
+  "CMakeFiles/hemo_core.dir/models.cpp.o"
+  "CMakeFiles/hemo_core.dir/models.cpp.o.d"
+  "CMakeFiles/hemo_core.dir/persistence.cpp.o"
+  "CMakeFiles/hemo_core.dir/persistence.cpp.o.d"
+  "CMakeFiles/hemo_core.dir/refinement.cpp.o"
+  "CMakeFiles/hemo_core.dir/refinement.cpp.o.d"
+  "CMakeFiles/hemo_core.dir/roofline.cpp.o"
+  "CMakeFiles/hemo_core.dir/roofline.cpp.o.d"
+  "libhemo_core.a"
+  "libhemo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

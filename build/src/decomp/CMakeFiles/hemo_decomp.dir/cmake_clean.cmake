@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemo_decomp.dir/comm_graph.cpp.o"
+  "CMakeFiles/hemo_decomp.dir/comm_graph.cpp.o.d"
+  "CMakeFiles/hemo_decomp.dir/partition.cpp.o"
+  "CMakeFiles/hemo_decomp.dir/partition.cpp.o.d"
+  "libhemo_decomp.a"
+  "libhemo_decomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemo_decomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

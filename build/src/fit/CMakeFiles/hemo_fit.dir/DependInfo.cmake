@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fit/interp.cpp" "src/fit/CMakeFiles/hemo_fit.dir/interp.cpp.o" "gcc" "src/fit/CMakeFiles/hemo_fit.dir/interp.cpp.o.d"
+  "/root/repo/src/fit/linear.cpp" "src/fit/CMakeFiles/hemo_fit.dir/linear.cpp.o" "gcc" "src/fit/CMakeFiles/hemo_fit.dir/linear.cpp.o.d"
+  "/root/repo/src/fit/log_models.cpp" "src/fit/CMakeFiles/hemo_fit.dir/log_models.cpp.o" "gcc" "src/fit/CMakeFiles/hemo_fit.dir/log_models.cpp.o.d"
+  "/root/repo/src/fit/minimize.cpp" "src/fit/CMakeFiles/hemo_fit.dir/minimize.cpp.o" "gcc" "src/fit/CMakeFiles/hemo_fit.dir/minimize.cpp.o.d"
+  "/root/repo/src/fit/stats.cpp" "src/fit/CMakeFiles/hemo_fit.dir/stats.cpp.o" "gcc" "src/fit/CMakeFiles/hemo_fit.dir/stats.cpp.o.d"
+  "/root/repo/src/fit/two_line.cpp" "src/fit/CMakeFiles/hemo_fit.dir/two_line.cpp.o" "gcc" "src/fit/CMakeFiles/hemo_fit.dir/two_line.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hemo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

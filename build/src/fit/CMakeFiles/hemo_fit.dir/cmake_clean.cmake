@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemo_fit.dir/interp.cpp.o"
+  "CMakeFiles/hemo_fit.dir/interp.cpp.o.d"
+  "CMakeFiles/hemo_fit.dir/linear.cpp.o"
+  "CMakeFiles/hemo_fit.dir/linear.cpp.o.d"
+  "CMakeFiles/hemo_fit.dir/log_models.cpp.o"
+  "CMakeFiles/hemo_fit.dir/log_models.cpp.o.d"
+  "CMakeFiles/hemo_fit.dir/minimize.cpp.o"
+  "CMakeFiles/hemo_fit.dir/minimize.cpp.o.d"
+  "CMakeFiles/hemo_fit.dir/stats.cpp.o"
+  "CMakeFiles/hemo_fit.dir/stats.cpp.o.d"
+  "CMakeFiles/hemo_fit.dir/two_line.cpp.o"
+  "CMakeFiles/hemo_fit.dir/two_line.cpp.o.d"
+  "libhemo_fit.a"
+  "libhemo_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemo_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

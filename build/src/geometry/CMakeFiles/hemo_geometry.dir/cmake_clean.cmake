@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemo_geometry.dir/generators.cpp.o"
+  "CMakeFiles/hemo_geometry.dir/generators.cpp.o.d"
+  "CMakeFiles/hemo_geometry.dir/voxel_grid.cpp.o"
+  "CMakeFiles/hemo_geometry.dir/voxel_grid.cpp.o.d"
+  "libhemo_geometry.a"
+  "libhemo_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemo_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

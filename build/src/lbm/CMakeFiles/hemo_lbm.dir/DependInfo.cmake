@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lbm/access_counts.cpp" "src/lbm/CMakeFiles/hemo_lbm.dir/access_counts.cpp.o" "gcc" "src/lbm/CMakeFiles/hemo_lbm.dir/access_counts.cpp.o.d"
+  "/root/repo/src/lbm/io.cpp" "src/lbm/CMakeFiles/hemo_lbm.dir/io.cpp.o" "gcc" "src/lbm/CMakeFiles/hemo_lbm.dir/io.cpp.o.d"
+  "/root/repo/src/lbm/kernel_config.cpp" "src/lbm/CMakeFiles/hemo_lbm.dir/kernel_config.cpp.o" "gcc" "src/lbm/CMakeFiles/hemo_lbm.dir/kernel_config.cpp.o.d"
+  "/root/repo/src/lbm/mesh.cpp" "src/lbm/CMakeFiles/hemo_lbm.dir/mesh.cpp.o" "gcc" "src/lbm/CMakeFiles/hemo_lbm.dir/mesh.cpp.o.d"
+  "/root/repo/src/lbm/observables.cpp" "src/lbm/CMakeFiles/hemo_lbm.dir/observables.cpp.o" "gcc" "src/lbm/CMakeFiles/hemo_lbm.dir/observables.cpp.o.d"
+  "/root/repo/src/lbm/solver.cpp" "src/lbm/CMakeFiles/hemo_lbm.dir/solver.cpp.o" "gcc" "src/lbm/CMakeFiles/hemo_lbm.dir/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/hemo_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hemo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

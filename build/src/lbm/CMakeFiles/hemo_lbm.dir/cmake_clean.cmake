@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemo_lbm.dir/access_counts.cpp.o"
+  "CMakeFiles/hemo_lbm.dir/access_counts.cpp.o.d"
+  "CMakeFiles/hemo_lbm.dir/io.cpp.o"
+  "CMakeFiles/hemo_lbm.dir/io.cpp.o.d"
+  "CMakeFiles/hemo_lbm.dir/kernel_config.cpp.o"
+  "CMakeFiles/hemo_lbm.dir/kernel_config.cpp.o.d"
+  "CMakeFiles/hemo_lbm.dir/mesh.cpp.o"
+  "CMakeFiles/hemo_lbm.dir/mesh.cpp.o.d"
+  "CMakeFiles/hemo_lbm.dir/observables.cpp.o"
+  "CMakeFiles/hemo_lbm.dir/observables.cpp.o.d"
+  "CMakeFiles/hemo_lbm.dir/solver.cpp.o"
+  "CMakeFiles/hemo_lbm.dir/solver.cpp.o.d"
+  "libhemo_lbm.a"
+  "libhemo_lbm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemo_lbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/microbench/pingpong.cpp" "src/microbench/CMakeFiles/hemo_microbench.dir/pingpong.cpp.o" "gcc" "src/microbench/CMakeFiles/hemo_microbench.dir/pingpong.cpp.o.d"
+  "/root/repo/src/microbench/stream.cpp" "src/microbench/CMakeFiles/hemo_microbench.dir/stream.cpp.o" "gcc" "src/microbench/CMakeFiles/hemo_microbench.dir/stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/hemo_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hemo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/decomp/CMakeFiles/hemo_decomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lbm/CMakeFiles/hemo_lbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/hemo_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemo_microbench.dir/pingpong.cpp.o"
+  "CMakeFiles/hemo_microbench.dir/pingpong.cpp.o.d"
+  "CMakeFiles/hemo_microbench.dir/stream.cpp.o"
+  "CMakeFiles/hemo_microbench.dir/stream.cpp.o.d"
+  "libhemo_microbench.a"
+  "libhemo_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemo_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

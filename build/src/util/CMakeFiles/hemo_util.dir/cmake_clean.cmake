@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemo_util.dir/common.cpp.o"
+  "CMakeFiles/hemo_util.dir/common.cpp.o.d"
+  "CMakeFiles/hemo_util.dir/table.cpp.o"
+  "CMakeFiles/hemo_util.dir/table.cpp.o.d"
+  "libhemo_util.a"
+  "libhemo_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemo_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_campaign.cpp" "tests/CMakeFiles/hemo_tests.dir/test_campaign.cpp.o" "gcc" "tests/CMakeFiles/hemo_tests.dir/test_campaign.cpp.o.d"
+  "/root/repo/tests/test_cluster.cpp" "tests/CMakeFiles/hemo_tests.dir/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/hemo_tests.dir/test_cluster.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/hemo_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/hemo_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_dashboard.cpp" "tests/CMakeFiles/hemo_tests.dir/test_dashboard.cpp.o" "gcc" "tests/CMakeFiles/hemo_tests.dir/test_dashboard.cpp.o.d"
+  "/root/repo/tests/test_decomp.cpp" "tests/CMakeFiles/hemo_tests.dir/test_decomp.cpp.o" "gcc" "tests/CMakeFiles/hemo_tests.dir/test_decomp.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/hemo_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/hemo_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_feedback_loop.cpp" "tests/CMakeFiles/hemo_tests.dir/test_feedback_loop.cpp.o" "gcc" "tests/CMakeFiles/hemo_tests.dir/test_feedback_loop.cpp.o.d"
+  "/root/repo/tests/test_fit.cpp" "tests/CMakeFiles/hemo_tests.dir/test_fit.cpp.o" "gcc" "tests/CMakeFiles/hemo_tests.dir/test_fit.cpp.o.d"
+  "/root/repo/tests/test_geometry.cpp" "tests/CMakeFiles/hemo_tests.dir/test_geometry.cpp.o" "gcc" "tests/CMakeFiles/hemo_tests.dir/test_geometry.cpp.o.d"
+  "/root/repo/tests/test_harvey.cpp" "tests/CMakeFiles/hemo_tests.dir/test_harvey.cpp.o" "gcc" "tests/CMakeFiles/hemo_tests.dir/test_harvey.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/hemo_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/hemo_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_lbm.cpp" "tests/CMakeFiles/hemo_tests.dir/test_lbm.cpp.o" "gcc" "tests/CMakeFiles/hemo_tests.dir/test_lbm.cpp.o.d"
+  "/root/repo/tests/test_microbench.cpp" "tests/CMakeFiles/hemo_tests.dir/test_microbench.cpp.o" "gcc" "tests/CMakeFiles/hemo_tests.dir/test_microbench.cpp.o.d"
+  "/root/repo/tests/test_observables.cpp" "tests/CMakeFiles/hemo_tests.dir/test_observables.cpp.o" "gcc" "tests/CMakeFiles/hemo_tests.dir/test_observables.cpp.o.d"
+  "/root/repo/tests/test_persistence_les.cpp" "tests/CMakeFiles/hemo_tests.dir/test_persistence_les.cpp.o" "gcc" "tests/CMakeFiles/hemo_tests.dir/test_persistence_les.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/hemo_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/hemo_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_proxy.cpp" "tests/CMakeFiles/hemo_tests.dir/test_proxy.cpp.o" "gcc" "tests/CMakeFiles/hemo_tests.dir/test_proxy.cpp.o.d"
+  "/root/repo/tests/test_roofline.cpp" "tests/CMakeFiles/hemo_tests.dir/test_roofline.cpp.o" "gcc" "tests/CMakeFiles/hemo_tests.dir/test_roofline.cpp.o.d"
+  "/root/repo/tests/test_solver.cpp" "tests/CMakeFiles/hemo_tests.dir/test_solver.cpp.o" "gcc" "tests/CMakeFiles/hemo_tests.dir/test_solver.cpp.o.d"
+  "/root/repo/tests/test_solver_extensions.cpp" "tests/CMakeFiles/hemo_tests.dir/test_solver_extensions.cpp.o" "gcc" "tests/CMakeFiles/hemo_tests.dir/test_solver_extensions.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/hemo_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/hemo_tests.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hemo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/hemo_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/harvey/CMakeFiles/hemo_harvey.dir/DependInfo.cmake"
+  "/root/repo/build/src/microbench/CMakeFiles/hemo_microbench.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hemo_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/decomp/CMakeFiles/hemo_decomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lbm/CMakeFiles/hemo_lbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/hemo_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/fit/CMakeFiles/hemo_fit.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hemo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
