@@ -10,6 +10,9 @@
 //       Evaluate all instances, print cost metrics and recommendations.
 //   hemocloud_cli simulate <geometry> <steps> [out.vtk]
 //       Run the real solver locally; optionally export the flow field.
+//   hemocloud_cli schedule <geometry> <n_jobs> <timesteps> [seed]
+//       Run a model-driven campaign through the scheduler (src/sched/)
+//       and print the campaign report.
 //
 // Geometries: cylinder | aorta | cerebral.
 #include <chrono>
@@ -20,6 +23,7 @@
 #include "core/dashboard.hpp"
 #include "harvey/simulation.hpp"
 #include "lbm/io.hpp"
+#include "sched/executor.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -170,13 +174,47 @@ int cmd_simulate(const std::string& geometry_name, index_t steps,
   return 0;
 }
 
+int cmd_schedule(const std::string& geometry_name, index_t n_jobs,
+                 index_t timesteps, std::uint64_t seed) {
+  std::vector<const cluster::InstanceProfile*> profiles;
+  for (const auto& p : cluster::default_catalog()) {
+    if (!p.gpu && p.abbrev != "CSP-2 Hyp.") profiles.push_back(&p);
+  }
+  sched::SchedulerConfig config;
+  config.objective = core::Objective::kMinCost;
+  config.core_counts = {16, 36, 72, 144};
+  sched::CampaignScheduler scheduler(std::move(profiles), config);
+  auto geometry = make_named_geometry(geometry_name);
+  std::cout << "calibrating " << geometry_name << " (phase 1 + pilots) ...\n";
+  const std::vector<index_t> cal_counts = {2, 4, 8, 16, 32};
+  scheduler.register_workload(geometry_name, std::move(geometry), cal_counts);
+
+  std::vector<sched::CampaignJobSpec> jobs;
+  for (index_t i = 0; i < n_jobs; ++i) {
+    sched::CampaignJobSpec spec;
+    spec.id = i + 1;
+    spec.geometry = geometry_name;
+    spec.timesteps = timesteps;
+    spec.allow_spot = (i % 3 == 1);
+    jobs.push_back(spec);
+  }
+
+  sched::EngineConfig engine_config;
+  engine_config.seed = seed;
+  sched::CampaignEngine engine(scheduler, engine_config);
+  engine.run(std::move(jobs)).print(std::cout);
+  return 0;
+}
+
 int usage() {
   std::cerr << "usage:\n"
             << "  hemocloud_cli instances\n"
             << "  hemocloud_cli calibrate <instance>\n"
             << "  hemocloud_cli predict <geometry> <instance> <ranks>\n"
             << "  hemocloud_cli dashboard <geometry> <timesteps>\n"
-            << "  hemocloud_cli simulate <geometry> <steps> [out.vtk]\n";
+            << "  hemocloud_cli simulate <geometry> <steps> [out.vtk]\n"
+            << "  hemocloud_cli schedule <geometry> <n_jobs> <timesteps> "
+               "[seed]\n";
   return 2;
 }
 
@@ -196,6 +234,11 @@ int main(int argc, char** argv) {
     if (cmd == "simulate" && (argc == 4 || argc == 5)) {
       return cmd_simulate(argv[2], std::atol(argv[3]),
                           argc == 5 ? argv[4] : "");
+    }
+    if (cmd == "schedule" && (argc == 5 || argc == 6)) {
+      return cmd_schedule(
+          argv[2], std::atol(argv[3]), std::atol(argv[4]),
+          argc == 6 ? static_cast<std::uint64_t>(std::atoll(argv[5])) : 42u);
     }
     return usage();
   } catch (const std::exception& e) {

@@ -1,0 +1,272 @@
+#include "sched/executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace hemo::sched {
+
+WorkerPool::WorkerPool(index_t n_threads) {
+  HEMO_REQUIRE(n_threads >= 1, "worker pool needs at least one thread");
+  threads_.reserve(static_cast<std::size_t>(n_threads));
+  for (index_t i = 0; i < n_threads; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+std::future<AttemptResult> WorkerPool::submit(
+    std::function<AttemptResult()> task) {
+  std::packaged_task<AttemptResult()> packaged(std::move(task));
+  std::future<AttemptResult> future = packaged.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    HEMO_REQUIRE(!stop_, "submit on a stopped worker pool");
+    queue_.push_back(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void WorkerPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<AttemptResult()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+CampaignEngine::CampaignEngine(CampaignScheduler& scheduler,
+                               EngineConfig config)
+    : scheduler_(&scheduler), config_(config) {
+  HEMO_REQUIRE(config_.n_workers >= 1, "engine needs at least one worker");
+  HEMO_REQUIRE(config_.chunks_per_attempt >= 1,
+               "attempts need at least one chunk");
+  HEMO_REQUIRE(config_.max_attempts >= 1, "jobs need at least one attempt");
+}
+
+namespace {
+
+/// One submitted attempt awaiting its virtual finish event.
+struct InFlight {
+  std::size_t job = 0;  ///< index into the records vector
+  Placement placement;
+  real_t start_s = 0.0;
+  std::future<AttemptResult> future;
+  bool ready = false;
+  AttemptResult result;
+};
+
+}  // namespace
+
+CampaignReport CampaignEngine::run(std::vector<CampaignJobSpec> jobs) {
+  HEMO_REQUIRE(!jobs.empty(), "campaign needs at least one job");
+  std::sort(jobs.begin(), jobs.end(),
+            [](const CampaignJobSpec& a, const CampaignJobSpec& b) {
+              return a.id < b.id;
+            });
+  std::set<index_t> seen;
+  for (const CampaignJobSpec& spec : jobs) {
+    HEMO_REQUIRE(spec.timesteps >= 1,
+                 "job " + std::to_string(spec.id) +
+                     " needs at least one timestep");
+    HEMO_REQUIRE(spec.resolution_factor > 0.0,
+                 "job resolution factor must be positive");
+    HEMO_REQUIRE(seen.insert(spec.id).second,
+                 "duplicate job id " + std::to_string(spec.id));
+  }
+
+  std::vector<JobRecord> records(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) records[i].spec = jobs[i];
+
+  WorkerPool pool(config_.n_workers);
+  std::vector<std::size_t> pending(records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) pending[i] = i;
+  std::vector<InFlight> inflight;
+  std::vector<ErrorSample> trajectory;
+  real_t clock = 0.0;
+
+  const auto fail = [&](JobRecord& rec, const std::string& why) {
+    rec.state = JobState::kFailed;
+    rec.failure = why;
+    rec.finish_s = clock;
+  };
+
+  while (!pending.empty() || !inflight.empty()) {
+    // Placement pass, in job-id order (pending stays id-sorted because
+    // records are id-sorted and re-insertions keep the order).
+    std::vector<std::size_t> still_pending;
+    for (const std::size_t idx : pending) {
+      JobRecord& rec = records[idx];
+      const CampaignJobSpec& spec = rec.spec;
+      if (spec.deadline_s > 0.0 && clock >= spec.deadline_s) {
+        fail(rec, "deadline passed while queued");
+        continue;
+      }
+      PlacementRequest request;
+      request.spec = &spec;
+      request.remaining_steps = spec.timesteps - rec.steps_done;
+      request.remaining_deadline_s =
+          spec.deadline_s > 0.0 ? spec.deadline_s - clock : 0.0;
+      request.remaining_budget =
+          spec.budget_dollars > 0.0 ? spec.budget_dollars - rec.dollars : 0.0;
+      if (spec.budget_dollars > 0.0 && request.remaining_budget <= 0.0) {
+        fail(rec, "budget exhausted");
+        continue;
+      }
+
+      const PlacementDecision decision = scheduler_->place(request);
+      if (decision.kind == PlacementDecision::Kind::kInfeasible) {
+        fail(rec, decision.reason);
+        continue;
+      }
+      if (decision.kind == PlacementDecision::Kind::kWait) {
+        still_pending.push_back(idx);
+        continue;
+      }
+
+      scheduler_->reserve(decision.placement);
+      ++rec.attempts;
+      rec.placements.push_back(decision.placement);
+      rec.state = JobState::kRunning;
+      if (rec.start_s < 0.0) rec.start_s = clock;
+
+      AttemptContext ctx;
+      ctx.plan = &scheduler_->plan_for(spec.geometry,
+                                       decision.placement.instance,
+                                       decision.placement.n_tasks);
+      ctx.profile = &scheduler_->profile_for(decision.placement.instance);
+      ctx.placement = decision.placement;
+      ctx.guard.predicted_seconds = decision.placement.predicted_seconds;
+      ctx.guard.tolerance = scheduler_->config().guard_tolerance;
+      ctx.guard.price_per_hour = decision.placement.cost_rate_per_hour;
+      ctx.steps = request.remaining_steps;
+      ctx.resolution_factor = spec.resolution_factor;
+      ctx.n_chunks = config_.chunks_per_attempt;
+      ctx.seed = hash_seed(config_.seed,
+                           static_cast<std::uint64_t>(spec.id),
+                           static_cast<std::uint64_t>(rec.attempts));
+      ctx.spot = scheduler_->config().spot;
+      ctx.max_preemptions = config_.max_preemptions;
+      ctx.backoff_base_s = config_.backoff_base_s;
+
+      InFlight f;
+      f.job = idx;
+      f.placement = decision.placement;
+      f.start_s = clock;
+      f.future = pool.submit([ctx] { return simulate_attempt(ctx); });
+      inflight.push_back(std::move(f));
+    }
+    pending = std::move(still_pending);
+
+    if (inflight.empty()) {
+      // Every pool is free when nothing is in flight, so place() cannot
+      // have answered kWait; anything still pending is a logic error.
+      for (const std::size_t idx : pending) {
+        fail(records[idx], "unplaceable with all pools idle");
+      }
+      break;
+    }
+
+    // All in-flight attempts compute concurrently; their virtual finish
+    // times are needed to pick the next event, so wait for the stragglers.
+    for (InFlight& f : inflight) {
+      if (!f.ready) {
+        f.result = f.future.get();
+        f.ready = true;
+      }
+    }
+
+    // Next event: earliest virtual finish, ties broken by job id.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < inflight.size(); ++i) {
+      const real_t fi = inflight[i].start_s + inflight[i].result.sim_seconds;
+      const real_t fb =
+          inflight[best].start_s + inflight[best].result.sim_seconds;
+      if (fi < fb || (fi == fb && records[inflight[i].job].spec.id <
+                                      records[inflight[best].job].spec.id)) {
+        best = i;
+      }
+    }
+    InFlight event = std::move(inflight[best]);
+    inflight.erase(inflight.begin() + static_cast<std::ptrdiff_t>(best));
+    clock = event.start_s + event.result.sim_seconds;
+
+    scheduler_->release(event.placement);
+    JobRecord& rec = records[event.job];
+    const AttemptResult& res = event.result;
+    rec.dollars += res.dollars;
+    rec.compute_seconds += res.compute_seconds;
+    rec.preemptions += res.preemptions;
+    rec.steps_done += res.steps_done;
+    rec.points = static_cast<real_t>(scheduler_->points_of(rec.spec.geometry)) *
+                 rec.spec.resolution_factor;
+
+    // Mid-campaign refinement: feed the measurement back before the next
+    // placement pass runs, so later decisions use the refined fit.
+    if (res.measured_mflups > 0.0) {
+      scheduler_->tracker().record(core::Observation{
+          workload_key(rec.spec), event.placement.instance,
+          event.placement.n_tasks, event.placement.raw_mflups,
+          res.measured_mflups});
+      ErrorSample sample;
+      sample.virtual_time_s = clock;
+      sample.job_id = rec.spec.id;
+      sample.abs_rel_error =
+          std::abs(event.placement.predicted_mflups - res.measured_mflups) /
+          res.measured_mflups;
+      trajectory.push_back(sample);
+    }
+
+    if (rec.steps_done >= rec.spec.timesteps) {
+      rec.state = JobState::kCompleted;
+      rec.finish_s = clock;
+    } else if (res.overrun_aborted) {
+      ++rec.overruns;
+      if (rec.attempts >= config_.max_attempts) {
+        fail(rec, "attempt limit reached after overrun stop");
+      } else {
+        // Requeue with refreshed parameters: the tracker already holds
+        // this attempt's measurement, so the next placement predicts from
+        // the corrected model and resumes at the checkpointed step.
+        rec.state = JobState::kPending;
+        pending.insert(std::upper_bound(pending.begin(), pending.end(),
+                                        event.job),
+                       event.job);
+      }
+    } else if (res.retries_exhausted) {
+      if (rec.attempts >= config_.max_attempts) {
+        fail(rec, "spot retries exhausted");
+      } else {
+        // Preempted past the retry bound: requeue on on-demand capacity.
+        rec.spec.allow_spot = false;
+        rec.state = JobState::kPending;
+        pending.insert(std::upper_bound(pending.begin(), pending.end(),
+                                        event.job),
+                       event.job);
+      }
+    } else {
+      fail(rec, "attempt made no progress");
+    }
+  }
+
+  return build_report(records, std::move(trajectory), clock);
+}
+
+}  // namespace hemo::sched

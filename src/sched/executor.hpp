@@ -1,0 +1,97 @@
+// Concurrent campaign execution with deterministic virtual time.
+//
+// CampaignEngine closes the paper's operational loop (Fig. 1): it drains a
+// queue of job specs through placement (CampaignScheduler), concurrent
+// execution (a worker thread pool running simulate_attempt), the overrun
+// guard / spot machinery (guard.hpp), and mid-campaign refinement (every
+// completed attempt's measurement is recorded into the shared
+// CampaignTracker before the next placement decision).
+//
+// Determinism under concurrency is a design contract, not an accident:
+//
+//  * campaign time is *virtual*. Each attempt reports its simulated
+//    duration; the engine advances a virtual clock event by event
+//    (earliest finish first, ties by job id) and never reads wall time;
+//  * attempts are pure functions of their context (seeded per-job,
+//    per-attempt RNG streams via hash_seed(campaign seed, job id,
+//    attempt)), so the worker pool may compute them in any order and
+//    real concurrency only changes wall time, never results;
+//  * all shared state — refinement tracker, capacity pools, records — is
+//    touched only by the coordinator, in virtual-time order.
+//
+// Consequence: the same seed yields a byte-identical CampaignReport for
+// any worker count, which tests/test_sched.cpp asserts.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sched/guard.hpp"
+#include "sched/report.hpp"
+#include "sched/scheduler.hpp"
+#include "util/common.hpp"
+
+namespace hemo::sched {
+
+/// A fixed-size pool of worker threads executing attempt simulations.
+class WorkerPool {
+ public:
+  explicit WorkerPool(index_t n_threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Enqueues one attempt; the future resolves when a worker finishes it.
+  [[nodiscard]] std::future<AttemptResult> submit(
+      std::function<AttemptResult()> task);
+
+  [[nodiscard]] index_t size() const noexcept {
+    return static_cast<index_t>(threads_.size());
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::packaged_task<AttemptResult()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Engine configuration.
+struct EngineConfig {
+  index_t n_workers = 4;
+  std::uint64_t seed = 42;
+  /// Checkpoint / progress-report granularity of each attempt.
+  index_t chunks_per_attempt = 10;
+  /// Placement attempts per job (first run + overrun/preemption requeues).
+  index_t max_attempts = 4;
+  /// Spot retry bound within one attempt.
+  index_t max_preemptions = 8;
+  real_t backoff_base_s = 60.0;
+};
+
+/// The campaign execution engine.
+class CampaignEngine {
+ public:
+  /// The scheduler must outlive the engine; its registered workloads and
+  /// tracker are shared campaign state.
+  CampaignEngine(CampaignScheduler& scheduler, EngineConfig config);
+
+  /// Runs every job to completion or failure and reports the campaign.
+  [[nodiscard]] CampaignReport run(std::vector<CampaignJobSpec> jobs);
+
+ private:
+  CampaignScheduler* scheduler_;
+  EngineConfig config_;
+};
+
+}  // namespace hemo::sched

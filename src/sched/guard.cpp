@@ -1,0 +1,97 @@
+#include "sched/guard.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace hemo::sched {
+
+real_t scaled_step_seconds(const cluster::ExecutionResult& result,
+                           real_t factor) {
+  HEMO_REQUIRE(factor > 0.0, "resolution factor must be positive");
+  if (factor == 1.0) return result.step_seconds;
+  const real_t noise_free = result.critical.total();
+  if (noise_free <= 0.0) return result.step_seconds;
+  const real_t noise = result.step_seconds / noise_free;
+  const real_t surface = std::cbrt(factor) * std::cbrt(factor);
+  const real_t scaled =
+      (result.critical.mem_s + result.critical.overhead_s +
+       result.critical.xfer_s) * factor +
+      (result.critical.intra_s + result.critical.inter_s) * surface;
+  return scaled * noise;
+}
+
+AttemptResult simulate_attempt(const AttemptContext& ctx) {
+  HEMO_REQUIRE(ctx.plan != nullptr && ctx.profile != nullptr,
+               "attempt context needs a plan and a profile");
+  HEMO_REQUIRE(ctx.steps >= 1, "attempt needs at least one step");
+  HEMO_REQUIRE(ctx.n_chunks >= 1, "attempt needs at least one chunk");
+
+  const cluster::VirtualCluster vc(*ctx.profile);
+  Xoshiro256 rng(ctx.seed);
+  AttemptResult res;
+
+  const index_t chunk_steps = (ctx.steps + ctx.n_chunks - 1) / ctx.n_chunks;
+  real_t occupied_s = 0.0;  ///< paid allocation time (compute + losses)
+  real_t backoff_s = 0.0;   ///< unpaid waits between spot retries
+  index_t done = 0;
+
+  while (done < ctx.steps) {
+    const index_t this_steps = std::min(chunk_steps, ctx.steps - done);
+    const cluster::MeasurementContext when{rng.below(7), rng.below(24),
+                                           rng.below(1 << 20)};
+    const auto exec = vc.execute(*ctx.plan, this_steps, when);
+    const real_t chunk_s =
+        scaled_step_seconds(exec, ctx.resolution_factor) *
+        static_cast<real_t>(this_steps);
+
+    if (ctx.placement.spot) {
+      // Poisson interruption arrivals over the chunk's wall time.
+      const real_t p_preempt = 1.0 - std::exp(-ctx.spot.preemptions_per_hour *
+                                              chunk_s / 3600.0);
+      const real_t draw = rng.uniform();
+      const real_t strike_fraction = rng.uniform();
+      if (draw < p_preempt) {
+        // Struck partway through: the in-flight chunk since the last
+        // checkpoint is lost; pay for the wasted work and the restart.
+        occupied_s +=
+            chunk_s * strike_fraction + ctx.spot.restart_overhead_s;
+        ++res.preemptions;
+        if (res.preemptions > ctx.max_preemptions) {
+          res.retries_exhausted = true;
+          break;
+        }
+        backoff_s += ctx.backoff_base_s *
+                     std::pow(2.0, static_cast<real_t>(res.preemptions - 1));
+        continue;  // resume from the checkpoint: redo this chunk
+      }
+    }
+
+    occupied_s += chunk_s;
+    res.compute_seconds += chunk_s;
+    done += this_steps;
+
+    // Progress report at the checkpoint: the model-driven job limit. The
+    // pace check uses paid allocation time (preemption losses included,
+    // unpaid backoff waits excluded) — the guard protects spend.
+    const real_t fraction =
+        static_cast<real_t>(done) / static_cast<real_t>(ctx.steps);
+    if (done < ctx.steps && ctx.guard.should_abort(occupied_s, fraction)) {
+      res.overrun_aborted = true;
+      break;
+    }
+  }
+
+  res.steps_done = done;
+  res.sim_seconds = occupied_s + backoff_s;
+  res.dollars = occupied_s / 3600.0 * ctx.placement.cost_rate_per_hour;
+  if (res.compute_seconds > 0.0) {
+    const real_t points = static_cast<real_t>(ctx.plan->total_points) *
+                          ctx.resolution_factor;
+    res.measured_mflups = points * static_cast<real_t>(done) /
+                          (res.compute_seconds * 1e6);
+  }
+  return res;
+}
+
+}  // namespace hemo::sched

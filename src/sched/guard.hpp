@@ -1,0 +1,69 @@
+// One execution attempt under the paper's operational machinery.
+//
+// simulate_attempt runs a placed job on the virtual cluster in
+// checkpoint-sized chunks and layers three behaviours around the raw
+// execution:
+//
+//  * the model-driven overrun guard (paper §IV): after every chunk the
+//    elapsed/progress pace is checked against the refined prediction with
+//    the configured tolerance (10 %); a violating job is hard-stopped at
+//    its last checkpoint and reported for requeue;
+//  * spot preemption: on preemptible capacity, each chunk may be
+//    interrupted (Poisson arrivals at the SpotOptions rate). The work of
+//    the in-flight chunk is lost, the restart costs the configured
+//    overhead, and the attempt resumes from the last checkpoint after an
+//    exponential backoff — bounded by `max_preemptions`;
+//  * checkpoint/restart resume: a chunk boundary is a checkpoint (the lbm
+//    layer provides the actual state save/load; this engine models its
+//    schedule and cost), so both preemption recovery and overrun requeue
+//    resume at a step count that was durably reached.
+//
+// The function is *pure*: its result depends only on the context (spec,
+// placement, guard, seed) — never on wall-clock time, thread identity, or
+// shared mutable state. That purity is what lets the executor run many
+// attempts concurrently and still produce byte-identical campaign reports
+// from the same seed.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/virtual_cluster.hpp"
+#include "core/campaign.hpp"
+#include "core/dashboard.hpp"
+#include "sched/job.hpp"
+#include "util/common.hpp"
+
+namespace hemo::sched {
+
+/// Everything one attempt needs, fixed at submission time.
+struct AttemptContext {
+  const cluster::WorkloadPlan* plan = nullptr;
+  const cluster::InstanceProfile* profile = nullptr;
+  Placement placement;
+  core::JobGuard guard;  ///< armed from the refined prediction
+
+  index_t steps = 0;  ///< steps this attempt must complete
+  /// Fluid-point multiplier of the job (see CampaignJobSpec); scales the
+  /// executed step composition alongside the model's scale_resolution.
+  real_t resolution_factor = 1.0;
+
+  index_t n_chunks = 10;  ///< checkpoint/progress-report granularity
+  std::uint64_t seed = 0; ///< per-(campaign, job, attempt) stream
+
+  core::SpotOptions spot;      ///< tenancy model (used when placement.spot)
+  index_t max_preemptions = 8; ///< retry bound within the attempt
+  real_t backoff_base_s = 60.0;///< first retry wait; doubles per retry
+};
+
+/// Step time of `result` rescaled to `factor` times the plan's fluid
+/// points: memory/overhead/transfer terms grow linearly with the point
+/// count while halo communication grows with the cut surface (factor^2/3),
+/// matching core::scale_resolution's rationale on the prediction side. The
+/// run-level noise of the measurement is preserved.
+[[nodiscard]] real_t scaled_step_seconds(
+    const cluster::ExecutionResult& result, real_t factor);
+
+/// Runs one attempt to completion, guard stop, or retry exhaustion.
+[[nodiscard]] AttemptResult simulate_attempt(const AttemptContext& ctx);
+
+}  // namespace hemo::sched

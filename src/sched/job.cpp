@@ -1,0 +1,14 @@
+#include "sched/job.hpp"
+
+#include <cstdio>
+
+namespace hemo::sched {
+
+std::string workload_key(const CampaignJobSpec& spec) {
+  if (spec.resolution_factor == 1.0) return spec.geometry;
+  char suffix[32];
+  std::snprintf(suffix, sizeof(suffix), "@x%g", spec.resolution_factor);
+  return spec.geometry + suffix;
+}
+
+}  // namespace hemo::sched

@@ -1,0 +1,109 @@
+// Campaign job specifications and lifetime records.
+//
+// The paper's end state is an *operated* campaign (its Fig. 1 and §IV):
+// many simulation jobs submitted against a budget and a deadline, placed by
+// the performance model, guarded against overruns, and fed back into the
+// iterative refinement loop. These types describe one job through that
+// lifecycle: what the user asked for (CampaignJobSpec), where the scheduler
+// put it (Placement), what one execution attempt did (AttemptResult), and
+// the accumulated history (JobRecord).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace hemo::sched {
+
+/// One simulation job as submitted by the user.
+struct CampaignJobSpec {
+  index_t id = 0;
+  std::string geometry;  ///< workload name registered with the scheduler
+
+  /// Fluid-point multiplier relative to the registered geometry (a spatial
+  /// refinement of s voxels per voxel gives s^3). Predictions use
+  /// core::scale_resolution; execution scales the virtual-cluster step
+  /// composition accordingly (see guard.hpp).
+  real_t resolution_factor = 1.0;
+
+  index_t timesteps = 10000;
+
+  /// 0 = no deadline; otherwise the job must finish within this many
+  /// simulated seconds of campaign start (queue wait included).
+  real_t deadline_s = 0.0;
+
+  /// 0 = no budget; otherwise placements whose guard ceiling exceeds the
+  /// remaining budget are rejected.
+  real_t budget_dollars = 0.0;
+
+  /// Run on preemptible (spot) capacity: discounted rate, interruption
+  /// risk, checkpoint/restart recovery.
+  bool allow_spot = false;
+};
+
+/// Refinement key of a job: observations are pooled per (geometry,
+/// resolution) because the model's error mix shifts with resolution (the
+/// memory term grows faster than the halo term), so a correction learned
+/// at base resolution misleads a refined-lattice job.
+[[nodiscard]] std::string workload_key(const CampaignJobSpec& spec);
+
+/// Where the scheduler lifecycle currently has a job.
+enum class JobState {
+  kPending,    ///< waiting for capacity (or not yet placed)
+  kRunning,    ///< an attempt is executing
+  kCompleted,  ///< all timesteps done
+  kFailed,     ///< infeasible, out of attempts, or out of retries
+};
+
+/// One attempt's placement decision.
+struct Placement {
+  std::string instance;  ///< instance abbreviation
+  index_t n_tasks = 0;
+  index_t n_nodes = 0;
+  bool spot = false;
+
+  /// Refined (tracker-corrected) prediction for the steps this attempt
+  /// covers; the overrun guard is armed from this.
+  real_t predicted_seconds = 0.0;
+  real_t predicted_mflups = 0.0;
+  /// Raw model throughput before the campaign correction factor; this is
+  /// what gets stored against the measurement so the tracker's geometric
+  /// mean is not double-corrected.
+  real_t raw_mflups = 0.0;
+  real_t cost_rate_per_hour = 0.0;  ///< whole allocation, tenancy-adjusted
+};
+
+/// What one attempt actually did (all times simulated).
+struct AttemptResult {
+  index_t steps_done = 0;  ///< steps completed and checkpointed
+  /// Virtual wall occupancy of the allocation: compute + preemption
+  /// losses + restart overheads (backoff waits excluded — nodes are
+  /// released while waiting).
+  real_t sim_seconds = 0.0;
+  real_t compute_seconds = 0.0;  ///< productive compute inside sim_seconds
+  real_t dollars = 0.0;
+  real_t measured_mflups = 0.0;  ///< throughput over productive compute
+  index_t preemptions = 0;
+  bool overrun_aborted = false;    ///< guard hard stop (>10 % over model)
+  bool retries_exhausted = false;  ///< preempted beyond the retry bound
+};
+
+/// Accumulated history of one job across attempts.
+struct JobRecord {
+  CampaignJobSpec spec;
+  JobState state = JobState::kPending;
+  index_t attempts = 0;
+  index_t steps_done = 0;  ///< across attempts (checkpoint/restart resume)
+  real_t start_s = -1.0;   ///< virtual time of first placement
+  real_t finish_s = -1.0;  ///< virtual time of completion/failure
+  real_t dollars = 0.0;
+  real_t compute_seconds = 0.0;
+  real_t points = 0.0;  ///< fluid points at the job's resolution
+  index_t preemptions = 0;
+  index_t overruns = 0;  ///< guard-triggered requeues
+  std::vector<Placement> placements;  ///< one per attempt
+  std::string failure;                ///< why the job failed, if it did
+};
+
+}  // namespace hemo::sched

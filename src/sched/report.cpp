@@ -1,0 +1,144 @@
+#include "sched/report.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace hemo::sched {
+
+namespace {
+
+const char* state_name(JobState state) {
+  switch (state) {
+    case JobState::kPending: return "pending";
+    case JobState::kRunning: return "running";
+    case JobState::kCompleted: return "completed";
+    case JobState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+}  // namespace
+
+CampaignReport build_report(const std::vector<JobRecord>& records,
+                            std::vector<ErrorSample> trajectory,
+                            real_t makespan_s) {
+  CampaignReport report;
+  report.makespan_s = makespan_s;
+  report.error_trajectory = std::move(trajectory);
+
+  std::vector<const JobRecord*> ordered;
+  ordered.reserve(records.size());
+  for (const JobRecord& r : records) ordered.push_back(&r);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const JobRecord* a, const JobRecord* b) {
+              return a->spec.id < b->spec.id;
+            });
+
+  real_t total_updates = 0.0;
+  for (const JobRecord* r : ordered) {
+    JobReportRow row;
+    row.id = r->spec.id;
+    row.geometry = r->spec.geometry;
+    if (!r->placements.empty()) {
+      const Placement& last = r->placements.back();
+      row.instance = last.instance;
+      row.n_tasks = last.n_tasks;
+      row.spot = last.spot;
+      row.predicted_s = r->placements.front().predicted_seconds;
+    }
+    row.state = r->state;
+    row.attempts = r->attempts;
+    row.overruns = r->overruns;
+    row.preemptions = r->preemptions;
+    if (r->start_s >= 0.0 && r->finish_s >= 0.0) {
+      row.actual_s = r->finish_s - r->start_s;
+    }
+    row.dollars = r->dollars;
+    report.jobs.push_back(std::move(row));
+
+    ++report.n_jobs;
+    if (r->state == JobState::kCompleted) {
+      ++report.n_completed;
+      total_updates += r->points * static_cast<real_t>(r->steps_done);
+    }
+    if (r->state == JobState::kFailed) ++report.n_failed;
+    report.total_overruns += r->overruns;
+    report.total_preemptions += r->preemptions;
+    report.total_requeues += std::max<index_t>(0, r->attempts - 1);
+    report.total_dollars += r->dollars;
+  }
+  if (report.total_dollars > 0.0) {
+    report.mlups_per_dollar = total_updates / 1e6 / report.total_dollars;
+  }
+
+  const index_t n = static_cast<index_t>(report.error_trajectory.size());
+  if (n > 0) {
+    const index_t half = std::max<index_t>(1, n / 2);
+    real_t early = 0.0, late = 0.0;
+    for (index_t i = 0; i < n; ++i) {
+      (i < half ? early : late) += report.error_trajectory
+                                       [static_cast<std::size_t>(i)]
+                                           .abs_rel_error;
+    }
+    report.early_error = early / static_cast<real_t>(half);
+    report.late_error =
+        n > half ? late / static_cast<real_t>(n - half) : report.early_error;
+  }
+  return report;
+}
+
+void CampaignReport::print(std::ostream& os) const {
+  TextTable t;
+  t.set_header({"Job", "Geometry", "Instance", "Tasks", "Tenancy", "State",
+                "Att", "Ovr", "Pre", "Pred (h)", "Actual (h)", "Dollars"});
+  for (const JobReportRow& row : jobs) {
+    t.add_row({TextTable::num(row.id), row.geometry, row.instance,
+               TextTable::num(row.n_tasks), row.spot ? "spot" : "on-demand",
+               state_name(row.state), TextTable::num(row.attempts),
+               TextTable::num(row.overruns), TextTable::num(row.preemptions),
+               TextTable::num(row.predicted_s / 3600.0, 3),
+               TextTable::num(row.actual_s / 3600.0, 3),
+               TextTable::num(row.dollars, 2)});
+  }
+  t.print(os);
+  os << "\njobs " << n_completed << "/" << n_jobs << " completed, "
+     << n_failed << " failed; requeues " << total_requeues << ", overruns "
+     << total_overruns << ", preemptions " << total_preemptions << "\n"
+     << "total $" << TextTable::num(total_dollars, 2) << ", makespan "
+     << TextTable::num(makespan_s / 3600.0, 3) << " h, "
+     << TextTable::num(mlups_per_dollar, 1) << " MLUP/$\n"
+     << "prediction |error|: " << TextTable::num(early_error * 100.0, 2)
+     << " % (early) -> " << TextTable::num(late_error * 100.0, 2)
+     << " % (late) over " << error_trajectory.size() << " attempts\n";
+}
+
+std::string CampaignReport::to_csv() const {
+  std::ostringstream os;
+  os << "job,geometry,instance,tasks,spot,state,attempts,overruns,"
+        "preemptions,predicted_s,actual_s,dollars\n";
+  for (const JobReportRow& row : jobs) {
+    os << row.id << ',' << row.geometry << ',' << row.instance << ','
+       << row.n_tasks << ',' << (row.spot ? 1 : 0) << ','
+       << state_name(row.state) << ',' << row.attempts << ','
+       << row.overruns << ',' << row.preemptions << ','
+       << TextTable::num(row.predicted_s, 6) << ','
+       << TextTable::num(row.actual_s, 6) << ','
+       << TextTable::num(row.dollars, 6) << '\n';
+  }
+  os << "total_dollars," << TextTable::num(total_dollars, 6) << '\n'
+     << "makespan_s," << TextTable::num(makespan_s, 6) << '\n'
+     << "mlups_per_dollar," << TextTable::num(mlups_per_dollar, 6) << '\n'
+     << "completed," << n_completed << ",failed," << n_failed << '\n'
+     << "overruns," << total_overruns << ",preemptions," << total_preemptions
+     << ",requeues," << total_requeues << '\n';
+  for (const ErrorSample& s : error_trajectory) {
+    os << "err," << TextTable::num(s.virtual_time_s, 6) << ',' << s.job_id
+       << ',' << TextTable::num(s.abs_rel_error, 6) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace hemo::sched

@@ -1,0 +1,85 @@
+// Campaign-level accounting and reporting.
+//
+// A CampaignReport aggregates every JobRecord of a finished campaign into
+// the quantities the paper's dashboard reasons about — total dollars,
+// time-to-solution (virtual makespan under the capacity constraints),
+// throughput per dollar — plus the operational counters (overruns,
+// preemptions, requeues) and the prediction-error trajectory that shows
+// the phase-2 refinement loop converging. Aggregation is order-independent
+// given the records (jobs are reported in id order; the trajectory in
+// virtual-time order), so two deterministic runs render byte-identical
+// reports regardless of worker-thread interleaving.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sched/job.hpp"
+#include "util/common.hpp"
+
+namespace hemo::sched {
+
+/// One prediction-vs-measurement sample, in virtual-time order.
+struct ErrorSample {
+  real_t virtual_time_s = 0.0;
+  index_t job_id = 0;
+  /// |predicted - measured| / measured throughput of the attempt.
+  real_t abs_rel_error = 0.0;
+};
+
+/// Per-job summary line (jobs in id order).
+struct JobReportRow {
+  index_t id = 0;
+  std::string geometry;
+  std::string instance;  ///< of the final attempt
+  index_t n_tasks = 0;
+  bool spot = false;
+  JobState state = JobState::kPending;
+  index_t attempts = 0;
+  index_t overruns = 0;
+  index_t preemptions = 0;
+  real_t predicted_s = 0.0;  ///< first placement's refined prediction
+  real_t actual_s = 0.0;     ///< finish - start (virtual)
+  real_t dollars = 0.0;
+};
+
+/// The campaign result.
+struct CampaignReport {
+  std::vector<JobReportRow> jobs;
+
+  index_t n_jobs = 0;
+  index_t n_completed = 0;
+  index_t n_failed = 0;
+  index_t total_overruns = 0;
+  index_t total_preemptions = 0;
+  index_t total_requeues = 0;  ///< re-placements after the first attempt
+
+  real_t total_dollars = 0.0;
+  real_t makespan_s = 0.0;  ///< virtual time-to-solution of the campaign
+  /// Completed mega-lattice-updates per dollar (the campaign-level analog
+  /// of the paper's MFLUPS-per-cost-rate metric).
+  real_t mlups_per_dollar = 0.0;
+
+  std::vector<ErrorSample> error_trajectory;
+  /// Mean |relative error| over the first / second half of the
+  /// trajectory; second < first shows the refinement loop converging.
+  real_t early_error = 0.0;
+  real_t late_error = 0.0;
+
+  /// Human-readable table (TextTable rendering).
+  void print(std::ostream& os) const;
+
+  /// Canonical CSV serialization. Two runs of the same seeded campaign
+  /// must produce byte-identical strings (the determinism contract tested
+  /// in tests/test_sched.cpp).
+  [[nodiscard]] std::string to_csv() const;
+};
+
+/// Builds the report from finished records; `makespan_s` is the engine's
+/// final virtual clock.
+[[nodiscard]] CampaignReport build_report(
+    const std::vector<JobRecord>& records,
+    std::vector<ErrorSample> trajectory, real_t makespan_s);
+
+}  // namespace hemo::sched

@@ -2,6 +2,9 @@
 // model-driven job guard (overrun protection).
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <iterator>
+
 #include "core/campaign.hpp"
 
 namespace hemo::core {
@@ -77,6 +80,50 @@ TEST(JobGuard, AbortsOnProjectedOverrun) {
   EXPECT_TRUE(g.should_abort(30.0, 0.2));
   // On pace: 22 s for 20 % projects exactly to the limit.
   EXPECT_FALSE(g.should_abort(21.9, 0.2));
+}
+
+TEST(JobGuard, ExactToleranceBoundary) {
+  JobGuard g;
+  g.predicted_seconds = 100.0;
+  g.tolerance = 0.10;
+  // The hard limit is inclusive: landing exactly on max_seconds() stops
+  // the job ...
+  EXPECT_TRUE(g.should_abort(g.max_seconds(), 0.5));
+  // ... but a pace that *projects* exactly onto the limit is still
+  // acceptable (strict overshoot required): 22 s for 20 % -> 110 s == max.
+  EXPECT_FALSE(g.should_abort(22.0, 0.2));
+  EXPECT_TRUE(g.should_abort(22.0 * (1.0 + 1e-9), 0.2));
+}
+
+TEST(JobGuard, ZeroToleranceStopsAtThePrediction) {
+  JobGuard g;
+  g.predicted_seconds = 100.0;
+  g.tolerance = 0.0;
+  EXPECT_NEAR(g.max_seconds(), 100.0, 1e-12);
+  EXPECT_FALSE(g.should_abort(99.0, 0.99));
+  EXPECT_TRUE(g.should_abort(100.0, 0.99));
+}
+
+TEST(JobGuard, RejectsFractionOutsideUnitInterval) {
+  JobGuard g;
+  g.predicted_seconds = 100.0;
+  EXPECT_THROW((void)g.should_abort(10.0, -0.1), PreconditionError);
+  EXPECT_THROW((void)g.should_abort(10.0, 1.1), PreconditionError);
+}
+
+TEST(CampaignTracker, ConvergesToTrueBiasWithMoreObservations) {
+  // Noisy measurements around a true 25 % overprediction: the learned
+  // factor closes in on 0.75 as observations accumulate.
+  CampaignTracker t;
+  const real_t noise[] = {1.15, 1.08, 0.87, 1.04, 0.93, 0.96, 1.02, 0.98};
+  real_t error_after_two = 0.0;
+  for (std::size_t i = 0; i < std::size(noise); ++i) {
+    t.record(obs(100.0, 75.0 * noise[i]));
+    if (i == 1) error_after_two = std::abs(t.correction_factor() - 0.75);
+  }
+  const real_t error_after_eight = std::abs(t.correction_factor() - 0.75);
+  EXPECT_LT(error_after_eight, error_after_two);
+  EXPECT_NEAR(t.correction_factor(), 0.75, 0.02);
 }
 
 TEST(JobGuard, NoProgressYetOnlyHardLimitApplies) {

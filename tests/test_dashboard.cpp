@@ -52,6 +52,12 @@ TEST_F(DashboardTest, EvaluatesEveryInstanceAtEveryCoreCount) {
   }
 }
 
+TEST_F(DashboardTest, RejectsZeroStepJobs) {
+  const std::vector<index_t> cores = {36};
+  EXPECT_THROW((void)dashboard_->evaluate(*workload_, JobSpec{0}, cores),
+               PreconditionError);
+}
+
 TEST_F(DashboardTest, RelativeValueMatrixHasUnitDiagonalAndReciprocity) {
   const std::vector<index_t> cores = {144};
   const auto rows = dashboard_->evaluate(*workload_, JobSpec{10000}, cores);
