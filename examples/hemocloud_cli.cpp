@@ -10,9 +10,17 @@
 //       Evaluate all instances, print cost metrics and recommendations.
 //   hemocloud_cli simulate <geometry> <steps> [out.vtk]
 //       Run the real solver locally; optionally export the flow field.
-//   hemocloud_cli schedule <geometry> <n_jobs> <timesteps> [seed]
+//   hemocloud_cli schedule <geometry> <n_jobs> <timesteps> [seed] [--csv]
 //       Run a model-driven campaign through the scheduler (src/sched/)
-//       and print the campaign report.
+//       and print the campaign report (--csv: canonical CSV instead of
+//       the table; byte-identical for a fixed seed).
+//   hemocloud_cli check [cases] [seed]
+//       Run the differential validation oracles (src/check/). Exit 0
+//       only when every oracle passes; failures print the shrunk
+//       counterexample and its replay seed.
+//   hemocloud_cli mutate [cases] [seed]
+//       Mutation self-test: perturb one fitted model coefficient at a
+//       time and verify the matching oracle catches it.
 //
 // Geometries: cylinder | aorta | cerebral.
 #include <chrono>
@@ -20,6 +28,8 @@
 #include <iostream>
 #include <string>
 
+#include "check/mutation.hpp"
+#include "check/oracles.hpp"
 #include "core/dashboard.hpp"
 #include "harvey/simulation.hpp"
 #include "lbm/io.hpp"
@@ -175,7 +185,7 @@ int cmd_simulate(const std::string& geometry_name, index_t steps,
 }
 
 int cmd_schedule(const std::string& geometry_name, index_t n_jobs,
-                 index_t timesteps, std::uint64_t seed) {
+                 index_t timesteps, std::uint64_t seed, bool csv) {
   std::vector<const cluster::InstanceProfile*> profiles;
   for (const auto& p : cluster::default_catalog()) {
     if (!p.gpu && p.abbrev != "CSP-2 Hyp.") profiles.push_back(&p);
@@ -185,7 +195,8 @@ int cmd_schedule(const std::string& geometry_name, index_t n_jobs,
   config.core_counts = {16, 36, 72, 144};
   sched::CampaignScheduler scheduler(std::move(profiles), config);
   auto geometry = make_named_geometry(geometry_name);
-  std::cout << "calibrating " << geometry_name << " (phase 1 + pilots) ...\n";
+  // Progress goes to stderr so --csv output stays clean for golden files.
+  std::cerr << "calibrating " << geometry_name << " (phase 1 + pilots) ...\n";
   const std::vector<index_t> cal_counts = {2, 4, 8, 16, 32};
   scheduler.register_workload(geometry_name, std::move(geometry), cal_counts);
 
@@ -202,8 +213,41 @@ int cmd_schedule(const std::string& geometry_name, index_t n_jobs,
   sched::EngineConfig engine_config;
   engine_config.seed = seed;
   sched::CampaignEngine engine(scheduler, engine_config);
-  engine.run(std::move(jobs)).print(std::cout);
+  const sched::CampaignReport report = engine.run(std::move(jobs));
+  if (csv) {
+    std::cout << report.to_csv();
+  } else {
+    report.print(std::cout);
+  }
   return 0;
+}
+
+int cmd_check(index_t cases, std::uint64_t seed) {
+  check::PropertyConfig config;
+  config.seed = seed;
+  config.cases = cases;
+  std::cout << "calibrating oracle context (3 workloads, CPU catalog) ...\n";
+  auto ctx = check::OracleContext::make_default();
+  bool all_passed = true;
+  for (const auto& result : check::run_all_oracles(ctx, config)) {
+    std::cout << result.summary() << "\n";
+    all_passed = all_passed && result.passed;
+  }
+  std::cout << (all_passed ? "check: all oracles passed\n"
+                           : "check: FAILURES above\n");
+  return all_passed ? 0 : 1;
+}
+
+int cmd_mutate(index_t cases, std::uint64_t seed) {
+  check::PropertyConfig config;
+  config.seed = seed;
+  config.cases = cases;
+  std::cout << "calibrating oracle context (3 workloads, CPU catalog) ...\n";
+  auto ctx = check::OracleContext::make_default();
+  const check::MutationReport report =
+      check::run_mutation_suite(ctx, config);
+  std::cout << report.summary();
+  return report.all_detected() ? 0 : 1;
 }
 
 int usage() {
@@ -214,7 +258,9 @@ int usage() {
             << "  hemocloud_cli dashboard <geometry> <timesteps>\n"
             << "  hemocloud_cli simulate <geometry> <steps> [out.vtk]\n"
             << "  hemocloud_cli schedule <geometry> <n_jobs> <timesteps> "
-               "[seed]\n";
+               "[seed] [--csv]\n"
+            << "  hemocloud_cli check [cases] [seed]\n"
+            << "  hemocloud_cli mutate [cases] [seed]\n";
   return 2;
 }
 
@@ -235,10 +281,29 @@ int main(int argc, char** argv) {
       return cmd_simulate(argv[2], std::atol(argv[3]),
                           argc == 5 ? argv[4] : "");
     }
-    if (cmd == "schedule" && (argc == 5 || argc == 6)) {
-      return cmd_schedule(
-          argv[2], std::atol(argv[3]), std::atol(argv[4]),
-          argc == 6 ? static_cast<std::uint64_t>(std::atoll(argv[5])) : 42u);
+    if (cmd == "schedule" && argc >= 5 && argc <= 7) {
+      bool csv = false;
+      std::uint64_t seed = 42;
+      for (int i = 5; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--csv") {
+          csv = true;
+        } else {
+          seed = hemo::parse_seed(argv[i], seed);
+        }
+      }
+      return cmd_schedule(argv[2], std::atol(argv[3]), std::atol(argv[4]),
+                          seed, csv);
+    }
+    if (cmd == "check" && argc >= 2 && argc <= 4) {
+      return cmd_check(argc > 2 ? std::atol(argv[2]) : 40,
+                       argc > 3 ? hemo::parse_seed(argv[3], 42)
+                                : hemo::global_seed());
+    }
+    if (cmd == "mutate" && argc >= 2 && argc <= 4) {
+      return cmd_mutate(argc > 2 ? std::atol(argv[2]) : 40,
+                        argc > 3 ? hemo::parse_seed(argv[3], 42)
+                                 : hemo::global_seed());
     }
     return usage();
   } catch (const std::exception& e) {

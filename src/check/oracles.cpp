@@ -1,0 +1,450 @@
+#include "check/oracles.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "check/generators.hpp"
+#include "cluster/virtual_cluster.hpp"
+#include "core/models.hpp"
+#include "geometry/generators.hpp"
+#include "lbm/mesh.hpp"
+#include "lbm/solver.hpp"
+#include "sched/executor.hpp"
+#include "sched/report.hpp"
+#include "sched/scheduler.hpp"
+
+namespace hemo::check {
+
+namespace {
+
+harvey::Simulation make_sim(geometry::Geometry geo) {
+  harvey::SimulationOptions opts;
+  opts.solver.tau = 0.8;
+  return harvey::Simulation(std::move(geo), opts);
+}
+
+std::string format_ratio(real_t value) {
+  std::ostringstream os;
+  os.precision(4);
+  os << value;
+  return os.str();
+}
+
+}  // namespace
+
+OracleContext OracleContext::make_default() {
+  OracleContext ctx;
+  const std::vector<index_t> cal_counts = {2, 4, 8, 16, 32, 64};
+
+  const auto add = [&](const std::string& name, geometry::Geometry geo) {
+    Workload w;
+    w.name = name;
+    w.sim = std::make_unique<harvey::Simulation>(make_sim(std::move(geo)));
+    w.calibration =
+        core::calibrate_workload(*w.sim, cal_counts, ctx.tasks_per_node);
+    ctx.workloads.push_back(std::move(w));
+  };
+  add("cylinder", geometry::make_cylinder({.radius = 7, .length = 48}));
+  add("aorta", geometry::make_aorta({.vessel_radius = 5.0,
+                                     .arch_radius = 15.0,
+                                     .height = 60,
+                                     .branch_radius = 2.2}));
+  add("cerebral", geometry::make_cerebral(
+                      {.root_radius = 4.0, .depth = 4,
+                       .segment_length = 18.0}));
+
+  for (const cluster::InstanceProfile* p : cpu_catalog()) {
+    ctx.calibrations.emplace(p->abbrev, core::calibrate_instance(*p));
+  }
+  return ctx;
+}
+
+namespace {
+
+Property<ModelCase> model_case_property(OracleContext& ctx,
+                                        const std::string& name) {
+  Property<ModelCase> property;
+  property.name = name;
+  property.generate = [&ctx](Xoshiro256& rng) {
+    ModelCase c;
+    c.workload = rng.below(static_cast<index_t>(ctx.workloads.size()));
+    c.instance = pick(rng, cpu_catalog())->abbrev;
+    c.n_tasks = pick(rng, ctx.task_counts);
+    c.day = rng.below(7);
+    c.hour = rng.below(24);
+    c.slot = rng.below(4);
+    return c;
+  };
+  property.describe = [&ctx](const ModelCase& c) {
+    std::ostringstream os;
+    os << "workload=" << ctx.workloads[static_cast<std::size_t>(c.workload)].name
+       << " instance=" << c.instance << " n_tasks=" << c.n_tasks
+       << " when=" << c.day << '/' << c.hour << '/' << c.slot;
+    return os.str();
+  };
+  property.shrink = [&ctx](const ModelCase& c) {
+    std::vector<ModelCase> out;
+    for (const index_t n : ctx.task_counts) {
+      if (n >= c.n_tasks) break;  // task_counts is ascending
+      ModelCase s = c;
+      s.n_tasks = n;
+      out.push_back(std::move(s));
+    }
+    if (c.workload != 0) {
+      ModelCase s = c;
+      s.workload = 0;
+      out.push_back(std::move(s));
+    }
+    return out;
+  };
+  return property;
+}
+
+}  // namespace
+
+PropertyResult oracle_model_agreement(OracleContext& ctx,
+                                      const PropertyConfig& config) {
+  Property<ModelCase> property =
+      model_case_property(ctx, "model_agreement(general/direct)");
+  property.check = [&ctx](const ModelCase& c) -> std::optional<std::string> {
+    auto& w = ctx.workloads[static_cast<std::size_t>(c.workload)];
+    const core::InstanceCalibration& cal = ctx.calibrations.at(c.instance);
+    const auto& plan = w.sim->plan(c.n_tasks, ctx.tasks_per_node);
+    const core::ModelPrediction direct = core::predict_direct(plan, cal);
+    const core::ModelPrediction general = core::predict_general(
+        w.calibration, cal, c.n_tasks, ctx.tasks_per_node);
+    const real_t ratio = general.step_seconds / direct.step_seconds;
+    if (ratio < kAgreementLow || ratio > kAgreementHigh) {
+      return "general/direct step-time ratio " + format_ratio(ratio) +
+             " outside [" + format_ratio(kAgreementLow) + ", " +
+             format_ratio(kAgreementHigh) + "]";
+    }
+    return std::nullopt;
+  };
+  return run_property(property, config);
+}
+
+PropertyResult oracle_model_vs_measurement(OracleContext& ctx,
+                                           const PropertyConfig& config) {
+  Property<ModelCase> property =
+      model_case_property(ctx, "model_vs_measurement(measured/direct)");
+  property.check = [&ctx](const ModelCase& c) -> std::optional<std::string> {
+    auto& w = ctx.workloads[static_cast<std::size_t>(c.workload)];
+    const core::InstanceCalibration& cal = ctx.calibrations.at(c.instance);
+    const auto& plan = w.sim->plan(c.n_tasks, ctx.tasks_per_node);
+    const core::ModelPrediction direct = core::predict_direct(plan, cal);
+    const cluster::VirtualCluster vc(cluster::instance_by_abbrev(c.instance));
+    const cluster::ExecutionResult measured =
+        vc.execute(plan, 25, {c.day, c.hour, c.slot});
+    const real_t ratio = measured.step_seconds / direct.step_seconds;
+    if (ratio < kMeasuredLow || ratio > kMeasuredHigh) {
+      return "measured/direct step-time ratio " + format_ratio(ratio) +
+             " outside [" + format_ratio(kMeasuredLow) + ", " +
+             format_ratio(kMeasuredHigh) + "]";
+    }
+    return std::nullopt;
+  };
+  return run_property(property, config);
+}
+
+namespace {
+
+/// Sampled solver-vs-analytic case.
+struct PoiseuilleCase {
+  index_t radius = 4;
+  index_t length = 12;
+  real_t tau = 0.9;
+  real_t force = 1e-5;
+};
+
+}  // namespace
+
+PropertyResult oracle_poiseuille(const PropertyConfig& config) {
+  Property<PoiseuilleCase> property;
+  property.name = "solver_vs_analytic(poiseuille)";
+  property.generate = [](Xoshiro256& rng) {
+    PoiseuilleCase c;
+    c.radius = 5 + rng.below(2);                 // 5..6 voxels (below 5 the
+                                                 // staircase bias exceeds
+                                                 // the slope tolerance)
+    c.length = 10 + 2 * rng.below(3);            // 10/12/14 voxels
+    c.tau = 0.8 + 0.1 * static_cast<real_t>(rng.below(3));  // 0.8..1.0
+    c.force = rng.uniform(6e-6, 2e-5);
+    return c;
+  };
+  property.describe = [](const PoiseuilleCase& c) {
+    std::ostringstream os;
+    os << "radius=" << c.radius << " length=" << c.length << " tau=" << c.tau
+       << " force=" << c.force;
+    return os.str();
+  };
+  property.shrink = [](const PoiseuilleCase& c) {
+    std::vector<PoiseuilleCase> out;
+    if (c.radius > 5) {
+      PoiseuilleCase s = c;
+      s.radius = 5;
+      out.push_back(s);
+    }
+    if (c.length > 10) {
+      PoiseuilleCase s = c;
+      s.length = 10;
+      out.push_back(s);
+    }
+    return out;
+  };
+  property.check = [](const PoiseuilleCase& c) -> std::optional<std::string> {
+    const auto geo = geometry::make_periodic_cylinder(
+        {.radius = c.radius, .length = c.length});
+    lbm::MeshOptions mesh_options;
+    mesh_options.periodic_z = true;
+    const lbm::FluidMesh mesh = lbm::FluidMesh::build(geo.grid, mesh_options);
+
+    lbm::SolverParams params;
+    params.tau = c.tau;
+    params.body_force = {0.0, 0.0, c.force};
+    lbm::Solver<double> solver(mesh, params, {});
+    const real_t mass0 = solver.total_mass();
+    solver.run(3500);
+
+    const real_t drift = std::abs(solver.total_mass() - mass0) / mass0;
+    if (drift > kMassDriftTol) {
+      return "mass drift " + format_ratio(drift) + " exceeds " +
+             format_ratio(kMassDriftTol);
+    }
+
+    // Fit u against r^2 on one z-plane; the slope must equal -F / (4 nu)
+    // and the zero crossing must sit near the nominal radius.
+    const real_t nu = lbm::viscosity_from_tau(params.tau);
+    const real_t center = static_cast<real_t>(geo.grid.nx() - 1) / 2.0;
+    const index_t plane = c.length / 2;
+    real_t sx = 0, sy = 0, sxx = 0, sxy = 0, n = 0;
+    for (index_t p = 0; p < mesh.num_points(); ++p) {
+      const auto& v = mesh.voxel(p);
+      if (v.z != plane) continue;
+      const real_t dx = static_cast<real_t>(v.x) - center;
+      const real_t dy = static_cast<real_t>(v.y) - center;
+      const real_t r2 = dx * dx + dy * dy;
+      const real_t u = solver.moments_at(p).uz;
+      sx += r2;
+      sy += u;
+      sxx += r2 * r2;
+      sxy += r2 * u;
+      n += 1.0;
+    }
+    const real_t slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    const real_t intercept = (sy - slope * sx) / n;
+    const real_t expected = -c.force / (4.0 * nu);
+    if (std::abs(slope - expected) > std::abs(expected) * kPoiseuilleSlopeTol) {
+      return "profile slope " + format_ratio(slope) + " vs analytic " +
+             format_ratio(expected) + " beyond " +
+             format_ratio(kPoiseuilleSlopeTol * 100.0) + " %";
+    }
+    const real_t reff = std::sqrt(-intercept / slope);
+    const real_t nominal = static_cast<real_t>(c.radius);
+    if (reff < nominal - kPoiseuilleRadiusSlack ||
+        reff > nominal + kPoiseuilleRadiusSlack) {
+      return "effective radius " + format_ratio(reff) +
+             " outside nominal " + format_ratio(nominal) + " +- " +
+             format_ratio(kPoiseuilleRadiusSlack);
+    }
+    return std::nullopt;
+  };
+  return run_property(property, config);
+}
+
+namespace {
+
+/// Sampled campaign case shared by the scheduler oracles.
+struct CampaignCase {
+  std::vector<sched::CampaignJobSpec> jobs;
+  std::uint64_t engine_seed = 0;
+  sched::FaultInjection faults;  ///< all-off for the invariance oracle
+};
+
+std::string describe_campaign(const CampaignCase& c) {
+  std::ostringstream os;
+  os << "jobs=" << c.jobs.size() << " seed=" << c.engine_seed << " steps=[";
+  for (std::size_t i = 0; i < c.jobs.size(); ++i) {
+    os << (i ? "," : "") << c.jobs[i].timesteps
+       << (c.jobs[i].allow_spot ? "s" : "");
+  }
+  os << ']';
+  if (c.faults.any()) {
+    os << " faults{x" << c.faults.slowdown_factor << ",p"
+       << c.faults.extra_preemption_probability << ",c"
+       << c.faults.checkpoint_corruption_rate << '}';
+  }
+  return os.str();
+}
+
+std::vector<CampaignCase> shrink_campaign(const CampaignCase& c) {
+  std::vector<CampaignCase> out;
+  if (c.jobs.size() > 1) {
+    CampaignCase s = c;
+    s.jobs.pop_back();
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+/// A fresh scheduler over the small two-pool test cluster. Campaign
+/// oracles must rebuild it per run: the refinement tracker is shared
+/// mutable campaign state, and replay comparisons need a cold start.
+std::unique_ptr<sched::CampaignScheduler> make_check_scheduler(
+    real_t guard_tolerance, real_t preemptions_per_hour) {
+  sched::SchedulerConfig config;
+  config.core_counts = {8, 16, 32};
+  config.guard_tolerance = guard_tolerance;
+  config.pilot_steps = 120;
+  config.spot.preemptions_per_hour = preemptions_per_hour;
+  auto scheduler = std::make_unique<sched::CampaignScheduler>(
+      std::vector<const cluster::InstanceProfile*>{
+          &cluster::instance_by_abbrev("CSP-1"),
+          &cluster::instance_by_abbrev("CSP-2 Small")},
+      config);
+  const std::vector<index_t> cal_counts = {2, 4, 8};
+  scheduler->register_workload(
+      "cylinder", geometry::make_cylinder({.radius = 6, .length = 40}),
+      cal_counts);
+  return scheduler;
+}
+
+std::string run_check_campaign(const CampaignCase& c,
+                               std::vector<sched::CampaignJobSpec> jobs,
+                               index_t n_workers, real_t guard_tolerance,
+                               real_t preemptions_per_hour,
+                               sched::CampaignReport* out = nullptr) {
+  auto scheduler =
+      make_check_scheduler(guard_tolerance, preemptions_per_hour);
+  sched::EngineConfig engine_config;
+  engine_config.n_workers = n_workers;
+  engine_config.seed = c.engine_seed;
+  engine_config.faults = c.faults;
+  sched::CampaignEngine engine(*scheduler, engine_config);
+  sched::CampaignReport report = engine.run(std::move(jobs));
+  std::string csv = report.to_csv();
+  if (out) *out = std::move(report);
+  return csv;
+}
+
+}  // namespace
+
+PropertyResult oracle_scheduler_invariance(const PropertyConfig& config) {
+  Property<CampaignCase> property;
+  property.name = "scheduler_invariance(workers,order)";
+  property.generate = [](Xoshiro256& rng) {
+    CampaignCase c;
+    c.jobs = gen_job_specs(rng, 3 + rng.below(4), "cylinder");
+    c.engine_seed = rng.next();
+    return c;
+  };
+  property.describe = describe_campaign;
+  property.shrink = shrink_campaign;
+  property.check = [](const CampaignCase& c) -> std::optional<std::string> {
+    const real_t tol = 0.25, spot_rate = 8.0;
+    const std::string base = run_check_campaign(c, c.jobs, 1, tol, spot_rate);
+    const std::string more = run_check_campaign(c, c.jobs, 3, tol, spot_rate);
+    if (base != more) {
+      return "report differs between 1 and 3 workers";
+    }
+    std::vector<sched::CampaignJobSpec> reversed(c.jobs.rbegin(),
+                                                 c.jobs.rend());
+    const std::string permuted =
+        run_check_campaign(c, std::move(reversed), 2, tol, spot_rate);
+    if (base != permuted) {
+      return "report differs under permuted job submission order";
+    }
+    return std::nullopt;
+  };
+  return run_property(property, config);
+}
+
+PropertyResult oracle_fault_recovery(const PropertyConfig& config) {
+  Property<CampaignCase> property;
+  property.name = "fault_recovery(consistent report)";
+  property.generate = [](Xoshiro256& rng) {
+    CampaignCase c;
+    c.jobs = gen_job_specs(rng, 3 + rng.below(3), "cylinder");
+    c.engine_seed = rng.next();
+    if (rng.uniform() < 0.5) {
+      c.faults.slowdown_factor = rng.uniform(1.4, 1.8);
+    }
+    if (rng.uniform() < 0.5) {
+      c.faults.extra_preemption_probability = rng.uniform(0.05, 0.3);
+    }
+    if (rng.uniform() < 0.5) {
+      c.faults.checkpoint_corruption_rate = rng.uniform(0.1, 0.5);
+    }
+    if (!c.faults.any()) c.faults.slowdown_factor = 1.5;
+    if (c.faults.slowdown_factor >= 1.4) {
+      // Spot pricing folds expected preemption losses into the predicted
+      // wall time (the 120 s restart overhead dwarfs these sub-second
+      // jobs), widening the guard band far past the injected slowdown.
+      // Keep slowdown campaigns on-demand so the overrun invariant below
+      // tests the pace guard, not the spot-pricing slack.
+      for (auto& job : c.jobs) job.allow_spot = false;
+    }
+    return c;
+  };
+  property.describe = describe_campaign;
+  property.shrink = shrink_campaign;
+  property.check = [](const CampaignCase& c) -> std::optional<std::string> {
+    const real_t tol = 0.25, spot_rate = 20.0;
+    sched::CampaignReport report;
+    const std::string first =
+        run_check_campaign(c, c.jobs, 2, tol, spot_rate, &report);
+    const std::string replay = run_check_campaign(c, c.jobs, 2, tol,
+                                                  spot_rate);
+    if (first != replay) {
+      return "faulted campaign does not replay byte-identically";
+    }
+    if (report.n_completed + report.n_failed != report.n_jobs) {
+      return "jobs unaccounted for: " + std::to_string(report.n_completed) +
+             " completed + " + std::to_string(report.n_failed) +
+             " failed != " + std::to_string(report.n_jobs);
+    }
+    for (const sched::JobReportRow& row : report.jobs) {
+      if (row.state != sched::JobState::kCompleted &&
+          row.state != sched::JobState::kFailed) {
+        return "job " + std::to_string(row.id) +
+               " left in a non-terminal state";
+      }
+      if (row.state == sched::JobState::kCompleted && row.attempts < 1) {
+        return "completed job " + std::to_string(row.id) + " with 0 attempts";
+      }
+    }
+    if (c.faults.checkpoint_corruption_rate == 0.0 &&
+        report.total_corruptions != 0) {
+      return "corruption counter nonzero without injected corruption";
+    }
+    if (c.faults.slowdown_factor >= 1.4 && report.total_overruns < 1) {
+      return "slowdown x" + format_ratio(c.faults.slowdown_factor) +
+             " never tripped the overrun guard";
+    }
+    if (report.n_completed > 0 && !(report.total_dollars > 0.0)) {
+      return "completed work with zero cost";
+    }
+    return std::nullopt;
+  };
+  return run_property(property, config);
+}
+
+std::vector<PropertyResult> run_all_oracles(OracleContext& ctx,
+                                            const PropertyConfig& config) {
+  const auto scaled = [&config](index_t divisor) {
+    PropertyConfig c = config;
+    c.cases = std::max<index_t>(2, config.cases / divisor);
+    return c;
+  };
+  std::vector<PropertyResult> results;
+  results.push_back(oracle_model_agreement(ctx, config));
+  results.push_back(oracle_model_vs_measurement(ctx, config));
+  results.push_back(oracle_poiseuille(scaled(10)));
+  results.push_back(oracle_scheduler_invariance(scaled(16)));
+  results.push_back(oracle_fault_recovery(scaled(10)));
+  return results;
+}
+
+}  // namespace hemo::check

@@ -1,0 +1,125 @@
+// Differential oracles of the validation harness.
+//
+// Each oracle states a cross-implementation agreement that must hold for
+// *every* generated case, and runs as a property (property.hpp) so a
+// violation replays and shrinks deterministically:
+//
+//  * model agreement — the generalized model (a-priori workload estimates,
+//    Eqs. 10-16) and the direct model (exact decomposition counts, raw
+//    PingPong tables) predict the same workload within a stated band;
+//  * model vs measurement — the virtual cluster's "measured" step time
+//    sits in a stated band above the direct prediction (the models never
+//    see the hidden efficiency, so they overpredict throughput — paper
+//    Figs. 7-8 — but must not drift arbitrarily);
+//  * solver vs analytic — body-force-driven periodic Poiseuille flow
+//    reproduces the analytic profile slope -F/(4 nu) and conserves mass;
+//  * scheduler invariance — a seeded campaign report is byte-identical
+//    across worker counts and job submission permutations;
+//  * fault recovery — campaigns under injected faults (slowdowns,
+//    preemption storms, corrupted checkpoints) still terminate every job,
+//    account consistently, and replay byte-identically.
+//
+// The bands are deliberately *stated constants* (not re-measured at check
+// time): the mutation self-test (mutation.hpp) proves each band is tight
+// enough that perturbing one fitted coefficient pushes cases outside it.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/property.hpp"
+#include "core/calibration.hpp"
+#include "harvey/simulation.hpp"
+
+namespace hemo::check {
+
+/// Generalized / direct step-time ratio band. Measured over the full
+/// (workload, CPU instance, task count) grid of the default context:
+/// observed [0.89, 3.10] (the high edge is the cerebral tree on CSP-1 at
+/// 32 tasks, where the generalized z/event laws are most conservative).
+/// The band adds margin for generator jitter while staying tight enough
+/// that a mutated coefficient (mutation.hpp) escapes it.
+inline constexpr real_t kAgreementLow = 0.6;
+inline constexpr real_t kAgreementHigh = 3.8;
+
+/// Measured / direct-predicted step-time ratio band. The hidden execution
+/// efficiency (~0.78) plus kernel traits put measurements consistently
+/// above the prediction; observed [1.12, 1.45] over the same grid.
+inline constexpr real_t kMeasuredLow = 1.0;
+inline constexpr real_t kMeasuredHigh = 1.8;
+
+/// Poiseuille profile-slope relative tolerance and the effective-radius
+/// slack (voxels) of the staircase boundary. The staircase bias of the
+/// bounce-back wall dominates the slope error at these radii: an
+/// exhaustive sweep of the generator grid (radius 5..6, length 10..14,
+/// tau 0.8..1.0, the force range) peaks at 9.2 % for radius 5 and 4.5 %
+/// for radius 6, so 12 % accepts every staircase-limited case while a
+/// wrong viscosity relation or forcing term (factor-level errors) still
+/// fails decisively.
+inline constexpr real_t kPoiseuilleSlopeTol = 0.12;
+inline constexpr real_t kPoiseuilleRadiusSlack = 0.8;
+
+/// Relative mass drift allowed over a closed periodic run.
+inline constexpr real_t kMassDriftTol = 1e-10;
+
+/// Shared expensive state of the model oracles: calibrated instances and
+/// small calibrated workloads, built once and reused across oracles and
+/// the mutation suite (which perturbs these calibrations in place).
+struct OracleContext {
+  struct Workload {
+    std::string name;
+    std::unique_ptr<harvey::Simulation> sim;
+    core::WorkloadCalibration calibration;
+  };
+
+  std::vector<Workload> workloads;
+  /// Instance calibrations keyed by abbreviation (plain CPU catalog).
+  std::map<std::string, core::InstanceCalibration> calibrations;
+  /// Task counts the model oracles sample from.
+  std::vector<index_t> task_counts = {2, 4, 6, 8, 12, 16, 24, 32, 48, 64};
+  /// Tasks-per-node used for plans and predictions (one rank per physical
+  /// core, capped by the instance's cores_per_node at plan time).
+  index_t tasks_per_node = 16;
+
+  /// Calibrates the default context: three small workloads (cylinder,
+  /// aorta, cerebral) and every plain CPU instance.
+  [[nodiscard]] static OracleContext make_default();
+};
+
+/// One sampled model-oracle case.
+struct ModelCase {
+  index_t workload = 0;   ///< index into OracleContext::workloads
+  std::string instance;   ///< instance abbreviation
+  index_t n_tasks = 2;
+  index_t day = 0, hour = 12, slot = 0;  ///< measurement noise context
+};
+
+/// Oracle 1: generalized vs direct model agreement.
+[[nodiscard]] PropertyResult oracle_model_agreement(
+    OracleContext& ctx, const PropertyConfig& config);
+
+/// Oracle 2: direct model vs virtual-cluster measurement.
+[[nodiscard]] PropertyResult oracle_model_vs_measurement(
+    OracleContext& ctx, const PropertyConfig& config);
+
+/// Oracle 3: LBM solver vs analytic Poiseuille + mass conservation.
+[[nodiscard]] PropertyResult oracle_poiseuille(const PropertyConfig& config);
+
+/// Oracle 4: campaign report invariance under worker count and job
+/// submission order.
+[[nodiscard]] PropertyResult oracle_scheduler_invariance(
+    const PropertyConfig& config);
+
+/// Oracle 5: campaigns under injected faults terminate consistently and
+/// replay byte-identically.
+[[nodiscard]] PropertyResult oracle_fault_recovery(
+    const PropertyConfig& config);
+
+/// Runs every oracle. Model oracles run config.cases cases; the expensive
+/// solver/campaign oracles run a scaled-down count (at least 2).
+[[nodiscard]] std::vector<PropertyResult> run_all_oracles(
+    OracleContext& ctx, const PropertyConfig& config);
+
+}  // namespace hemo::check

@@ -1,0 +1,122 @@
+// Deterministic property-based testing framework.
+//
+// A Property<T> bundles a generator (case input from a seeded RNG stream),
+// a checker (std::nullopt = pass, message = fail), a describer (rendering a
+// counterexample for humans), and an optional shrinker (smaller candidate
+// inputs, most-aggressive first). run_property drives `cases` generated
+// inputs from per-case seeds hash_seed(config.seed, case_index) — so a
+// failure replays exactly from (seed, case index) alone — and on the first
+// failure greedily shrinks: among the shrink candidates that still fail, the
+// first is adopted and shrinking restarts from it, until no candidate fails
+// or the step budget runs out. The survivor is the minimal counterexample
+// reported.
+//
+// Everything is deterministic: no wall clock, no global state; the same
+// PropertyConfig yields byte-identical PropertyResults (asserted by
+// tests/test_check.cpp and required for HEMO_SEED shell replay).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+#include "util/rng.hpp"
+
+namespace hemo::check {
+
+/// Shared knobs of a property run.
+struct PropertyConfig {
+  /// Stream seed; defaults to the process seed so `HEMO_SEED=... ctest`
+  /// replays every suite from the shell.
+  std::uint64_t seed = global_seed();
+  index_t cases = 50;
+  index_t max_shrink_steps = 200;
+};
+
+/// Outcome of one property run.
+struct PropertyResult {
+  std::string name;
+  bool passed = true;
+  index_t cases_run = 0;
+
+  // Failure details (meaningful only when !passed):
+  index_t failing_case = -1;     ///< case index whose input failed
+  std::uint64_t failing_seed = 0;///< hash_seed(config.seed, failing_case)
+  index_t shrink_steps = 0;      ///< accepted shrinks to the minimum
+  std::string counterexample;    ///< describe(minimal failing input)
+  std::string failure;           ///< check's message for that input
+
+  /// One-line rendering for reports and gtest messages.
+  [[nodiscard]] std::string summary() const {
+    if (passed) {
+      return name + ": OK (" + std::to_string(cases_run) + " cases)";
+    }
+    return name + ": FAIL at case " + std::to_string(failing_case) +
+           " (seed " + std::to_string(failing_seed) + ", " +
+           std::to_string(shrink_steps) + " shrinks) input {" +
+           counterexample + "}: " + failure;
+  }
+};
+
+/// A property over inputs of type T.
+template <typename T>
+struct Property {
+  std::string name;
+  std::function<T(Xoshiro256&)> generate;
+  std::function<std::optional<std::string>(const T&)> check;
+  std::function<std::string(const T&)> describe;
+  /// Smaller candidates of a failing input, most-aggressive first; null or
+  /// empty-returning disables shrinking.
+  std::function<std::vector<T>(const T&)> shrink;
+};
+
+template <typename T>
+[[nodiscard]] PropertyResult run_property(const Property<T>& property,
+                                          const PropertyConfig& config) {
+  HEMO_REQUIRE(property.generate && property.check && property.describe,
+               "property needs generate/check/describe callbacks");
+  HEMO_REQUIRE(config.cases >= 1, "property run needs at least one case");
+
+  PropertyResult result;
+  result.name = property.name;
+  for (index_t i = 0; i < config.cases; ++i) {
+    const std::uint64_t case_seed =
+        hash_seed(config.seed, static_cast<std::uint64_t>(i));
+    Xoshiro256 rng(case_seed);
+    T input = property.generate(rng);
+    std::optional<std::string> failure = property.check(input);
+    ++result.cases_run;
+    if (!failure) continue;
+
+    // Greedy shrink: adopt the first still-failing candidate, restart.
+    index_t budget = config.max_shrink_steps;
+    if (property.shrink) {
+      bool advanced = true;
+      while (advanced && budget > 0) {
+        advanced = false;
+        for (T& candidate : property.shrink(input)) {
+          const std::optional<std::string> f = property.check(candidate);
+          if (!f) continue;
+          input = std::move(candidate);
+          failure = std::move(f);
+          ++result.shrink_steps;
+          --budget;
+          advanced = true;
+          break;
+        }
+      }
+    }
+
+    result.passed = false;
+    result.failing_case = i;
+    result.failing_seed = case_seed;
+    result.counterexample = property.describe(input);
+    result.failure = *failure;
+    return result;
+  }
+  return result;
+}
+
+}  // namespace hemo::check

@@ -165,6 +165,7 @@ CampaignReport CampaignEngine::run(std::vector<CampaignJobSpec> jobs) {
       ctx.spot = scheduler_->config().spot;
       ctx.max_preemptions = config_.max_preemptions;
       ctx.backoff_base_s = config_.backoff_base_s;
+      ctx.faults = config_.faults;
 
       InFlight f;
       f.job = idx;
@@ -214,6 +215,7 @@ CampaignReport CampaignEngine::run(std::vector<CampaignJobSpec> jobs) {
     rec.dollars += res.dollars;
     rec.compute_seconds += res.compute_seconds;
     rec.preemptions += res.preemptions;
+    rec.checkpoint_corruptions += res.checkpoint_corruptions;
     rec.steps_done += res.steps_done;
     rec.points = static_cast<real_t>(scheduler_->points_of(rec.spec.geometry)) *
                  rec.spec.resolution_factor;

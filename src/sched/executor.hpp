@@ -77,6 +77,9 @@ struct EngineConfig {
   /// Spot retry bound within one attempt.
   index_t max_preemptions = 8;
   real_t backoff_base_s = 60.0;
+  /// Deterministic fault injection applied to every attempt (all-off by
+  /// default; see sched::FaultInjection and src/check/).
+  FaultInjection faults;
 };
 
 /// The campaign execution engine.

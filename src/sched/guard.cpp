@@ -1,5 +1,6 @@
 #include "sched/guard.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/rng.hpp"
@@ -43,12 +44,14 @@ AttemptResult simulate_attempt(const AttemptContext& ctx) {
     const auto exec = vc.execute(*ctx.plan, this_steps, when);
     const real_t chunk_s =
         scaled_step_seconds(exec, ctx.resolution_factor) *
-        static_cast<real_t>(this_steps);
+        static_cast<real_t>(this_steps) * ctx.faults.slowdown_factor;
 
     if (ctx.placement.spot) {
-      // Poisson interruption arrivals over the chunk's wall time.
-      const real_t p_preempt = 1.0 - std::exp(-ctx.spot.preemptions_per_hour *
-                                              chunk_s / 3600.0);
+      // Poisson interruption arrivals over the chunk's wall time, plus any
+      // injected interruption storm.
+      const real_t p_preempt =
+          1.0 - std::exp(-ctx.spot.preemptions_per_hour * chunk_s / 3600.0) +
+          ctx.faults.extra_preemption_probability;
       const real_t draw = rng.uniform();
       const real_t strike_fraction = rng.uniform();
       if (draw < p_preempt) {
@@ -63,6 +66,20 @@ AttemptResult simulate_attempt(const AttemptContext& ctx) {
         }
         backoff_s += ctx.backoff_base_s *
                      std::pow(2.0, static_cast<real_t>(res.preemptions - 1));
+        // Injected checkpoint corruption: the state read back on resume is
+        // bad, so fall back to the checkpoint before it — the previously
+        // completed chunk must be redone and a second reload is paid. The
+        // draw is gated on the rate so disabled injection leaves the RNG
+        // stream (and therefore every uninjected result) untouched. The
+        // redone chunk's original compute stays counted: it was real work
+        // the corruption burned, and the throughput fed to the refinement
+        // tracker should dip accordingly.
+        if (ctx.faults.checkpoint_corruption_rate > 0.0 &&
+            rng.uniform() < ctx.faults.checkpoint_corruption_rate) {
+          done = std::max<index_t>(0, done - chunk_steps);
+          occupied_s += ctx.spot.restart_overhead_s;
+          ++res.checkpoint_corruptions;
+        }
         continue;  // resume from the checkpoint: redo this chunk
       }
     }

@@ -35,6 +35,33 @@
 
 namespace hemo::sched {
 
+/// Deterministic fault-injection knobs, consumed by simulate_attempt and
+/// exercised by the differential validation harness (src/check/). The
+/// defaults are all-off and draw nothing extra from the attempt RNG
+/// stream, so a run with faults disabled is byte-identical to one built
+/// before these hooks existed.
+struct FaultInjection {
+  /// Multiplies every executed chunk's step time: models a degraded or
+  /// mis-sized node. Factors beyond 1 + guard tolerance force the overrun
+  /// guard to trip on otherwise healthy placements.
+  real_t slowdown_factor = 1.0;
+
+  /// Added to the per-chunk spot interruption probability on top of the
+  /// SpotOptions Poisson rate: models an interruption storm. Only spot
+  /// placements are affected (on-demand capacity is never preempted).
+  real_t extra_preemption_probability = 0.0;
+
+  /// Probability that the checkpoint read back on a preemption resume is
+  /// corrupted, forcing the previously completed chunk to be redone as
+  /// well (one extra restart overhead is paid for the deeper reload).
+  real_t checkpoint_corruption_rate = 0.0;
+
+  [[nodiscard]] bool any() const noexcept {
+    return slowdown_factor != 1.0 || extra_preemption_probability > 0.0 ||
+           checkpoint_corruption_rate > 0.0;
+  }
+};
+
 /// Everything one attempt needs, fixed at submission time.
 struct AttemptContext {
   const cluster::WorkloadPlan* plan = nullptr;
@@ -53,6 +80,8 @@ struct AttemptContext {
   core::SpotOptions spot;      ///< tenancy model (used when placement.spot)
   index_t max_preemptions = 8; ///< retry bound within the attempt
   real_t backoff_base_s = 60.0;///< first retry wait; doubles per retry
+
+  FaultInjection faults;       ///< all-off by default
 };
 
 /// Step time of `result` rescaled to `factor` times the plan's fluid

@@ -85,6 +85,9 @@ struct AttemptResult {
   real_t dollars = 0.0;
   real_t measured_mflups = 0.0;  ///< throughput over productive compute
   index_t preemptions = 0;
+  /// Injected corrupted-checkpoint reloads survived (FaultInjection only;
+  /// always 0 in production runs).
+  index_t checkpoint_corruptions = 0;
   bool overrun_aborted = false;    ///< guard hard stop (>10 % over model)
   bool retries_exhausted = false;  ///< preempted beyond the retry bound
 };
@@ -101,6 +104,7 @@ struct JobRecord {
   real_t compute_seconds = 0.0;
   real_t points = 0.0;  ///< fluid points at the job's resolution
   index_t preemptions = 0;
+  index_t checkpoint_corruptions = 0;  ///< injected-fault recoveries
   index_t overruns = 0;  ///< guard-triggered requeues
   std::vector<Placement> placements;  ///< one per attempt
   std::string failure;                ///< why the job failed, if it did

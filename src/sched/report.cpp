@@ -67,6 +67,7 @@ CampaignReport build_report(const std::vector<JobRecord>& records,
     if (r->state == JobState::kFailed) ++report.n_failed;
     report.total_overruns += r->overruns;
     report.total_preemptions += r->preemptions;
+    report.total_corruptions += r->checkpoint_corruptions;
     report.total_requeues += std::max<index_t>(0, r->attempts - 1);
     report.total_dollars += r->dollars;
   }
@@ -133,7 +134,8 @@ std::string CampaignReport::to_csv() const {
      << "mlups_per_dollar," << TextTable::num(mlups_per_dollar, 6) << '\n'
      << "completed," << n_completed << ",failed," << n_failed << '\n'
      << "overruns," << total_overruns << ",preemptions," << total_preemptions
-     << ",requeues," << total_requeues << '\n';
+     << ",requeues," << total_requeues << ",corruptions," << total_corruptions
+     << '\n';
   for (const ErrorSample& s : error_trajectory) {
     os << "err," << TextTable::num(s.virtual_time_s, 6) << ',' << s.job_id
        << ',' << TextTable::num(s.abs_rel_error, 6) << '\n';

@@ -54,6 +54,8 @@ struct CampaignReport {
   index_t total_overruns = 0;
   index_t total_preemptions = 0;
   index_t total_requeues = 0;  ///< re-placements after the first attempt
+  /// Corrupted-checkpoint recoveries (injected faults only; 0 otherwise).
+  index_t total_corruptions = 0;
 
   real_t total_dollars = 0.0;
   real_t makespan_s = 0.0;  ///< virtual time-to-solution of the campaign

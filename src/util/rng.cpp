@@ -1,0 +1,32 @@
+#include "util/rng.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hemo {
+
+std::uint64_t parse_seed(const char* text, std::uint64_t fallback) noexcept {
+  if (text == nullptr || *text == '\0') return fallback;
+  char* end = nullptr;
+  // Base 0 accepts decimal and 0x-prefixed hex; reject trailing garbage so
+  // a typo ("42x") falls back loudly rather than truncating silently.
+  const unsigned long long value = std::strtoull(text, &end, 0);
+  if (end == text || *end != '\0') return fallback;
+  return static_cast<std::uint64_t>(value);
+}
+
+std::uint64_t global_seed() noexcept {
+  static const std::uint64_t seed = [] {
+    const char* env = std::getenv("HEMO_SEED");
+    const std::uint64_t s = parse_seed(env, 42);
+    std::fprintf(stderr,
+                 "[hemo] effective seed %" PRIu64 " (%s)\n", s,
+                 env != nullptr ? "from HEMO_SEED"
+                                : "default; set HEMO_SEED to override");
+    return s;
+  }();
+  return seed;
+}
+
+}  // namespace hemo

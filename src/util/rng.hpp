@@ -15,6 +15,19 @@
 
 namespace hemo {
 
+/// Parses a seed from `text` (decimal or 0x-prefixed hex). Returns
+/// `fallback` when text is null, empty, or not a number. Exposed separately
+/// from global_seed() so the parsing rules are unit-testable without
+/// touching the process environment cache.
+[[nodiscard]] std::uint64_t parse_seed(const char* text,
+                                       std::uint64_t fallback) noexcept;
+
+/// The process-wide default seed: the HEMO_SEED environment variable when
+/// set, else 42. Read once and cached, and the effective value is logged to
+/// stderr on first use, so any test or bench run is reproducible from the
+/// shell (`HEMO_SEED=123 ctest ...` replays the exact streams).
+[[nodiscard]] std::uint64_t global_seed() noexcept;
+
 /// SplitMix64: used to expand a single 64-bit seed into independent streams
 /// and to hash seed tuples (instance id, day, hour, rank) into seeds.
 class SplitMix64 {

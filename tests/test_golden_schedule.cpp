@@ -1,0 +1,85 @@
+// Golden-file regression test for the campaign CSV report.
+//
+// Replicates `hemocloud_cli schedule cylinder 6 20000 42 --csv` natively
+// and compares the report byte-for-byte against the checked-in golden file.
+// The campaign engine's determinism contract (same seed => byte-identical
+// report for any worker count) is what makes an exact-match golden viable:
+// any drift here means either an intentional model/scheduler change (rerun
+// with HEMO_UPDATE_GOLDEN=1 and review the diff) or a broken determinism
+// guarantee.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sched/executor.hpp"
+#include "sched/report.hpp"
+#include "sched/scheduler.hpp"
+
+#ifndef HEMO_GOLDEN_DIR
+#error "HEMO_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace hemo::sched {
+namespace {
+
+std::string golden_path() {
+  return std::string(HEMO_GOLDEN_DIR) + "/schedule_cylinder_6x20000_seed42.csv";
+}
+
+/// Mirrors cmd_schedule in examples/hemocloud_cli.cpp: same catalog filter,
+/// objective, core counts, calibration ladder, job mix, and engine seed.
+std::string run_reference_campaign() {
+  std::vector<const cluster::InstanceProfile*> profiles;
+  for (const auto& p : cluster::default_catalog()) {
+    if (!p.gpu && p.abbrev != "CSP-2 Hyp.") profiles.push_back(&p);
+  }
+  SchedulerConfig config;
+  config.objective = core::Objective::kMinCost;
+  config.core_counts = {16, 36, 72, 144};
+  CampaignScheduler scheduler(std::move(profiles), config);
+  const std::vector<index_t> cal_counts = {2, 4, 8, 16, 32};
+  scheduler.register_workload(
+      "cylinder", geometry::make_cylinder({.radius = 10, .length = 80}),
+      cal_counts);
+
+  std::vector<CampaignJobSpec> jobs;
+  for (index_t i = 0; i < 6; ++i) {
+    CampaignJobSpec spec;
+    spec.id = i + 1;
+    spec.geometry = "cylinder";
+    spec.timesteps = 20000;
+    spec.allow_spot = (i % 3 == 1);
+    jobs.push_back(spec);
+  }
+
+  EngineConfig engine_config;
+  engine_config.seed = 42;
+  CampaignEngine engine(scheduler, engine_config);
+  return engine.run(std::move(jobs)).to_csv();
+}
+
+TEST(GoldenSchedule, CsvReportMatchesGoldenFile) {
+  const std::string csv = run_reference_campaign();
+
+  if (std::getenv("HEMO_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path(), std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
+    out << csv;
+    GTEST_SKIP() << "golden file regenerated at " << golden_path();
+  }
+
+  std::ifstream in(golden_path(), std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path()
+                         << " (regenerate with HEMO_UPDATE_GOLDEN=1)";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(csv, expected.str())
+      << "campaign CSV drifted from the golden file; if the change is "
+         "intentional rerun with HEMO_UPDATE_GOLDEN=1 and review the diff";
+}
+
+}  // namespace
+}  // namespace hemo::sched

@@ -1,7 +1,10 @@
 // Unit tests for the STREAM and PingPong microbenchmarks.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "cluster/instance.hpp"
+#include "fit/two_line.hpp"
 #include "microbench/pingpong.hpp"
 #include "microbench/stream.hpp"
 
@@ -90,6 +93,46 @@ TEST(PingPongLocal, TimesGrowWithMessageSize) {
   for (const auto& s : samples) EXPECT_GT(s.time_us, 0.0);
   // A 256 KiB copy costs measurably more than a zero-byte handshake.
   EXPECT_GT(samples[2].time_us, samples[0].time_us);
+}
+
+TEST(PingPongLocal, ZeroByteLadderMeasuresPureLatency) {
+  // The 0-byte rung anchors the latency intercept of Eq. 10's fit; it must
+  // measure cleanly on its own, not only as part of a longer ladder.
+  const auto samples = run_pingpong_local({0.0}, 50);
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_DOUBLE_EQ(samples[0].bytes, 0.0);
+  EXPECT_GT(samples[0].time_us, 0.0);
+  EXPECT_LT(samples[0].time_us, 1e4) << "a zero-byte handshake took > 10 ms";
+}
+
+TEST(StreamSimulated, SingleCoreSweepIsOneSteepRegimePoint) {
+  // max_threads = 1 is the degenerate sweep: one sample, below every
+  // profile's breakpoint, so bandwidth is the steep-regime slope a1.
+  for (const cluster::InstanceProfile& p : cluster::default_catalog()) {
+    const auto sweep = simulated_stream_sweep(p, 1);
+    ASSERT_EQ(sweep.size(), 1u) << p.abbrev;
+    EXPECT_EQ(sweep[0].threads, 1);
+    EXPECT_GT(sweep[0].bandwidth_mbs, 0.0) << p.abbrev;
+  }
+}
+
+TEST(TwoLineFit, SurvivesNonMonotoneBandwidthSamples) {
+  // Real sweeps are noisy and not monotone (the paper's Fig. 5 shows dips
+  // past the knee). The fitter must not crash on zig-zag data and must
+  // still return a usable model: positive steep slope, breakpoint inside
+  // the sampled range, and predictions of the right magnitude.
+  const std::vector<real_t> threads = {1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<real_t> bandwidth = {8000,  16500, 23000, 30500,
+                                         29000, 31500, 28500, 30000};
+  const fit::TwoLineModel m = fit::fit_two_line(threads, bandwidth);
+  EXPECT_GT(m.a1, 0.0);
+  EXPECT_GE(m.a3, threads.front());
+  EXPECT_LE(m.a3, threads.back());
+  // The saturated regime is flat-ish for these samples: |a2| well below a1.
+  EXPECT_LT(std::abs(m.a2), m.a1);
+  // Predictions stay in the data's ballpark at both ends.
+  EXPECT_NEAR(m(1.0), 8000.0, 4000.0);
+  EXPECT_NEAR(m(8.0), 30000.0, 6000.0);
 }
 
 }  // namespace
