@@ -37,7 +37,7 @@ int main() {
                      decomp::measured_imbalance(mesh, part, kernel), 3),
                  TextTable::num(graph.max_events()),
                  TextTable::num(graph.max_total_bytes(kernel) / 1024.0, 1),
-                 TextTable::num(r.mflups, 2)});
+                 TextTable::num(r.mflups.value(), 2)});
     }
     t.print(std::cout);
   }

@@ -26,21 +26,22 @@ int main() {
     const auto gpu = sim.measure_gpu(profile, gpu_tasks, 200);
     const auto pred = core::predict_direct(sim.gpu_plan(gpu_tasks, 4), cal);
     const real_t pcie_share =
-        pred.t_xfer_s / std::max(pred.step_seconds, 1e-30);
-    t.add_row({TextTable::num(nodes), TextTable::num(cpu.mflups, 1),
-               TextTable::num(gpu.mflups, 1),
-               TextTable::num(pred.mflups, 1),
+        pred.t_xfer.value() / std::max(pred.step_seconds.value(), 1e-30);
+    t.add_row({TextTable::num(nodes),
+               TextTable::num(cpu.mflups.value(), 1),
+               TextTable::num(gpu.mflups.value(), 1),
+               TextTable::num(pred.mflups.value(), 1),
                TextTable::num(pcie_share, 3),
                TextTable::num(gpu.mflups / cpu.mflups, 2)});
   }
   t.print(std::cout);
 
   std::cout << "\nCost context: CSP-2 GPU lists at $"
-            << TextTable::num(profile.price_per_node_hour, 2)
+            << TextTable::num(profile.price_per_node_hour.value(), 2)
             << "/node-hr vs $"
-            << TextTable::num(
-                   cluster::instance_by_abbrev("CSP-2 EC")
-                       .price_per_node_hour, 2)
+            << TextTable::num(cluster::instance_by_abbrev("CSP-2 EC")
+                                  .price_per_node_hour.value(),
+                              2)
             << " for the CPU-only EC instance.\n"
                "Expected: large single-node GPU speedups; PCIe staging and"
                " interconnect latency erode multi-node gains.\n";

@@ -32,15 +32,16 @@ core::ModelPrediction predict(Variant v,
   }
   core::ModelPrediction p = core::predict_general(w, cal, n, tpn);
   if (v == Variant::kNoLatency) {
-    p.step_seconds -= p.t_comm_lat_s;
-    p.t_comm_s -= p.t_comm_lat_s;
-    p.t_comm_lat_s = 0.0;
+    p.step_seconds -= p.t_comm_lat;
+    p.t_comm -= p.t_comm_lat;
+    p.t_comm_lat = units::Seconds(0.0);
   } else if (v == Variant::kNoBandwidth) {
-    p.step_seconds -= p.t_comm_bw_s;
-    p.t_comm_s -= p.t_comm_bw_s;
-    p.t_comm_bw_s = 0.0;
+    p.step_seconds -= p.t_comm_bw;
+    p.t_comm -= p.t_comm_bw;
+    p.t_comm_bw = units::Seconds(0.0);
   }
-  p.mflups = static_cast<real_t>(w.total_points) / (p.step_seconds * 1e6);
+  p.mflups = units::Mflups(static_cast<real_t>(w.total_points) /
+                           (p.step_seconds.value() * 1e6));
   return p;
 }
 
@@ -71,8 +72,8 @@ int main() {
       const auto measured = sim.measure(profile, n, 200);
       const auto pred =
           predict(v, wcal, cal, n, profile.cores_per_node);
-      const real_t err =
-          std::abs(pred.mflups - measured.mflups) / measured.mflups;
+      const real_t err = std::abs((pred.mflups - measured.mflups).value()) /
+                         measured.mflups.value();
       acc += err;
       if (err > worst) {
         worst = err;

@@ -33,7 +33,7 @@ std::vector<sched::CampaignJobSpec> make_jobs() {
     // A per-job deadline generous enough for mid-size allocations but out
     // of reach of the very smallest ones — the regime where placement
     // choices actually differ.
-    spec.deadline_s = 24.0 * 3600.0;
+    spec.deadline_s = units::Seconds(24.0 * 3600.0);
     jobs.push_back(spec);
   }
   return jobs;
@@ -87,9 +87,9 @@ int main() {
   for (const Row& row : rows) {
     t.add_row({row.name, TextTable::num(row.report.n_completed),
                TextTable::num(row.report.n_failed),
-               TextTable::num(row.report.total_dollars, 2),
-               TextTable::num(row.report.makespan_s / 3600.0, 2),
-               TextTable::num(row.report.mlups_per_dollar, 1),
+               TextTable::num(row.report.total_dollars.value(), 2),
+               TextTable::num(row.report.makespan_s.value() / 3600.0, 2),
+               TextTable::num(row.report.mlups_per_dollar.value(), 1),
                TextTable::num(row.report.total_requeues),
                TextTable::num(row.report.total_preemptions)});
   }

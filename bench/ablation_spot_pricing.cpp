@@ -28,10 +28,11 @@ int main() {
         dashboard.evaluate(workload, core::JobSpec{steps}, cores);
     const auto& od = rows.front();
     const auto sp = core::apply_spot_pricing(od, spot);
-    t.add_row({TextTable::num(steps), TextTable::num(od.total_dollars, 2),
-               TextTable::num(od.time_to_solution_s / 3600.0, 2),
-               TextTable::num(sp.total_dollars, 2),
-               TextTable::num(sp.time_to_solution_s / 3600.0, 2),
+    t.add_row({TextTable::num(steps),
+               TextTable::num(od.total_dollars.value(), 2),
+               TextTable::num(od.time_to_solution_s.value() / 3600.0, 2),
+               TextTable::num(sp.total_dollars.value(), 2),
+               TextTable::num(sp.time_to_solution_s.value() / 3600.0, 2),
                TextTable::num(
                    (1.0 - sp.total_dollars / od.total_dollars) * 100.0, 1) +
                    "%"});
@@ -41,9 +42,9 @@ int main() {
   std::cout << "\nHigh-preemption regime (6/hr, heavy restarts):\n";
   core::SpotOptions brutal;
   brutal.discount = 0.10;
-  brutal.preemptions_per_hour = 6.0;
-  brutal.restart_overhead_s = 3000.0;
-  brutal.checkpoint_interval_s = 3600.0;
+  brutal.preemptions_per_hour = units::PerHour(6.0);
+  brutal.restart_overhead_s = units::Seconds(3000.0);
+  brutal.checkpoint_interval_s = units::Seconds(3600.0);
   TextTable t2;
   t2.set_header({"Timesteps", "On-demand $", "Spot $", "Verdict"});
   for (index_t steps : {1000000, 10000000}) {
@@ -51,8 +52,9 @@ int main() {
         dashboard.evaluate(workload, core::JobSpec{steps}, cores);
     const auto& od = rows.front();
     const auto sp = core::apply_spot_pricing(od, brutal);
-    t2.add_row({TextTable::num(steps), TextTable::num(od.total_dollars, 2),
-                TextTable::num(sp.total_dollars, 2),
+    t2.add_row({TextTable::num(steps),
+                TextTable::num(od.total_dollars.value(), 2),
+                TextTable::num(sp.total_dollars.value(), 2),
                 sp.total_dollars < od.total_dollars ? "spot wins"
                                                     : "on-demand wins"});
   }

@@ -26,12 +26,14 @@ int main() {
   for (index_t n = 2; n <= 144; n *= 2) {
     const auto p =
         core::predict_general(wcal, cal, n, profile.cores_per_node);
-    const real_t comm = p.t_comm_s > 0.0 ? p.t_comm_s : 1.0;
-    t.add_row({TextTable::num(n), TextTable::num(p.t_mem_s * 1e6, 1),
-               TextTable::num(p.t_comm_bw_s * 1e6, 2),
-               TextTable::num(p.t_comm_lat_s * 1e6, 1),
-               TextTable::num(p.step_seconds * 1e6, 1),
-               TextTable::num(p.t_comm_lat_s / comm, 3)});
+    const real_t comm =
+        p.t_comm.value() > 0.0 ? p.t_comm.value() : 1.0;
+    t.add_row({TextTable::num(n),
+               TextTable::num(p.t_mem.value() * 1e6, 1),
+               TextTable::num(p.t_comm_bw.value() * 1e6, 2),
+               TextTable::num(p.t_comm_lat.value() * 1e6, 1),
+               TextTable::num(p.step_seconds.value() * 1e6, 1),
+               TextTable::num(p.t_comm_lat.value() / comm, 3)});
   }
   t.print(std::cout);
 

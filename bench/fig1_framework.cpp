@@ -44,8 +44,8 @@ int main() {
   p2.set_header({"Instance", "Cores", "MFLUPS", "Cost ($)"});
   for (const auto& row : rows) {
     p2.add_row({row.instance, TextTable::num(row.n_tasks),
-                TextTable::num(row.prediction.mflups, 1),
-                TextTable::num(row.total_dollars, 2)});
+                TextTable::num(row.prediction.mflups.value(), 1),
+                TextTable::num(row.total_dollars.value(), 2)});
   }
   p2.print(std::cout);
 
@@ -65,17 +65,18 @@ int main() {
   real_t refined_mflups = 0.0;
   for (const auto& row : refined) {
     if (row.instance == pick->instance && row.n_tasks == pick->n_tasks) {
-      refined_mflups = row.prediction.mflups;
+      refined_mflups = row.prediction.mflups.value();
     }
   }
-  std::cout << "measured " << TextTable::num(meas.mflups, 1)
+  std::cout << "measured " << TextTable::num(meas.mflups.value(), 1)
             << " MFLUPS -> correction factor "
             << TextTable::num(tracker.correction_factor(), 3)
             << "; refined prediction for the pick: "
             << TextTable::num(refined_mflups, 1) << " MFLUPS\n";
   const auto guard = core::Dashboard::make_guard(*pick, 0.10);
   std::cout << "job guard armed: hard stop at "
-            << TextTable::num(guard.max_seconds() / 3600.0, 3)
-            << " h / $" << TextTable::num(guard.max_dollars(), 2) << "\n";
+            << TextTable::num(guard.max_seconds().value() / 3600.0, 3)
+            << " h / $" << TextTable::num(guard.max_dollars().value(), 2)
+            << "\n";
   return 0;
 }

@@ -32,7 +32,7 @@ int main() {
           continue;
         }
         const auto r = sim.measure(profile, n, 200);
-        row.push_back(TextTable::num(r.mflups, 2));
+        row.push_back(TextTable::num(r.mflups.value(), 2));
       }
       t.add_row(std::move(row));
     }

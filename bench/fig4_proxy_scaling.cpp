@@ -36,7 +36,7 @@ int main() {
             continue;
           }
           row.push_back(
-              TextTable::num(app.measure(profile, n, 200).mflups, 2));
+              TextTable::num(app.measure(profile, n, 200).mflups.value(), 2));
         }
         t.add_row(std::move(row));
       }

@@ -32,9 +32,10 @@ int main() {
           sim.plan(n, profile.cores_per_node), cal);
       const auto general = core::predict_general(
           wcal, cal, n, profile.cores_per_node);
-      t.add_row({TextTable::num(n), TextTable::num(measured.mflups, 2),
-                 TextTable::num(direct.mflups, 2),
-                 TextTable::num(general.mflups, 2),
+      t.add_row({TextTable::num(n),
+                 TextTable::num(measured.mflups.value(), 2),
+                 TextTable::num(direct.mflups.value(), 2),
+                 TextTable::num(general.mflups.value(), 2),
                  TextTable::num(direct.mflups / measured.mflups, 2)});
     }
     t.print(std::cout);

@@ -23,11 +23,12 @@ int main() {
   for (index_t n = 2; n <= 144; n *= 2) {
     const auto p = core::predict_direct(
         sim.plan(n, profile.cores_per_node), cal);
-    t.add_row({TextTable::num(n), TextTable::num(p.t_mem_s * 1e6, 1),
-               TextTable::num(p.t_intra_s * 1e6, 2),
-               TextTable::num(p.t_inter_s * 1e6, 1),
-               TextTable::num(p.step_seconds * 1e6, 1),
-               TextTable::num(p.t_comm_s / p.step_seconds, 3)});
+    t.add_row({TextTable::num(n),
+               TextTable::num(p.t_mem.value() * 1e6, 1),
+               TextTable::num(p.t_intra.value() * 1e6, 2),
+               TextTable::num(p.t_inter.value() * 1e6, 1),
+               TextTable::num(p.step_seconds.value() * 1e6, 1),
+               TextTable::num(p.t_comm / p.step_seconds, 3)});
   }
   t.print(std::cout);
 

@@ -24,11 +24,17 @@ int main() {
   row("Cores per Node",
       [](const auto& p) { return TextTable::num(p.cores_per_node); });
   row("Memory per Node (GB)",
-      [](const auto& p) { return TextTable::num(p.memory_per_node_gb, 0); });
+      [](const auto& p) {
+        return TextTable::num(p.memory_per_node.value(), 0);
+      });
   row("Interconnect (Gbit/s)",
-      [](const auto& p) { return TextTable::num(p.interconnect_gbits, 0); });
+      [](const auto& p) {
+        return TextTable::num(p.interconnect.value(), 0);
+      });
   row("Price ($/node-hr, synthetic)",
-      [](const auto& p) { return TextTable::num(p.price_per_node_hour, 2); });
+      [](const auto& p) {
+        return TextTable::num(p.price_per_node_hour.value(), 2);
+      });
   t.print(std::cout);
 
   std::cout << "\nPaper reference (Table I): TRC 2000 cores/40 per node/56"

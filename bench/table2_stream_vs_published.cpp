@@ -31,11 +31,12 @@ int main() {
     const fit::TwoLineModel fit_model = fit::fit_two_line(xs, ys);
     const real_t sustained =
         fit_model(static_cast<real_t>(p.cores_per_node));
-    published.push_back(TextTable::num(p.published_bw_mbs, 0));
+    published.push_back(TextTable::num(p.published_bw.value(), 0));
     stream.push_back(TextTable::num(sustained, 0));
-    diff.push_back(TextTable::num(
-                       (sustained - p.published_bw_mbs) /
-                           p.published_bw_mbs * 100.0, 2) + "%");
+    diff.push_back(TextTable::num((sustained - p.published_bw.value()) /
+                                      p.published_bw.value() * 100.0,
+                                  2) +
+                   "%");
   }
   t.add_row(std::move(published));
   t.add_row(std::move(stream));

@@ -33,7 +33,8 @@ int main() {
     for (index_t day = 0; day < 7; ++day) {
       for (index_t hour = 0; hour < 24; hour += 6) {
         samples.push_back(
-            sim.measure(profile, config.ranks, 100, {day, hour, 0}).mflups);
+            sim.measure(profile, config.ranks, 100, {day, hour, 0})
+                .mflups.value());
       }
     }
     const auto s = fit::summarize(samples);

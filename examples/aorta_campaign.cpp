@@ -52,10 +52,10 @@ int main() {
   for (const auto& row : rows) {
     t.add_row({row.instance, TextTable::num(row.n_tasks),
                TextTable::num(row.n_nodes),
-               TextTable::num(row.prediction.mflups, 1),
-               TextTable::num(row.time_to_solution_s / 3600.0, 2),
-               TextTable::num(row.total_dollars, 2),
-               TextTable::num(row.mflups_per_dollar_hour, 1)});
+               TextTable::num(row.prediction.mflups.value(), 1),
+               TextTable::num(row.time_to_solution_s.value() / 3600.0, 2),
+               TextTable::num(row.total_dollars.value(), 2),
+               TextTable::num(row.mflups_per_dollar_hour.value(), 1)});
   }
   t.print(std::cout);
 
@@ -65,17 +65,20 @@ int main() {
   const auto cheapest =
       core::Dashboard::recommend(rows, core::Objective::kMinCost);
   const auto deadline = core::Dashboard::recommend(
-      rows, core::Objective::kDeadline, 8.0 * 3600.0);
+      rows, core::Objective::kDeadline, units::Seconds(8.0 * 3600.0));
   std::cout << "\nmax throughput: " << fastest->instance << " @ "
             << fastest->n_tasks << " cores ("
-            << TextTable::num(fastest->prediction.mflups, 1) << " MFLUPS)\n"
+            << TextTable::num(fastest->prediction.mflups.value(), 1)
+            << " MFLUPS)\n"
             << "min cost:       " << cheapest->instance << " @ "
             << cheapest->n_tasks << " cores ($"
-            << TextTable::num(cheapest->total_dollars, 2) << ")\n";
+            << TextTable::num(cheapest->total_dollars.value(), 2)
+            << ")\n";
   if (deadline) {
     std::cout << "8 h deadline:   " << deadline->instance << " @ "
               << deadline->n_tasks << " cores ($"
-              << TextTable::num(deadline->total_dollars, 2) << ")\n";
+              << TextTable::num(deadline->total_dollars.value(), 2)
+              << ")\n";
   } else {
     std::cout << "8 h deadline:   no option qualifies\n";
   }
@@ -94,8 +97,9 @@ int main() {
                                      chosen.prediction.mflups,
                                      pilot.mflups});
     std::cout << "\npilot run: predicted "
-              << TextTable::num(chosen.prediction.mflups, 1)
-              << " MFLUPS, measured " << TextTable::num(pilot.mflups, 1)
+              << TextTable::num(chosen.prediction.mflups.value(), 1)
+              << " MFLUPS, measured "
+              << TextTable::num(pilot.mflups.value(), 1)
               << " -> correction factor "
               << TextTable::num(tracker.correction_factor(), 3) << "\n";
   }
@@ -109,12 +113,13 @@ int main() {
   std::cout << "running on " << refined_chosen->instance
             << " with a 10% overrun guard on the refined prediction: stop"
                " after "
-            << TextTable::num(guard.max_seconds() / 3600.0, 2)
-            << " h or $" << TextTable::num(guard.max_dollars(), 2) << "\n";
+            << TextTable::num(guard.max_seconds().value() / 3600.0, 2)
+            << " h or $" << TextTable::num(guard.max_dollars().value(), 2)
+            << "\n";
   // Simulate the campaign in four guarded chunks.
   const auto& run_profile =
       cluster::instance_by_abbrev(refined_chosen->instance);
-  real_t elapsed = 0.0;
+  units::Seconds elapsed;
   for (index_t chunk = 0; chunk < 4; ++chunk) {
     const auto meas = sim.measure(run_profile, refined_chosen->n_tasks,
                                   job.timesteps / 4,
@@ -130,9 +135,11 @@ int main() {
                                      chosen.prediction.mflups,
                                      meas.mflups});
     std::cout << "  chunk " << chunk << ": measured "
-              << TextTable::num(meas.mflups, 1) << " MFLUPS, elapsed "
-              << TextTable::num(elapsed / 3600.0, 2) << " h (limit "
-              << TextTable::num(guard.max_seconds() / 3600.0, 2) << " h)\n";
+              << TextTable::num(meas.mflups.value(), 1)
+              << " MFLUPS, elapsed "
+              << TextTable::num(elapsed.value() / 3600.0, 2) << " h (limit "
+              << TextTable::num(guard.max_seconds().value() / 3600.0, 2)
+              << " h)\n";
   }
 
   std::cout << "\nlearned correction factor: "

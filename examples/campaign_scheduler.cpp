@@ -25,7 +25,7 @@ int main() {
   config.core_counts = {16, 36, 72, 144};
   // An aggressive interruption market, so the checkpoint/restart path is
   // visible in a ten-job showcase.
-  config.spot.preemptions_per_hour = 2.0;
+  config.spot.preemptions_per_hour = units::PerHour(2.0);
   sched::CampaignScheduler scheduler(std::move(profiles), config);
 
   std::cout << "calibrating instances and anatomies (phase 1 + pilots) ...\n";
@@ -47,7 +47,7 @@ int main() {
     spec.allow_spot = (i % 3 == 1);
     jobs.push_back(spec);
   }
-  jobs[6].deadline_s = 12.0 * 3600.0;
+  jobs[6].deadline_s = units::Seconds(12.0 * 3600.0);
 
   sched::EngineConfig engine_config;
   engine_config.n_workers = 4;

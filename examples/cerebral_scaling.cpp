@@ -38,17 +38,17 @@ int main() {
       const auto pred = core::predict_direct(
           sim.plan(n, profile.cores_per_node), cal);
       const auto meas = sim.measure(profile, n, 200);
-      if (meas.mflups > best_mflups * 1.10) {
-        best_mflups = meas.mflups;
+      if (meas.mflups.value() > best_mflups * 1.10) {
+        best_mflups = meas.mflups.value();
         knee = n;
       }
       t.add_row({TextTable::num(n),
                  TextTable::num((n + profile.cores_per_node - 1) /
                                 profile.cores_per_node),
-                 TextTable::num(meas.mflups, 2),
-                 TextTable::num(pred.t_mem_s * 1e6, 1),
-                 TextTable::num(pred.t_comm_s * 1e6, 1),
-                 TextTable::num(pred.t_comm_s / pred.step_seconds, 2)});
+                 TextTable::num(meas.mflups.value(), 2),
+                 TextTable::num(pred.t_mem.value() * 1e6, 1),
+                 TextTable::num(pred.t_comm.value() * 1e6, 1),
+                 TextTable::num(pred.t_comm / pred.step_seconds, 2)});
     }
     t.print(std::cout);
     std::cout << "scaling knee (last 10%+ gain): " << knee << " ranks\n\n";

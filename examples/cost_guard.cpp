@@ -40,26 +40,27 @@ int main() {
   const auto pilot = intended.measure(profile, kRanks, 500);
   tracker.record(core::Observation{"cylinder", profile.abbrev, kRanks,
                                    pred.mflups, pilot.mflups});
-  const real_t refined_mflups = tracker.refined_mflups(pred.mflups);
+  const real_t refined_mflups =
+      tracker.refined_mflups(pred.mflups).value();
 
   core::JobGuard guard;
-  guard.predicted_seconds =
+  guard.predicted_seconds = units::Seconds(
       static_cast<real_t>(intended.mesh().num_points()) * kSteps /
-      (refined_mflups * 1e6);
+      (refined_mflups * 1e6));
   guard.tolerance = 0.10;
   guard.price_per_hour = profile.price_per_node_hour;  // one node
-  std::cout << "raw prediction " << TextTable::num(pred.mflups, 1)
+  std::cout << "raw prediction " << TextTable::num(pred.mflups.value(), 1)
             << " MFLUPS; pilot-refined " << TextTable::num(refined_mflups, 1)
             << " MFLUPS -> "
-            << TextTable::num(guard.predicted_seconds / 60.0, 1)
+            << TextTable::num(guard.predicted_seconds.value() / 60.0, 1)
             << " min; guard limit "
-            << TextTable::num(guard.max_seconds() / 60.0, 1)
-            << " min / $" << TextTable::num(guard.max_dollars(), 2)
+            << TextTable::num(guard.max_seconds().value() / 60.0, 1)
+            << " min / $" << TextTable::num(guard.max_dollars().value(), 2)
             << "\n\n";
 
   auto run_guarded = [&](const char* label, harvey::Simulation& sim) {
     std::cout << label << "\n";
-    real_t elapsed = 0.0;
+    units::Seconds elapsed;
     bool aborted = false;
     for (index_t chunk = 0; chunk < 10; ++chunk) {
       const auto meas =
@@ -67,16 +68,20 @@ int main() {
       elapsed += meas.total_seconds;
       const real_t done = static_cast<real_t>(chunk + 1) / 10.0;
       std::cout << "  " << static_cast<int>(done * 100) << "% done, "
-                << TextTable::num(elapsed / 60.0, 1) << " min elapsed";
+                << TextTable::num(elapsed.value() / 60.0, 1)
+                << " min elapsed";
       if (guard.should_abort(elapsed, done)) {
         std::cout << "  -> GUARD TRIPPED (projected "
-                  << TextTable::num(elapsed / done / 60.0, 1)
+                  << TextTable::num(elapsed.value() / done / 60.0, 1)
                   << " min > limit "
-                  << TextTable::num(guard.max_seconds() / 60.0, 1)
+                  << TextTable::num(guard.max_seconds().value() / 60.0, 1)
                   << " min), job stopped; spent $"
                   << TextTable::num(
-                         elapsed / 3600.0 * guard.price_per_hour, 2)
-                  << " of $" << TextTable::num(guard.max_dollars(), 2)
+                         (units::to_hours(elapsed) * guard.price_per_hour)
+                             .value(),
+                         2)
+                  << " of $"
+                  << TextTable::num(guard.max_dollars().value(), 2)
                   << "\n";
         aborted = true;
         break;
@@ -85,8 +90,10 @@ int main() {
     }
     if (!aborted) {
       std::cout << "  finished within limits; cost $"
-                << TextTable::num(elapsed / 3600.0 * guard.price_per_hour,
-                                  2)
+                << TextTable::num(
+                       (units::to_hours(elapsed) * guard.price_per_hour)
+                           .value(),
+                       2)
                 << "\n";
     }
     std::cout << "\n";

@@ -63,8 +63,8 @@ int cmd_instances() {
   for (const auto& p : cluster::default_catalog()) {
     t.add_row({p.abbrev, p.name, TextTable::num(p.cores_per_node),
                TextTable::num(p.total_cores),
-               TextTable::num(p.interconnect_gbits, 0),
-               TextTable::num(p.price_per_node_hour, 2),
+               TextTable::num(p.interconnect.value(), 0),
+               TextTable::num(p.price_per_node_hour.value(), 2),
                p.gpu ? TextTable::num(p.gpu->gpus_per_node) : "-"});
   }
   t.print(std::cout);
@@ -87,9 +87,9 @@ int cmd_calibrate(const std::string& instance) {
   t.add_row({"l internodal", TextTable::num(cal.inter.latency, 2), "us"});
   t.add_row({"b intranodal", TextTable::num(cal.intra.bandwidth, 2), "MB/s"});
   t.add_row({"l intranodal", TextTable::num(cal.intra.latency, 2), "us"});
-  if (cal.gpu_bandwidth_mbs) {
+  if (cal.gpu_bandwidth) {
     t.add_row({"GPU device bandwidth",
-               TextTable::num(*cal.gpu_bandwidth_mbs, 0), "MB/s"});
+               TextTable::num(cal.gpu_bandwidth->value(), 0), "MB/s"});
     t.add_row({"PCIe bandwidth", TextTable::num(cal.gpu_pcie->bandwidth, 0),
                "MB/s"});
     t.add_row({"PCIe latency", TextTable::num(cal.gpu_pcie->latency, 2),
@@ -109,15 +109,19 @@ int cmd_predict(const std::string& geometry_name,
   const auto meas = sim.measure(profile, ranks, 200);
   TextTable t;
   t.set_header({"Quantity", "Model", "Measured"});
-  t.add_row({"MFLUPS", TextTable::num(pred.mflups, 2),
-             TextTable::num(meas.mflups, 2)});
-  t.add_row({"step time (us)", TextTable::num(pred.step_seconds * 1e6, 1),
-             TextTable::num(meas.step_seconds * 1e6, 1)});
-  t.add_row({"memory term (us)", TextTable::num(pred.t_mem_s * 1e6, 1),
-             TextTable::num(meas.critical.mem_s * 1e6, 1)});
-  t.add_row({"comm term (us)", TextTable::num(pred.t_comm_s * 1e6, 1),
-             TextTable::num(
-                 (meas.critical.intra_s + meas.critical.inter_s) * 1e6, 1)});
+  t.add_row({"MFLUPS", TextTable::num(pred.mflups.value(), 2),
+             TextTable::num(meas.mflups.value(), 2)});
+  t.add_row({"step time (us)",
+             TextTable::num(pred.step_seconds.value() * 1e6, 1),
+             TextTable::num(meas.step_seconds.value() * 1e6, 1)});
+  t.add_row({"memory term (us)",
+             TextTable::num(pred.t_mem.value() * 1e6, 1),
+             TextTable::num(meas.critical.mem_s.value() * 1e6, 1)});
+  t.add_row(
+      {"comm term (us)", TextTable::num(pred.t_comm.value() * 1e6, 1),
+       TextTable::num(
+           (meas.critical.intra_s + meas.critical.inter_s).value() * 1e6,
+           1)});
   t.print(std::cout);
   return 0;
 }
@@ -136,14 +140,14 @@ int cmd_dashboard(const std::string& geometry_name, index_t timesteps) {
       dashboard.evaluate(workload, core::JobSpec{timesteps}, cores);
 
   TextTable t;
-  t.set_header({"Instance", "Cores", "MFLUPS", "Hours", "Dollars",
-                "MFLUPS/($/h)"});
+  t.set_header({"instance", "cores", "mflups", "time_h", "cost_usd",
+                "mflups_per_usd_hr"});
   for (const auto& row : rows) {
     t.add_row({row.instance, TextTable::num(row.n_tasks),
-               TextTable::num(row.prediction.mflups, 1),
-               TextTable::num(row.time_to_solution_s / 3600.0, 3),
-               TextTable::num(row.total_dollars, 2),
-               TextTable::num(row.mflups_per_dollar_hour, 1)});
+               TextTable::num(row.prediction.mflups.value(), 1),
+               TextTable::num(row.time_to_solution_s.value() / 3600.0, 3),
+               TextTable::num(row.total_dollars.value(), 2),
+               TextTable::num(row.mflups_per_dollar_hour.value(), 1)});
   }
   t.print(std::cout);
 
@@ -154,7 +158,8 @@ int cmd_dashboard(const std::string& geometry_name, index_t timesteps) {
   std::cout << "\nfastest: " << fastest->instance << " @ "
             << fastest->n_tasks << " cores; cheapest: "
             << cheapest->instance << " @ " << cheapest->n_tasks
-            << " cores ($" << TextTable::num(cheapest->total_dollars, 2)
+            << " cores ($"
+            << TextTable::num(cheapest->total_dollars.value(), 2)
             << ")\n";
   return 0;
 }

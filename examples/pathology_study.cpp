@@ -130,8 +130,10 @@ int main() {
                  " (400k steps, 144 cores):\n";
     for (const auto& row : rows) {
       std::cout << "  " << row.instance << ": "
-                << TextTable::num(row.time_to_solution_s / 3600.0, 1)
-                << " h, $" << TextTable::num(row.total_dollars, 2) << "\n";
+                << TextTable::num(row.time_to_solution_s.value() / 3600.0,
+                                  1)
+                << " h, $" << TextTable::num(row.total_dollars.value(), 2)
+                << "\n";
     }
   }
 

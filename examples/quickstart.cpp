@@ -55,8 +55,8 @@ int main() {
     const auto pred = core::predict_direct(
         sim.plan(n, profile.cores_per_node), cal);
     const auto meas = sim.measure(profile, n, 200);
-    t.add_row({TextTable::num(n), TextTable::num(pred.mflups, 2),
-               TextTable::num(meas.mflups, 2),
+    t.add_row({TextTable::num(n), TextTable::num(pred.mflups.value(), 2),
+               TextTable::num(meas.mflups.value(), 2),
                TextTable::num(pred.mflups / meas.mflups, 2)});
   }
   t.print(std::cout);

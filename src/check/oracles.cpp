@@ -298,7 +298,7 @@ std::unique_ptr<sched::CampaignScheduler> make_check_scheduler(
   config.core_counts = {8, 16, 32};
   config.guard_tolerance = guard_tolerance;
   config.pilot_steps = 120;
-  config.spot.preemptions_per_hour = preemptions_per_hour;
+  config.spot.preemptions_per_hour = units::PerHour(preemptions_per_hour);
   auto scheduler = std::make_unique<sched::CampaignScheduler>(
       std::vector<const cluster::InstanceProfile*>{
           &cluster::instance_by_abbrev("CSP-1"),
@@ -423,7 +423,7 @@ PropertyResult oracle_fault_recovery(const PropertyConfig& config) {
       return "slowdown x" + format_ratio(c.faults.slowdown_factor) +
              " never tripped the overrun guard";
     }
-    if (report.n_completed > 0 && !(report.total_dollars > 0.0)) {
+    if (report.n_completed > 0 && !(report.total_dollars.value() > 0.0)) {
       return "completed work with zero cost";
     }
     return std::nullopt;

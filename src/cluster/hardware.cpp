@@ -12,10 +12,11 @@ std::uint64_t instance_hash(const InstanceProfile& profile) {
   return h;
 }
 
-real_t MemorySystem::measured_node_bandwidth_mbs(index_t threads,
-                                                 index_t sample) const {
+units::MegabytesPerSec MemorySystem::measured_node_bandwidth(
+    index_t threads, index_t sample) const {
   HEMO_REQUIRE(threads >= 1, "need at least one thread");
-  const real_t ideal = ideal_node_bandwidth_mbs(static_cast<real_t>(threads));
+  const units::MegabytesPerSec ideal =
+      ideal_node_bandwidth(static_cast<real_t>(threads));
   Xoshiro256 rng(hash_seed(instance_hash(*profile_), 0x57a3u,
                            static_cast<std::uint64_t>(threads),
                            static_cast<std::uint64_t>(sample)));
@@ -28,34 +29,37 @@ real_t MemorySystem::measured_node_bandwidth_mbs(index_t threads,
   return ideal * std::max(0.5, 1.0 + cov * rng.gaussian());
 }
 
-real_t MemorySystem::task_bandwidth_mbs(index_t tasks_on_node) const {
+units::MegabytesPerSec MemorySystem::task_bandwidth(
+    index_t tasks_on_node) const {
   HEMO_REQUIRE(tasks_on_node >= 1, "need at least one task");
-  const real_t node_bw =
-      ideal_node_bandwidth_mbs(static_cast<real_t>(tasks_on_node));
+  const units::MegabytesPerSec node_bw =
+      ideal_node_bandwidth(static_cast<real_t>(tasks_on_node));
   return node_bw / static_cast<real_t>(tasks_on_node);
 }
 
-real_t Interconnect::message_time_us(real_t bytes, bool internode) const {
-  HEMO_REQUIRE(bytes >= 0.0, "negative message size");
+units::Microseconds Interconnect::message_time(units::Bytes bytes,
+                                               bool internode) const {
+  HEMO_REQUIRE(bytes.value() >= 0.0, "negative message size");
   const CommParams& c = internode ? profile_->inter : profile_->intra;
   // Bandwidth term: bytes / (MB/s) = microseconds when bytes are in units
   // of B and bandwidth in B/us (1 MB/s = 1 B/us).
-  const real_t transfer_us = bytes / c.bandwidth_mbs;
+  const real_t transfer_us = bytes.value() / c.bandwidth.value();
   // Mild super-linearity: rendezvous-protocol switches and packetization
   // make the effective per-message overhead grow slowly with size.
   const real_t latency_us =
-      c.latency_us *
-      (1.0 + 0.15 * std::log10(1.0 + bytes / 4096.0));
-  return latency_us + transfer_us;
+      c.latency.value() *
+      (1.0 + 0.15 * std::log10(1.0 + bytes.value() / 4096.0));
+  return units::Microseconds(latency_us + transfer_us);
 }
 
-real_t Interconnect::measured_pingpong_us(real_t bytes, bool internode,
-                                          index_t sample) const {
+units::Microseconds Interconnect::measured_pingpong(units::Bytes bytes,
+                                                    bool internode,
+                                                    index_t sample) const {
   Xoshiro256 rng(hash_seed(instance_hash(*profile_), 0x91c7u,
-                           static_cast<std::uint64_t>(bytes),
+                           static_cast<std::uint64_t>(bytes.value()),
                            internode ? 1u : 0u,
                            static_cast<std::uint64_t>(sample)));
-  const real_t ideal = message_time_us(bytes, internode);
+  const units::Microseconds ideal = message_time(bytes, internode);
   return ideal * std::max(0.6, 1.0 + 0.03 * rng.gaussian());
 }
 
@@ -64,34 +68,35 @@ GpuSystem::GpuSystem(const InstanceProfile& profile) : profile_(&profile) {
                "GpuSystem requires a GPU-equipped instance profile");
 }
 
-real_t GpuSystem::effective_bandwidth_mbs() const noexcept {
-  return profile_->gpu->memory_bandwidth_mbs *
-         profile_->gpu->kernel_efficiency;
+units::MegabytesPerSec GpuSystem::effective_bandwidth() const noexcept {
+  return profile_->gpu->memory_bandwidth * profile_->gpu->kernel_efficiency;
 }
 
-real_t GpuSystem::measured_bandwidth_mbs(index_t sample) const {
+units::MegabytesPerSec GpuSystem::measured_bandwidth(
+    index_t sample) const {
   Xoshiro256 rng(hash_seed(instance_hash(*profile_), 0x6b21u,
                            static_cast<std::uint64_t>(sample)));
-  return profile_->gpu->memory_bandwidth_mbs *
+  return profile_->gpu->memory_bandwidth *
          std::max(0.5, 1.0 + 0.015 * rng.gaussian());
 }
 
-real_t GpuSystem::transfer_time_us(real_t bytes) const {
-  HEMO_REQUIRE(bytes >= 0.0, "negative transfer size");
+units::Microseconds GpuSystem::transfer_time(units::Bytes bytes) const {
+  HEMO_REQUIRE(bytes.value() >= 0.0, "negative transfer size");
   const GpuSpec& g = *profile_->gpu;
   // Same rendezvous-style super-linearity as the network: pinned-buffer
   // staging grows the per-transfer overhead slowly with size.
   const real_t latency =
-      g.pcie_latency_us * (1.0 + 0.10 * std::log10(1.0 + bytes / 16384.0));
-  return latency + bytes / g.pcie_bandwidth_mbs;
+      g.pcie_latency.value() *
+      (1.0 + 0.10 * std::log10(1.0 + bytes.value() / 16384.0));
+  return units::Microseconds(latency + bytes.value() / g.pcie_bandwidth.value());
 }
 
-real_t GpuSystem::measured_transfer_us(real_t bytes, index_t sample) const {
+units::Microseconds GpuSystem::measured_transfer(units::Bytes bytes,
+                                                 index_t sample) const {
   Xoshiro256 rng(hash_seed(instance_hash(*profile_), 0x44f9u,
-                           static_cast<std::uint64_t>(bytes),
+                           static_cast<std::uint64_t>(bytes.value()),
                            static_cast<std::uint64_t>(sample)));
-  return transfer_time_us(bytes) *
-         std::max(0.6, 1.0 + 0.02 * rng.gaussian());
+  return transfer_time(bytes) * std::max(0.6, 1.0 + 0.02 * rng.gaussian());
 }
 
 real_t NoiseModel::factor(index_t day, index_t hour, index_t slot) const {

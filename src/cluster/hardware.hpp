@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "cluster/instance.hpp"
+#include "units/units.hpp"
 #include "util/common.hpp"
 #include "util/rng.hpp"
 
@@ -26,21 +27,23 @@ class MemorySystem {
   explicit MemorySystem(const InstanceProfile& profile)
       : profile_(&profile) {}
 
-  /// Ideal (noise-free) node bandwidth in MB/s with n active threads.
-  [[nodiscard]] real_t ideal_node_bandwidth_mbs(real_t threads) const noexcept {
+  /// Ideal (noise-free) node bandwidth with n active threads.
+  [[nodiscard]] units::MegabytesPerSec ideal_node_bandwidth(
+      real_t threads) const noexcept {
     return profile_->memory.node_bandwidth_mbs(threads);
   }
 
   /// One simulated STREAM COPY measurement at `threads` threads. The
   /// `sample` index decorrelates repeated measurements. Shared-channel
   /// nodes show inflated variance past the knee.
-  [[nodiscard]] real_t measured_node_bandwidth_mbs(index_t threads,
-                                                   index_t sample) const;
+  [[nodiscard]] units::MegabytesPerSec measured_node_bandwidth(
+      index_t threads, index_t sample) const;
 
   /// Bandwidth share of one task when `tasks_on_node` tasks are active
   /// (linear sharing assumption matching the paper's model, applied to the
   /// ground-truth law).
-  [[nodiscard]] real_t task_bandwidth_mbs(index_t tasks_on_node) const;
+  [[nodiscard]] units::MegabytesPerSec task_bandwidth(
+      index_t tasks_on_node) const;
 
  private:
   const InstanceProfile* profile_;
@@ -52,15 +55,16 @@ class Interconnect {
   explicit Interconnect(const InstanceProfile& profile)
       : profile_(&profile) {}
 
-  /// Ground-truth one-way message time in MICROSECONDS for m bytes.
-  /// Slightly super-linear: effective latency grows ~15 % per decade of
-  /// message size past 4 KiB, reproducing the paper's observation that a
-  /// zero-byte-anchored linear fit underestimates latency at large sizes.
-  [[nodiscard]] real_t message_time_us(real_t bytes, bool internode) const;
+  /// Ground-truth one-way message time for m bytes. Slightly super-linear:
+  /// effective latency grows ~15 % per decade of message size past 4 KiB,
+  /// reproducing the paper's observation that a zero-byte-anchored linear
+  /// fit underestimates latency at large sizes.
+  [[nodiscard]] units::Microseconds message_time(units::Bytes bytes,
+                                                 bool internode) const;
 
   /// One simulated PingPong measurement (includes noise).
-  [[nodiscard]] real_t measured_pingpong_us(real_t bytes, bool internode,
-                                            index_t sample) const;
+  [[nodiscard]] units::Microseconds measured_pingpong(
+      units::Bytes bytes, bool internode, index_t sample) const;
 
  private:
   const InstanceProfile* profile_;
@@ -74,20 +78,21 @@ class GpuSystem {
 
   /// Device memory bandwidth an LBM kernel actually sustains (hidden
   /// kernel efficiency applied) — the virtual cluster's ground truth.
-  [[nodiscard]] real_t effective_bandwidth_mbs() const noexcept;
+  [[nodiscard]] units::MegabytesPerSec effective_bandwidth() const noexcept;
 
   /// One simulated device-STREAM measurement: near-peak HBM bandwidth
   /// with benchmark noise. This is what calibration sees — it does NOT
   /// include the kernel efficiency, so models overpredict GPU runs the
   /// same way they overpredict CPU runs.
-  [[nodiscard]] real_t measured_bandwidth_mbs(index_t sample) const;
+  [[nodiscard]] units::MegabytesPerSec measured_bandwidth(
+      index_t sample) const;
 
-  /// Ground-truth host<->device transfer time (microseconds) for m bytes.
-  [[nodiscard]] real_t transfer_time_us(real_t bytes) const;
+  /// Ground-truth host<->device transfer time for m bytes.
+  [[nodiscard]] units::Microseconds transfer_time(units::Bytes bytes) const;
 
   /// One simulated PCIe bandwidth/latency measurement.
-  [[nodiscard]] real_t measured_transfer_us(real_t bytes,
-                                            index_t sample) const;
+  [[nodiscard]] units::Microseconds measured_transfer(units::Bytes bytes,
+                                                      index_t sample) const;
 
  private:
   const InstanceProfile* profile_;

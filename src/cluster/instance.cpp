@@ -1,5 +1,7 @@
 #include "cluster/instance.hpp"
 
+#include "units/units.hpp"
+
 namespace hemo::cluster {
 
 namespace {
@@ -16,16 +18,16 @@ std::vector<InstanceProfile> build_catalog() {
     p.clock_ghz = 2.19;
     p.total_cores = 2000;
     p.cores_per_node = 40;
-    p.memory_per_node_gb = 471.0;
-    p.published_bw_mbs = 76800.0;
-    p.interconnect_gbits = 56.0;
+    p.memory_per_node = units::Gigabytes(471.0);
+    p.published_bw = units::MegabytesPerSec(76800.0);
+    p.interconnect = units::GigabitsPerSec(56.0);
     p.memory = {6768.24, 369.16, 6.39};
-    p.inter = {5066.57, 2.01};
+    p.inter = {units::MegabytesPerSec(5066.57), units::Microseconds(2.01)};
     // Intranodal parameters are not tabulated in the paper; shared-memory
     // transfers on a dual-socket Broadwell are roughly 2x the IB link with
     // sub-microsecond latency.
-    p.intra = {9800.0, 0.55};
-    p.price_per_node_hour = 1.50;  // amortized on-premise node cost
+    p.intra = {units::MegabytesPerSec(9800.0), units::Microseconds(0.55)};
+    p.price_per_node_hour = units::DollarsPerHour(1.50);  // amortized on-premise node cost
     p.noise_cov = 0.008;
     p.base_efficiency = 0.80;
     v.push_back(p);
@@ -40,15 +42,15 @@ std::vector<InstanceProfile> build_catalog() {
     p.clock_ghz = 3.19;
     p.total_cores = 48;
     p.cores_per_node = 16;
-    p.memory_per_node_gb = 16.0;
-    p.published_bw_mbs = 68000.0;
-    p.interconnect_gbits = 10.0;
+    p.memory_per_node = units::Gigabytes(16.0);
+    p.published_bw = units::MegabytesPerSec(68000.0);
+    p.interconnect = units::GigabitsPerSec(10.0);
     p.memory = {18092.64, -62.79, 4.15};
     // Table III reports N/A for CSP-1 communication; a 10 Gbit/s virtualized
     // IB link sustains ~1.1 GB/s with ~28 us MPI latency (synthetic).
-    p.inter = {1100.0, 28.0};
-    p.intra = {7200.0, 0.75};
-    p.price_per_node_hour = 0.90;
+    p.inter = {units::MegabytesPerSec(1100.0), units::Microseconds(28.0)};
+    p.intra = {units::MegabytesPerSec(7200.0), units::Microseconds(0.75)};
+    p.price_per_node_hour = units::DollarsPerHour(0.90);
     p.noise_cov = 0.015;
     p.base_efficiency = 0.74;
     v.push_back(p);
@@ -64,16 +66,16 @@ std::vector<InstanceProfile> build_catalog() {
     p.total_cores = 128;
     p.cores_per_node = 8;
     p.vcpus_per_core = 2;
-    p.memory_per_node_gb = 30.0;
-    p.published_bw_mbs = 68000.0;
-    p.interconnect_gbits = 10.0;
+    p.memory_per_node = units::Gigabytes(30.0);
+    p.published_bw = units::MegabytesPerSec(68000.0);
+    p.interconnect = units::GigabitsPerSec(10.0);
     // Not tabulated; Haswell small nodes saturate early (synthetic, scaled
     // from the CSP-2 fits).
     p.memory = {8100.0, 950.0, 4.6};
-    p.inter = {1150.0, 26.5};
-    p.intra = {6900.0, 0.80};
+    p.inter = {units::MegabytesPerSec(1150.0), units::Microseconds(26.5)};
+    p.intra = {units::MegabytesPerSec(6900.0), units::Microseconds(0.80)};
     p.shared_memory_channels = true;
-    p.price_per_node_hour = 0.34;
+    p.price_per_node_hour = units::DollarsPerHour(0.34);
     p.noise_cov = 0.013;
     p.base_efficiency = 0.76;
     v.push_back(p);
@@ -89,14 +91,14 @@ std::vector<InstanceProfile> build_catalog() {
     p.total_cores = 144;
     p.cores_per_node = 36;
     p.vcpus_per_core = 2;
-    p.memory_per_node_gb = 144.0;
-    p.published_bw_mbs = 162720.0;
-    p.interconnect_gbits = 25.0;
+    p.memory_per_node = units::Gigabytes(144.0);
+    p.published_bw = units::MegabytesPerSec(162720.0);
+    p.interconnect = units::GigabitsPerSec(25.0);
     p.memory = {7790.02, 1264.80, 9.00};
-    p.inter = {1804.84, 23.59};
-    p.intra = {8600.0, 0.70};
+    p.inter = {units::MegabytesPerSec(1804.84), units::Microseconds(23.59)};
+    p.intra = {units::MegabytesPerSec(8600.0), units::Microseconds(0.70)};
     p.shared_memory_channels = true;
-    p.price_per_node_hour = 3.06;
+    p.price_per_node_hour = units::DollarsPerHour(3.06);
     p.noise_cov = 0.012;
     p.base_efficiency = 0.78;
     v.push_back(p);
@@ -112,14 +114,14 @@ std::vector<InstanceProfile> build_catalog() {
     p.total_cores = 144;
     p.cores_per_node = 36;
     p.vcpus_per_core = 2;
-    p.memory_per_node_gb = 192.0;
-    p.published_bw_mbs = 162720.0;
-    p.interconnect_gbits = 100.0;
+    p.memory_per_node = units::Gigabytes(192.0);
+    p.published_bw = units::MegabytesPerSec(162720.0);
+    p.interconnect = units::GigabitsPerSec(100.0);
     p.memory = {7605.85, 1269.95, 11.00};
-    p.inter = {2016.77, 20.94};
-    p.intra = {8600.0, 0.70};
+    p.inter = {units::MegabytesPerSec(2016.77), units::Microseconds(20.94)};
+    p.intra = {units::MegabytesPerSec(8600.0), units::Microseconds(0.70)};
     p.shared_memory_channels = true;
-    p.price_per_node_hour = 3.46;
+    p.price_per_node_hour = units::DollarsPerHour(3.46);
     p.noise_cov = 0.012;
     p.base_efficiency = 0.78;
     v.push_back(p);
@@ -134,12 +136,13 @@ std::vector<InstanceProfile> build_catalog() {
     p.abbrev = "CSP-2 GPU";
     p.gpu = GpuSpec{
         .gpus_per_node = 4,
-        .memory_bandwidth_mbs = 900000.0,  // ~900 GB/s HBM2
-        .pcie_bandwidth_mbs = 12000.0,     // PCIe gen3 x16 effective
-        .pcie_latency_us = 10.0,           // launch + DMA setup
+        // ~900 GB/s HBM2, PCIe gen3 x16 effective, launch + DMA setup.
+        .memory_bandwidth = units::MegabytesPerSec(900000.0),
+        .pcie_bandwidth = units::MegabytesPerSec(12000.0),
+        .pcie_latency = units::Microseconds(10.0),
         .kernel_efficiency = 0.70,
     };
-    p.price_per_node_hour = 12.24;  // p3.8xlarge-class list price
+    p.price_per_node_hour = units::DollarsPerHour(12.24);  // p3.8xlarge-class list price
     v.push_back(p);
   }
 

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "units/units.hpp"
 #include "util/common.hpp"
 
 namespace hemo::cluster {
@@ -27,17 +28,18 @@ struct MemoryParams {
   real_t a2 = 0.0;
   real_t a3 = 0.0;
 
-  /// Node bandwidth in MB/s at n active threads (Eq. 8).
-  [[nodiscard]] real_t node_bandwidth_mbs(real_t n) const noexcept {
-    if (n < a3) return a1 * n;
-    return a2 * n + a3 * (a1 - a2);
+  /// Node bandwidth at n active threads (Eq. 8).
+  [[nodiscard]] units::MegabytesPerSec node_bandwidth_mbs(
+      real_t n) const noexcept {
+    if (n < a3) return units::MegabytesPerSec(a1 * n);
+    return units::MegabytesPerSec(a2 * n + a3 * (a1 - a2));
   }
 };
 
-/// Ground-truth linear communication parameters (MB/s, microseconds).
+/// Ground-truth linear communication parameters.
 struct CommParams {
-  real_t bandwidth_mbs = 0.0;
-  real_t latency_us = 0.0;
+  units::MegabytesPerSec bandwidth;
+  units::Microseconds latency;
 };
 
 /// Accelerator attached to a node. The paper's Eq. 2 includes a CPU-GPU
@@ -45,9 +47,9 @@ struct CommParams {
 /// let the virtual cluster and the models exercise it.
 struct GpuSpec {
   index_t gpus_per_node = 0;
-  real_t memory_bandwidth_mbs = 0.0;  ///< device HBM bandwidth
-  real_t pcie_bandwidth_mbs = 0.0;    ///< host <-> device link bandwidth
-  real_t pcie_latency_us = 0.0;       ///< per-transfer launch/DMA latency
+  units::MegabytesPerSec memory_bandwidth;  ///< device HBM bandwidth
+  units::MegabytesPerSec pcie_bandwidth;  ///< host <-> device link bandwidth
+  units::Microseconds pcie_latency;  ///< per-transfer launch/DMA latency
   /// Fraction of HBM bandwidth LBM kernels sustain (gather-heavy SoA).
   real_t kernel_efficiency = 0.70;
 };
@@ -62,9 +64,9 @@ struct InstanceProfile {
   index_t total_cores = 0;     ///< cores available in the tested allocation
   index_t cores_per_node = 0;
   index_t vcpus_per_core = 1;  ///< 2 when hyperthreading is exposed
-  real_t memory_per_node_gb = 0.0;
-  real_t published_bw_mbs = 0.0;     ///< vendor-published node bandwidth
-  real_t interconnect_gbits = 0.0;   ///< nominal link speed
+  units::Gigabytes memory_per_node;
+  units::MegabytesPerSec published_bw;  ///< vendor-published node bandwidth
+  units::GigabitsPerSec interconnect;   ///< nominal link speed
 
   MemoryParams memory;  ///< ground-truth STREAM law (paper Table III)
   CommParams inter;     ///< internodal PingPong parameters
@@ -74,9 +76,9 @@ struct InstanceProfile {
   /// variance past the saturation point (observed on CSP-2, Fig. 5).
   bool shared_memory_channels = false;
 
-  /// Synthetic price, $ per node-hour (c4/c5/c5n-class list prices; only
+  /// Synthetic price per node-hour (c4/c5/c5n-class list prices; only
   /// relative values matter for the dashboard).
-  real_t price_per_node_hour = 0.0;
+  units::DollarsPerHour price_per_node_hour;
 
   /// Attached accelerators, when the instance type offers them.
   std::optional<GpuSpec> gpu;

@@ -20,7 +20,12 @@ WorkloadPlan make_workload_plan(const lbm::FluidMesh& mesh,
   plan.kernel = config;
   plan.traits = lbm::kernel_traits(config);
 
-  plan.task_bytes = decomp::task_bytes_per_step(mesh, partition, config);
+  const std::vector<real_t> raw_bytes =
+      decomp::task_bytes_per_step(mesh, partition, config);
+  plan.task_bytes.reserve(raw_bytes.size());
+  for (const real_t b : raw_bytes) {
+    plan.task_bytes.push_back(units::Bytes(b));
+  }
   plan.task_points.resize(static_cast<std::size_t>(partition.n_tasks));
   plan.task_node.resize(static_cast<std::size_t>(partition.n_tasks));
   for (index_t t = 0; t < partition.n_tasks; ++t) {
@@ -36,7 +41,7 @@ WorkloadPlan make_workload_plan(const lbm::FluidMesh& mesh,
     WorkloadPlan::PlannedMessage pm;
     pm.from = m.from;
     pm.to = m.to;
-    pm.bytes = m.bytes(config);
+    pm.bytes = units::Bytes(m.bytes(config));
     pm.internode = plan.task_node[static_cast<std::size_t>(m.from)] !=
                    plan.task_node[static_cast<std::size_t>(m.to)];
     plan.messages.push_back(pm);
@@ -82,26 +87,28 @@ std::vector<TaskBreakdown> VirtualCluster::task_breakdowns(
       // One task per device: full effective HBM bandwidth, no host-side
       // per-point overhead (the launch cost folds into transfers).
       const GpuSystem gpu(*profile_);
-      b.mem_s = plan.task_bytes[static_cast<std::size_t>(t)] /
-                (gpu.effective_bandwidth_mbs() * 1e6) /
-                profile_->base_efficiency;
+      b.mem_s = units::Seconds(
+          plan.task_bytes[static_cast<std::size_t>(t)].value() /
+          (gpu.effective_bandwidth().value() * 1e6) /
+          profile_->base_efficiency);
       continue;
     }
     const index_t node =
         static_cast<index_t>(plan.task_node[static_cast<std::size_t>(t)]);
     const index_t resident = tasks_on_node[static_cast<std::size_t>(node)];
     const real_t node_bw_mbs =
-        memory_.ideal_node_bandwidth_mbs(static_cast<real_t>(resident));
+        memory_.ideal_node_bandwidth(static_cast<real_t>(resident)).value();
     const real_t task_bw_bytes_per_s =
         node_bw_mbs / static_cast<real_t>(resident) *
         plan.traits.bandwidth_efficiency * 1e6;
 
-    b.mem_s = plan.task_bytes[static_cast<std::size_t>(t)] /
-              task_bw_bytes_per_s / profile_->base_efficiency;
-    b.overhead_s =
+    b.mem_s = units::Seconds(
+        plan.task_bytes[static_cast<std::size_t>(t)].value() /
+        task_bw_bytes_per_s / profile_->base_efficiency);
+    b.overhead_s = units::Seconds(
         static_cast<real_t>(plan.task_points[static_cast<std::size_t>(t)]) *
         plan.traits.overhead_cycles_per_point /
-        (profile_->clock_ghz * 1e9) / profile_->base_efficiency;
+        (profile_->clock_ghz * 1e9) / profile_->base_efficiency);
   }
 
   // Communication: each endpoint of a message spends its transfer time.
@@ -110,8 +117,9 @@ std::vector<TaskBreakdown> VirtualCluster::task_breakdowns(
   // skew), which keeps the models' overprediction consistent across the
   // memory- and communication-dominated regimes (paper Figs. 7-8).
   for (const auto& m : plan.messages) {
-    const real_t t_us = interconnect_.message_time_us(m.bytes, m.internode);
-    const real_t t_s = t_us * 1e-6 / profile_->base_efficiency;
+    const real_t t_us =
+        interconnect_.message_time(m.bytes, m.internode).value();
+    const units::Seconds t_s(t_us * 1e-6 / profile_->base_efficiency);
     for (std::int32_t endpoint : {m.from, m.to}) {
       TaskBreakdown& b = out[static_cast<std::size_t>(endpoint)];
       if (m.internode) {
@@ -127,8 +135,8 @@ std::vector<TaskBreakdown> VirtualCluster::task_breakdowns(
   if (plan.on_gpu) {
     const GpuSystem gpu(*profile_);
     for (const auto& m : plan.messages) {
-      const real_t t_s = gpu.transfer_time_us(m.bytes) * 1e-6 /
-                         profile_->base_efficiency;
+      const units::Seconds t_s(gpu.transfer_time(m.bytes).value() * 1e-6 /
+                               profile_->base_efficiency);
       out[static_cast<std::size_t>(m.from)].xfer_s += t_s;
       out[static_cast<std::size_t>(m.to)].xfer_s += t_s;
     }
@@ -143,9 +151,9 @@ ExecutionResult VirtualCluster::execute(const WorkloadPlan& plan,
   const auto breakdowns = task_breakdowns(plan);
 
   ExecutionResult r;
-  real_t worst = 0.0;
+  units::Seconds worst;
   for (index_t t = 0; t < plan.n_tasks; ++t) {
-    const real_t total = breakdowns[static_cast<std::size_t>(t)].total();
+    const units::Seconds total = breakdowns[static_cast<std::size_t>(t)].total();
     if (total > worst) {
       worst = total;
       r.critical_task = t;
@@ -156,8 +164,9 @@ ExecutionResult VirtualCluster::execute(const WorkloadPlan& plan,
   const real_t noise = noise_.factor(when.day, when.hour, when.slot);
   r.step_seconds = worst * noise;
   r.total_seconds = r.step_seconds * static_cast<real_t>(timesteps);
-  r.mflups = static_cast<real_t>(plan.total_points) *
-             static_cast<real_t>(timesteps) / (r.total_seconds * 1e6);
+  r.mflups = units::Mflups(static_cast<real_t>(plan.total_points) *
+                           static_cast<real_t>(timesteps) /
+                           (r.total_seconds.value() * 1e6));
   return r;
 }
 

@@ -25,6 +25,7 @@
 #include "decomp/partition.hpp"
 #include "lbm/access_counts.hpp"
 #include "lbm/mesh.hpp"
+#include "units/units.hpp"
 #include "util/common.hpp"
 
 namespace hemo::cluster {
@@ -37,14 +38,14 @@ struct WorkloadPlan {
   index_t n_nodes = 0;
   index_t total_points = 0;
 
-  std::vector<real_t> task_bytes;        ///< Eq. 9 counts per task
+  std::vector<units::Bytes> task_bytes;  ///< Eq. 9 counts per task
   std::vector<index_t> task_points;      ///< fluid points per task
   std::vector<std::int32_t> task_node;   ///< node of each task
 
   struct PlannedMessage {
     std::int32_t from = 0;
     std::int32_t to = 0;
-    real_t bytes = 0.0;
+    units::Bytes bytes;
     bool internode = false;
   };
   std::vector<PlannedMessage> messages;  ///< per-timestep halo messages
@@ -80,26 +81,26 @@ struct MeasurementContext {
   index_t slot = 0;
 };
 
-/// Noise-free time composition of one task's step (seconds).
+/// Noise-free time composition of one task's step.
 struct TaskBreakdown {
-  real_t mem_s = 0.0;       ///< memory-traffic term (incl. efficiency)
-  real_t overhead_s = 0.0;  ///< per-point instruction overhead
-  real_t intra_s = 0.0;     ///< intranodal communication
-  real_t inter_s = 0.0;     ///< internodal communication
-  real_t xfer_s = 0.0;      ///< CPU-GPU transfers (GPU plans only)
+  units::Seconds mem_s;       ///< memory-traffic term (incl. efficiency)
+  units::Seconds overhead_s;  ///< per-point instruction overhead
+  units::Seconds intra_s;     ///< intranodal communication
+  units::Seconds inter_s;     ///< internodal communication
+  units::Seconds xfer_s;      ///< CPU-GPU transfers (GPU plans only)
 
-  [[nodiscard]] real_t total() const noexcept {
+  [[nodiscard]] units::Seconds total() const noexcept {
     return mem_s + overhead_s + intra_s + inter_s + xfer_s;
   }
 };
 
 /// Result of executing a plan.
 struct ExecutionResult {
-  real_t step_seconds = 0.0;   ///< measured (noisy) time per timestep
-  real_t total_seconds = 0.0;  ///< step_seconds * timesteps
-  real_t mflups = 0.0;         ///< Eq. 7
-  index_t critical_task = 0;   ///< slowest task
-  TaskBreakdown critical;      ///< its noise-free composition
+  units::Seconds step_seconds;   ///< measured (noisy) time per timestep
+  units::Seconds total_seconds;  ///< step_seconds * timesteps
+  units::Mflups mflups;          ///< Eq. 7
+  index_t critical_task = 0;     ///< slowest task
+  TaskBreakdown critical;        ///< its noise-free composition
 };
 
 /// Executes plans against one instance profile.

@@ -10,11 +10,13 @@
 
 namespace hemo::core {
 
-real_t InstanceCalibration::task_bandwidth_bytes_per_s(
-    index_t threads) const {
-  HEMO_REQUIRE(threads >= 1, "threads must be >= 1");
-  const real_t node_mbs = memory.bandwidth(static_cast<real_t>(threads));
-  return node_mbs / static_cast<real_t>(threads) * 1e6;
+units::BytesPerSec InstanceCalibration::task_bandwidth(
+    units::Cores threads) const {
+  HEMO_REQUIRE(threads.value() >= 1, "threads must be >= 1");
+  const real_t node_mbs =
+      memory.bandwidth(static_cast<real_t>(threads.value()));
+  return units::BytesPerSec(node_mbs /
+                            static_cast<real_t>(threads.value()) * 1e6);
 }
 
 namespace {
@@ -62,7 +64,9 @@ InstanceCalibration calibrate_instance(
   for (index_t t = 1; t <= max_threads; ++t) {
     real_t acc = 0.0;
     for (index_t s = 0; s < kSamples; ++s) {
-      acc += cluster::MemorySystem(profile).measured_node_bandwidth_mbs(t, s);
+      acc += cluster::MemorySystem(profile)
+                 .measured_node_bandwidth(t, s)
+                 .value();
     }
     threads.push_back(static_cast<real_t>(t));
     bandwidth.push_back(acc / static_cast<real_t>(kSamples));
@@ -83,13 +87,14 @@ InstanceCalibration calibrate_instance(
     const cluster::GpuSystem gpu(profile);
     real_t bw = 0.0;
     for (index_t s = 0; s < kSamples; ++s) {
-      bw += gpu.measured_bandwidth_mbs(s);
+      bw += gpu.measured_bandwidth(s).value();
     }
-    cal.gpu_bandwidth_mbs = bw / static_cast<real_t>(kSamples);
+    cal.gpu_bandwidth =
+        units::MegabytesPerSec(bw / static_cast<real_t>(kSamples));
     std::vector<microbench::PingPongSample> pcie;
     for (real_t size : sizes) {
       pcie.push_back(microbench::PingPongSample{
-          size, gpu.measured_transfer_us(size, 0)});
+          size, gpu.measured_transfer(units::Bytes(size), 0).value()});
     }
     cal.gpu_pcie = fit_pingpong(pcie);
   }
@@ -105,11 +110,12 @@ WorkloadCalibration calibrate_workload(harvey::Simulation& sim,
   cal.name = sim.geometry().name;
   cal.kernel = sim.options().solver.kernel;
   cal.total_points = sim.mesh().num_points();
-  cal.serial_bytes = lbm::serial_bytes_per_step(sim.mesh(), cal.kernel);
+  cal.serial_bytes =
+      units::Bytes(lbm::serial_bytes_per_step(sim.mesh(), cal.kernel));
   // Data exchanged per boundary point: ~5 of the 19 distributions cross a
   // face cut in D3Q19.
-  cal.point_comm_bytes =
-      5.0 * static_cast<real_t>(lbm::data_size(cal.kernel.precision));
+  cal.point_comm_bytes = units::Bytes(
+      5.0 * static_cast<real_t>(lbm::data_size(cal.kernel.precision)));
 
   std::vector<real_t> ns, zs, nodes, events;
   for (index_t n : task_counts) {

@@ -22,6 +22,7 @@
 #include "fit/log_models.hpp"
 #include "fit/two_line.hpp"
 #include "harvey/simulation.hpp"
+#include "units/units.hpp"
 #include "util/common.hpp"
 
 namespace hemo::core {
@@ -38,12 +39,12 @@ struct InstanceCalibration {
 
   /// GPU calibration (present only for GPU-equipped instances): device
   /// STREAM bandwidth and the fitted host<->device transfer law.
-  std::optional<real_t> gpu_bandwidth_mbs;
+  std::optional<units::MegabytesPerSec> gpu_bandwidth;
   std::optional<fit::CommModel> gpu_pcie;
 
-  /// Model's memory bandwidth share of one task, bytes/second, when
-  /// `threads` tasks are active per node (paper: linear sharing).
-  [[nodiscard]] real_t task_bandwidth_bytes_per_s(index_t threads) const;
+  /// Model's memory bandwidth share of one task when `threads` tasks are
+  /// active per node (paper: linear sharing).
+  [[nodiscard]] units::BytesPerSec task_bandwidth(units::Cores threads) const;
 };
 
 /// Runs the simulated STREAM thread sweep and PingPong size sweeps against
@@ -56,8 +57,8 @@ struct InstanceCalibration {
 struct WorkloadCalibration {
   std::string name;
   index_t total_points = 0;
-  real_t serial_bytes = 0.0;      ///< Eq. 9 summed over the serial domain
-  real_t point_comm_bytes = 0.0;  ///< n_point_comm_bytes in Eq. 13
+  units::Bytes serial_bytes;      ///< Eq. 9 summed over the serial domain
+  units::Bytes point_comm_bytes;  ///< n_point_comm_bytes in Eq. 13
   fit::ImbalanceModel imbalance;  ///< Eq. 11 fit
   fit::EventCountModel events;    ///< Eq. 15 fit
   lbm::KernelConfig kernel;

@@ -5,7 +5,8 @@
 namespace hemo::core {
 
 void CampaignTracker::record(Observation obs) {
-  HEMO_REQUIRE(obs.predicted_mflups > 0.0 && obs.measured_mflups > 0.0,
+  HEMO_REQUIRE(obs.predicted_mflups.value() > 0.0 &&
+                   obs.measured_mflups.value() > 0.0,
                "observations need positive throughputs");
   observations_.push_back(std::move(obs));
 }
@@ -23,8 +24,8 @@ real_t CampaignTracker::mean_abs_relative_error() const {
   if (observations_.empty()) return 0.0;
   real_t acc = 0.0;
   for (const Observation& o : observations_) {
-    acc += std::abs(o.predicted_mflups - o.measured_mflups) /
-           o.measured_mflups;
+    acc += std::abs((o.predicted_mflups - o.measured_mflups).value()) /
+           o.measured_mflups.value();
   }
   return acc / static_cast<real_t>(observations_.size());
 }
@@ -34,19 +35,19 @@ real_t CampaignTracker::refined_mean_abs_relative_error() const {
   const real_t c = correction_factor();
   real_t acc = 0.0;
   for (const Observation& o : observations_) {
-    acc += std::abs(o.predicted_mflups * c - o.measured_mflups) /
-           o.measured_mflups;
+    acc += std::abs((o.predicted_mflups * c - o.measured_mflups).value()) /
+           o.measured_mflups.value();
   }
   return acc / static_cast<real_t>(observations_.size());
 }
 
-bool JobGuard::should_abort(real_t elapsed_seconds,
+bool JobGuard::should_abort(units::Seconds elapsed_seconds,
                             real_t fraction_done) const {
   HEMO_REQUIRE(fraction_done >= 0.0 && fraction_done <= 1.0,
                "fraction_done must be in [0, 1]");
   if (elapsed_seconds >= max_seconds()) return true;
   if (fraction_done <= 0.0) return false;
-  const real_t projected = elapsed_seconds / fraction_done;
+  const units::Seconds projected = elapsed_seconds / fraction_done;
   return projected > max_seconds();
 }
 

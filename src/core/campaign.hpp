@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "units/units.hpp"
 #include "util/common.hpp"
 
 namespace hemo::core {
@@ -21,8 +22,8 @@ struct Observation {
   std::string workload;
   std::string instance;
   index_t n_tasks = 0;
-  real_t predicted_mflups = 0.0;
-  real_t measured_mflups = 0.0;
+  units::Mflups predicted_mflups;
+  units::Mflups measured_mflups;
 };
 
 /// Accumulates observations and refines predictions.
@@ -42,7 +43,7 @@ class CampaignTracker {
   [[nodiscard]] real_t correction_factor() const;
 
   /// Applies the learned correction to a raw model throughput.
-  [[nodiscard]] real_t refined_mflups(real_t raw_mflups) const {
+  [[nodiscard]] units::Mflups refined_mflups(units::Mflups raw_mflups) const {
     return raw_mflups * correction_factor();
   }
 
@@ -60,20 +61,20 @@ class CampaignTracker {
 /// Model-driven job limit: the user allows `tolerance` (e.g. 0.10) over the
 /// predicted runtime and hard-stops the job beyond it (paper Section IV).
 struct JobGuard {
-  real_t predicted_seconds = 0.0;
+  units::Seconds predicted_seconds;
   real_t tolerance = 0.10;
-  real_t price_per_hour = 0.0;  ///< whole-allocation cost rate
+  units::DollarsPerHour price_per_hour;  ///< whole-allocation cost rate
 
-  [[nodiscard]] real_t max_seconds() const noexcept {
+  [[nodiscard]] units::Seconds max_seconds() const noexcept {
     return predicted_seconds * (1.0 + tolerance);
   }
-  [[nodiscard]] real_t max_dollars() const noexcept {
-    return max_seconds() / 3600.0 * price_per_hour;
+  [[nodiscard]] units::Dollars max_dollars() const noexcept {
+    return units::to_hours(max_seconds()) * price_per_hour;
   }
 
   /// True if a job that has completed `fraction_done` of its work in
   /// `elapsed_seconds` is on pace to violate the limit and should stop.
-  [[nodiscard]] bool should_abort(real_t elapsed_seconds,
+  [[nodiscard]] bool should_abort(units::Seconds elapsed_seconds,
                                   real_t fraction_done) const;
 };
 

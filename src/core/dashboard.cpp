@@ -36,11 +36,11 @@ std::vector<DashboardRow> Dashboard::evaluate(
       row.prediction.step_seconds /= correction;
 
       row.time_to_solution_s =
-          row.prediction.step_seconds * static_cast<real_t>(job.timesteps);
+          time_to_solution(row.prediction.step_seconds, job.timesteps);
       row.cost_rate_per_hour = static_cast<real_t>(row.n_nodes) *
                                opt.profile->price_per_node_hour;
       row.total_dollars =
-          row.time_to_solution_s / 3600.0 * row.cost_rate_per_hour;
+          total_cost(row.cost_rate_per_hour, row.time_to_solution_s);
       row.mflups_per_dollar_hour =
           row.prediction.mflups / row.cost_rate_per_hour;
       rows.push_back(std::move(row));
@@ -63,7 +63,7 @@ std::vector<std::vector<real_t>> Dashboard::relative_value_matrix(
 
 std::optional<DashboardRow> Dashboard::recommend(
     std::span<const DashboardRow> rows, Objective objective,
-    real_t deadline_s) {
+    units::Seconds deadline) {
   if (rows.empty()) return std::nullopt;
   switch (objective) {
     case Objective::kMaxThroughput: {
@@ -81,10 +81,11 @@ std::optional<DashboardRow> Dashboard::recommend(
       return *it;
     }
     case Objective::kDeadline: {
-      HEMO_REQUIRE(deadline_s > 0.0, "deadline objective needs a deadline");
+      HEMO_REQUIRE(deadline.value() > 0.0,
+                   "deadline objective needs a deadline");
       std::optional<DashboardRow> best;
       for (const DashboardRow& row : rows) {
-        if (row.time_to_solution_s > deadline_s) continue;
+        if (row.time_to_solution_s > deadline) continue;
         if (!best || row.total_dollars < best->total_dollars) best = row;
       }
       return best;
@@ -97,21 +98,21 @@ DashboardRow apply_spot_pricing(const DashboardRow& row,
                                 const SpotOptions& options) {
   HEMO_REQUIRE(options.discount >= 0.0 && options.discount < 1.0,
                "spot discount must be in [0, 1)");
-  HEMO_REQUIRE(options.preemptions_per_hour >= 0.0,
+  HEMO_REQUIRE(options.preemptions_per_hour.value() >= 0.0,
                "negative preemption rate");
   DashboardRow spot = row;
   // Expected loss per preemption: half a checkpoint interval of redone
   // work plus the restart overhead.
-  const real_t loss_per_preemption_s =
+  const units::Seconds loss_per_preemption =
       options.checkpoint_interval_s / 2.0 + options.restart_overhead_s;
   // Expected preemptions over the (first-order) wall time.
-  const real_t expected_preemptions =
-      options.preemptions_per_hour * row.time_to_solution_s / 3600.0;
+  const real_t expected_preemptions = options.preemptions_per_hour.value() *
+                                      row.time_to_solution_s.value() / 3600.0;
   spot.time_to_solution_s =
-      row.time_to_solution_s + expected_preemptions * loss_per_preemption_s;
+      row.time_to_solution_s + expected_preemptions * loss_per_preemption;
   spot.cost_rate_per_hour = row.cost_rate_per_hour * (1.0 - options.discount);
   spot.total_dollars =
-      spot.time_to_solution_s / 3600.0 * spot.cost_rate_per_hour;
+      total_cost(spot.cost_rate_per_hour, spot.time_to_solution_s);
   spot.mflups_per_dollar_hour =
       spot.prediction.mflups / spot.cost_rate_per_hour;
   return spot;

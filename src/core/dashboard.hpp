@@ -15,6 +15,7 @@
 #include "core/calibration.hpp"
 #include "core/campaign.hpp"
 #include "core/models.hpp"
+#include "units/units.hpp"
 #include "util/common.hpp"
 
 namespace hemo::core {
@@ -30,10 +31,10 @@ struct DashboardRow {
   index_t n_tasks = 0;
   index_t n_nodes = 0;
   ModelPrediction prediction;
-  real_t time_to_solution_s = 0.0;
-  real_t cost_rate_per_hour = 0.0;  ///< $ / hour for the whole allocation
-  real_t total_dollars = 0.0;
-  real_t mflups_per_dollar_hour = 0.0;
+  units::Seconds time_to_solution_s;
+  units::DollarsPerHour cost_rate_per_hour;  ///< for the whole allocation
+  units::Dollars total_dollars;
+  units::MflupsPerDollarHour mflups_per_dollar_hour;
 };
 
 /// Preemptible (spot) capacity pricing. Spot instances trade a discount
@@ -42,10 +43,10 @@ struct DashboardRow {
 /// The expected-value model here lets the dashboard compare on-demand vs
 /// spot per option.
 struct SpotOptions {
-  real_t discount = 0.70;             ///< spot price = (1 - discount) * list
-  real_t preemptions_per_hour = 0.15; ///< mean interruption rate
-  real_t checkpoint_interval_s = 600.0;
-  real_t restart_overhead_s = 120.0;  ///< re-provision + reload time
+  real_t discount = 0.70;  ///< spot price = (1 - discount) * list
+  units::PerHour preemptions_per_hour{0.15};  ///< mean interruption rate
+  units::Seconds checkpoint_interval_s{600.0};
+  units::Seconds restart_overhead_s{120.0};  ///< re-provision + reload time
 };
 
 /// Returns the row re-priced for spot capacity: the expected wall time
@@ -59,7 +60,7 @@ struct SpotOptions {
 enum class Objective {
   kMaxThroughput,
   kMinCost,
-  kDeadline,  ///< cheapest option meeting `deadline_s`
+  kDeadline,  ///< cheapest option meeting `deadline`
 };
 
 /// One candidate instance: profile + its calibration.
@@ -91,11 +92,11 @@ class Dashboard {
   [[nodiscard]] static std::vector<std::vector<real_t>> relative_value_matrix(
       std::span<const DashboardRow> rows);
 
-  /// Recommends a row under the objective. `deadline_s` is required for
+  /// Recommends a row under the objective. `deadline` is required for
   /// Objective::kDeadline. Returns nullopt if no row qualifies.
   [[nodiscard]] static std::optional<DashboardRow> recommend(
       std::span<const DashboardRow> rows, Objective objective,
-      real_t deadline_s = 0.0);
+      units::Seconds deadline = units::Seconds{});
 
   /// Builds the overrun guard for a chosen row (tolerance per paper: 10 %).
   [[nodiscard]] static JobGuard make_guard(const DashboardRow& row,

@@ -10,7 +10,7 @@ ModelPrediction predict_direct(const cluster::WorkloadPlan& plan,
   HEMO_REQUIRE(plan.n_tasks >= 1, "empty plan");
   HEMO_REQUIRE(cal.inter_raw && cal.intra_raw,
                "direct model needs raw PingPong tables");
-  HEMO_REQUIRE(!plan.on_gpu || (cal.gpu_bandwidth_mbs && cal.gpu_pcie),
+  HEMO_REQUIRE(!plan.on_gpu || (cal.gpu_bandwidth && cal.gpu_pcie),
                "GPU plan needs a GPU-calibrated instance");
 
   // Memory term per task: Eq. 9 bytes over the shared two-line bandwidth
@@ -26,14 +26,15 @@ ModelPrediction predict_direct(const cluster::WorkloadPlan& plan,
   for (index_t t = 0; t < plan.n_tasks; ++t) {
     real_t bw = 0.0;
     if (plan.on_gpu) {
-      bw = *cal.gpu_bandwidth_mbs * 1e6;
+      bw = cal.gpu_bandwidth->value() * 1e6;
     } else {
       const index_t resident = tasks_on_node[static_cast<std::size_t>(
           plan.task_node[static_cast<std::size_t>(t)])];
-      bw = cal.task_bandwidth_bytes_per_s(resident);
+      bw = cal.task_bandwidth(units::Cores(resident)).value();
     }
     max_mem = std::max(
-        max_mem, plan.task_bytes[static_cast<std::size_t>(t)] / bw);
+        max_mem,
+        plan.task_bytes[static_cast<std::size_t>(t)].value() / bw);
   }
 
   // Communication term per task: interpolate each message's time from the
@@ -45,7 +46,7 @@ ModelPrediction predict_direct(const cluster::WorkloadPlan& plan,
   for (const auto& m : plan.messages) {
     const fit::Interp1D& table = m.internode ? *cal.inter_raw
                                              : *cal.intra_raw;
-    const real_t t_s = table(m.bytes) * 1e-6;
+    const real_t t_s = table(m.bytes.value()) * 1e-6;
     for (std::int32_t endpoint : {m.from, m.to}) {
       (m.internode ? inter : intra)[static_cast<std::size_t>(endpoint)] +=
           t_s;
@@ -56,30 +57,30 @@ ModelPrediction predict_direct(const cluster::WorkloadPlan& plan,
   if (plan.on_gpu) {
     for (const auto& m : plan.messages) {
       // gpu_pcie is in MB/s + us, so time() yields microseconds.
-      const real_t t_s = cal.gpu_pcie->time(m.bytes) * 1e-6;
+      const real_t t_s = cal.gpu_pcie->time(m.bytes.value()) * 1e-6;
       xfer[static_cast<std::size_t>(m.from)] += t_s;
       xfer[static_cast<std::size_t>(m.to)] += t_s;
     }
   }
 
   ModelPrediction pred;
-  pred.t_mem_s = max_mem;
+  pred.t_mem = units::Seconds(max_mem);
   index_t critical = 0;
   for (index_t t = 0; t < plan.n_tasks; ++t) {
-    const real_t total = intra[static_cast<std::size_t>(t)] +
-                         inter[static_cast<std::size_t>(t)] +
-                         xfer[static_cast<std::size_t>(t)];
-    if (total > pred.t_comm_s) {
-      pred.t_comm_s = total;
+    const units::Seconds total(intra[static_cast<std::size_t>(t)] +
+                               inter[static_cast<std::size_t>(t)] +
+                               xfer[static_cast<std::size_t>(t)]);
+    if (total > pred.t_comm) {
+      pred.t_comm = total;
       critical = t;
     }
   }
-  pred.t_intra_s = intra[static_cast<std::size_t>(critical)];
-  pred.t_inter_s = inter[static_cast<std::size_t>(critical)];
-  pred.t_xfer_s = xfer[static_cast<std::size_t>(critical)];
-  pred.step_seconds = pred.t_mem_s + pred.t_comm_s;
-  pred.mflups = static_cast<real_t>(plan.total_points) /
-                (pred.step_seconds * 1e6);
+  pred.t_intra = units::Seconds(intra[static_cast<std::size_t>(critical)]);
+  pred.t_inter = units::Seconds(inter[static_cast<std::size_t>(critical)]);
+  pred.t_xfer = units::Seconds(xfer[static_cast<std::size_t>(critical)]);
+  pred.step_seconds = pred.t_mem + pred.t_comm;
+  pred.mflups =
+      mflups_from(static_cast<real_t>(plan.total_points), pred.step_seconds);
   return pred;
 }
 
@@ -93,14 +94,14 @@ ModelPrediction predict_general(const WorkloadCalibration& workload,
 
   // Load imbalance factor (Eq. 11) and busiest-task bytes (Eq. 10).
   const real_t z = workload.imbalance.z(n);
-  const real_t max_bytes = z * workload.serial_bytes / n;
+  const units::Bytes max_bytes(z * workload.serial_bytes.value() / n);
 
   // Memory term with the linear bandwidth-sharing assumption.
   const index_t threads =
       std::min<index_t>(n_tasks, tasks_per_node);
-  const real_t bw = cal.task_bandwidth_bytes_per_s(threads);
+  const units::BytesPerSec bw = cal.task_bandwidth(units::Cores(threads));
   ModelPrediction pred;
-  pred.t_mem_s = max_bytes / bw;
+  pred.t_mem = max_bytes / bw;
 
   // Halo size estimate (Eqs. 13-14): surface area of the busiest task's
   // sub-cube, both sent and received.
@@ -110,7 +111,7 @@ ModelPrediction predict_general(const WorkloadCalibration& workload,
         z * static_cast<real_t>(workload.total_points) / n;
     const real_t m_max_total = w / 6.0 *
                                std::pow(points_per_task, 2.0 / 3.0) * 2.0 *
-                               workload.point_comm_bytes;
+                               workload.point_comm_bytes.value();
 
     // Event count (Eq. 15) and the linear communication time (Eq. 16).
     // Allocations confined to one node exchange halos through shared
@@ -123,19 +124,19 @@ ModelPrediction predict_general(const WorkloadCalibration& workload,
     const real_t bw_term_s =
         m_max_total / (comm.bandwidth * 1e6);  // MB/s -> B/s
     const real_t lat_term_s = events * comm.latency * 1e-6;
-    pred.t_comm_bw_s = bw_term_s;
-    pred.t_comm_lat_s = lat_term_s;
-    pred.t_comm_s = bw_term_s + lat_term_s;
+    pred.t_comm_bw = units::Seconds(bw_term_s);
+    pred.t_comm_lat = units::Seconds(lat_term_s);
+    pred.t_comm = units::Seconds(bw_term_s + lat_term_s);
   }
 
-  pred.step_seconds = pred.t_mem_s + pred.t_comm_s;
-  pred.mflups = static_cast<real_t>(workload.total_points) /
-                (pred.step_seconds * 1e6);
+  pred.step_seconds = pred.t_mem + pred.t_comm;
+  pred.mflups = mflups_from(static_cast<real_t>(workload.total_points),
+                            pred.step_seconds);
   return pred;
 }
 
 real_t relative_value(const ModelPrediction& b, const ModelPrediction& a) {
-  HEMO_REQUIRE(a.mflups > 0.0 && b.mflups > 0.0,
+  HEMO_REQUIRE(a.mflups.value() > 0.0 && b.mflups.value() > 0.0,
                "relative_value needs positive throughputs");
   return b.mflups / a.mflups;
 }

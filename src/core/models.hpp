@@ -18,24 +18,43 @@
 
 #include "cluster/virtual_cluster.hpp"
 #include "core/calibration.hpp"
+#include "units/units.hpp"
 #include "util/common.hpp"
 
 namespace hemo::core {
 
 /// A model's per-step prediction with its runtime composition.
 struct ModelPrediction {
-  real_t t_mem_s = 0.0;   ///< max over tasks of the memory term
-  real_t t_comm_s = 0.0;  ///< max over tasks of the communication term
+  units::Seconds t_mem;   ///< max over tasks of the memory term
+  units::Seconds t_comm;  ///< max over tasks of the communication term
   // Composition of the communication term:
-  real_t t_intra_s = 0.0;     ///< direct model: intranodal share
-  real_t t_inter_s = 0.0;     ///< direct model: internodal share
-  real_t t_comm_bw_s = 0.0;   ///< generalized model: bandwidth share
-  real_t t_comm_lat_s = 0.0;  ///< generalized model: latency share
-  real_t t_xfer_s = 0.0;      ///< CPU-GPU transfer term (GPU plans, Eq. 2)
+  units::Seconds t_intra;     ///< direct model: intranodal share
+  units::Seconds t_inter;     ///< direct model: internodal share
+  units::Seconds t_comm_bw;   ///< generalized model: bandwidth share
+  units::Seconds t_comm_lat;  ///< generalized model: latency share
+  units::Seconds t_xfer;      ///< CPU-GPU transfer term (GPU plans, Eq. 2)
 
-  real_t step_seconds = 0.0;
-  real_t mflups = 0.0;
+  units::Seconds step_seconds;
+  units::Mflups mflups;
 };
+
+/// Eq. 7: throughput of `points` fluid points updated once per `step`.
+[[nodiscard]] constexpr units::Mflups mflups_from(real_t points,
+                                                  units::Seconds step) {
+  return units::Mflups(points / (step.value() * 1e6));
+}
+
+/// Wall-clock time to run `timesteps` steps at `step` each.
+[[nodiscard]] constexpr units::Seconds time_to_solution(
+    units::Seconds step, index_t timesteps) {
+  return step * static_cast<real_t>(timesteps);
+}
+
+/// Cost of holding an allocation billed at `rate` for `runtime`.
+[[nodiscard]] constexpr units::Dollars total_cost(units::DollarsPerHour rate,
+                                                  units::Seconds runtime) {
+  return units::to_hours(runtime) * rate;
+}
 
 /// Direct model: exact counts of `plan`, measured hardware tables of `cal`.
 [[nodiscard]] ModelPrediction predict_direct(

@@ -33,7 +33,8 @@ void save_campaign(const CampaignTracker& tracker, std::ostream& os) {
   full(os) << kCampaignMagic << "\n" << tracker.size() << "\n";
   for (const Observation& o : tracker.observations()) {
     os << o.workload << "\t" << o.instance << "\t" << o.n_tasks << "\t"
-       << o.predicted_mflups << "\t" << o.measured_mflups << "\n";
+       << o.predicted_mflups.value() << "\t" << o.measured_mflups.value()
+       << "\n";
   }
   if (!os) throw NumericError("save_campaign: stream write failed");
 }
@@ -54,9 +55,12 @@ CampaignTracker load_campaign(std::istream& is) {
         !std::getline(row, o.instance, '\t')) {
       malformed("observation names");
     }
-    if (!(row >> o.n_tasks >> o.predicted_mflups >> o.measured_mflups)) {
+    real_t predicted = 0.0, measured = 0.0;
+    if (!(row >> o.n_tasks >> predicted >> measured)) {
       malformed("observation numbers");
     }
+    o.predicted_mflups = units::Mflups(predicted);
+    o.measured_mflups = units::Mflups(measured);
     tracker.record(std::move(o));
   }
   return tracker;
@@ -93,9 +97,9 @@ void save_calibration(const InstanceCalibration& calibration,
   write_table(calibration.inter_raw);
   write_table(calibration.intra_raw);
 
-  if (calibration.gpu_bandwidth_mbs && calibration.gpu_pcie) {
+  if (calibration.gpu_bandwidth && calibration.gpu_pcie) {
     os << 1 << "\n"
-       << *calibration.gpu_bandwidth_mbs << "\t"
+       << calibration.gpu_bandwidth->value() << "\t"
        << calibration.gpu_pcie->bandwidth << "\t"
        << calibration.gpu_pcie->latency << "\n";
   } else {
@@ -151,7 +155,7 @@ InstanceCalibration load_calibration(std::istream& is) {
     real_t bw = 0;
     fit::CommModel pcie;
     if (!(row >> bw >> pcie.bandwidth >> pcie.latency)) malformed("gpu");
-    cal.gpu_bandwidth_mbs = bw;
+    cal.gpu_bandwidth = units::MegabytesPerSec(bw);
     cal.gpu_pcie = pcie;
   }
   return cal;

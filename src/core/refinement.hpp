@@ -23,8 +23,9 @@ namespace hemo::core {
 /// One recorded comparison point for refinement.
 struct RefinementSample {
   index_t n_tasks = 0;
-  real_t predicted_step_s = 0.0;  ///< baseline model prediction
-  real_t measured_step_s = 0.0;   ///< virtual-cluster (or real) timing
+  // Raw by design: samples cross into the unit-agnostic fit:: layer.
+  real_t predicted_step_s = 0.0;  // units-ok(fit-layer sample data)
+  real_t measured_step_s = 0.0;   // units-ok(fit-layer sample data)
 };
 
 /// A proposed additional runtime element: seconds per step as a function of
@@ -62,8 +63,9 @@ class TermSelector {
   }
 
   /// Refined step-time prediction for a baseline prediction at n_tasks.
-  [[nodiscard]] real_t refined_step_s(real_t baseline_step_s,
-                                      index_t n_tasks) const;
+  [[nodiscard]] real_t refined_step_s(  // units-ok(fit-layer interface)
+      real_t baseline_step_s,           // units-ok(fit-layer interface)
+      index_t n_tasks) const;
 
  private:
   [[nodiscard]] real_t error_with(

@@ -9,44 +9,42 @@ Roofline instance_roofline(const cluster::InstanceProfile& profile,
   HEMO_REQUIRE(threads >= 1, "roofline needs at least one thread");
   HEMO_REQUIRE(flops_per_cycle > 0.0, "flops_per_cycle must be positive");
   Roofline r;
-  r.peak_gflops = static_cast<real_t>(threads) * profile.clock_ghz *
-                  flops_per_cycle;
-  r.bandwidth_gbs =
-      profile.memory.node_bandwidth_mbs(static_cast<real_t>(threads)) / 1e3;
-  r.ridge_flops_per_byte =
-      r.bandwidth_gbs > 0.0 ? r.peak_gflops / r.bandwidth_gbs : 0.0;
+  r.peak = units::GflopsPerSec(static_cast<real_t>(threads) *
+                               profile.clock_ghz * flops_per_cycle);
+  r.bandwidth = units::to_gigabytes_per_sec(
+      profile.memory.node_bandwidth_mbs(static_cast<real_t>(threads)));
+  r.ridge = r.bandwidth.value() > 0.0 ? r.peak / r.bandwidth
+                                      : units::FlopsPerByte(0.0);
   return r;
 }
 
-real_t arithmetic_intensity(const lbm::FluidMesh& mesh,
-                            const lbm::KernelConfig& config) {
+units::FlopsPerByte arithmetic_intensity(const lbm::FluidMesh& mesh,
+                                         const lbm::KernelConfig& config) {
   const real_t bytes = lbm::serial_bytes_per_step(mesh, config);
   HEMO_REQUIRE(bytes > 0.0, "empty mesh");
-  return lbm::serial_flops_per_step(mesh) / bytes;
+  return units::FlopsPerByte(lbm::serial_flops_per_step(mesh) / bytes);
 }
 
-Bound bound_for(const Roofline& roofline,
-                real_t intensity_flops_per_byte) {
-  HEMO_REQUIRE(intensity_flops_per_byte > 0.0,
-               "intensity must be positive");
-  return intensity_flops_per_byte < roofline.ridge_flops_per_byte
-             ? Bound::kMemory
-             : Bound::kCompute;
+Bound bound_for(const Roofline& roofline, units::FlopsPerByte intensity) {
+  HEMO_REQUIRE(intensity.value() > 0.0, "intensity must be positive");
+  return intensity < roofline.ridge ? Bound::kMemory : Bound::kCompute;
 }
 
 ModelPrediction roofline_adjusted(const ModelPrediction& prediction,
                                   const Roofline& roofline,
-                                  real_t task_flops, real_t task_share) {
+                                  units::Flops task_flops,
+                                  real_t task_share) {
   HEMO_REQUIRE(task_share > 0.0 && task_share <= 1.0,
                "task_share must be in (0, 1]");
   ModelPrediction adjusted = prediction;
-  const real_t t_compute =
-      task_flops / (roofline.peak_gflops * 1e9 * task_share);
-  adjusted.t_mem_s = std::max(prediction.t_mem_s, t_compute);
-  adjusted.step_seconds = adjusted.t_mem_s + adjusted.t_comm_s;
-  if (prediction.step_seconds > 0.0) {
-    adjusted.mflups = prediction.mflups * prediction.step_seconds /
-                      adjusted.step_seconds;
+  const units::Seconds t_compute(
+      task_flops.value() / (roofline.peak.value() * 1e9 * task_share));
+  adjusted.t_mem = std::max(prediction.t_mem, t_compute);
+  adjusted.step_seconds = adjusted.t_mem + adjusted.t_comm;
+  if (prediction.step_seconds.value() > 0.0) {
+    adjusted.mflups = units::Mflups(prediction.mflups.value() *
+                                    prediction.step_seconds.value() /
+                                    adjusted.step_seconds.value());
   }
   return adjusted;
 }

@@ -15,6 +15,7 @@
 #include "core/models.hpp"
 #include "lbm/access_counts.hpp"
 #include "lbm/mesh.hpp"
+#include "units/units.hpp"
 #include "util/common.hpp"
 
 namespace hemo::core {
@@ -24,9 +25,9 @@ enum class Bound { kMemory, kCompute };
 
 /// Per-node ceilings of one instance at a given active-thread count.
 struct Roofline {
-  real_t peak_gflops = 0.0;       ///< node FP64 peak at `threads` cores
-  real_t bandwidth_gbs = 0.0;     ///< node STREAM-law bandwidth
-  real_t ridge_flops_per_byte = 0.0;  ///< peak_gflops / bandwidth
+  units::GflopsPerSec peak;            ///< node FP64 peak at `threads` cores
+  units::GigabytesPerSec bandwidth;    ///< node STREAM-law bandwidth
+  units::FlopsPerByte ridge;           ///< peak / bandwidth
 };
 
 /// Builds the node roofline: peak = threads * clock * flops_per_cycle
@@ -36,14 +37,14 @@ struct Roofline {
     const cluster::InstanceProfile& profile, index_t threads,
     real_t flops_per_cycle = 8.0);
 
-/// Arithmetic intensity (flops per byte) of one kernel configuration over
-/// a mesh: serial flops / serial bytes.
-[[nodiscard]] real_t arithmetic_intensity(const lbm::FluidMesh& mesh,
-                                          const lbm::KernelConfig& config);
+/// Arithmetic intensity of one kernel configuration over a mesh:
+/// serial flops / serial bytes.
+[[nodiscard]] units::FlopsPerByte arithmetic_intensity(
+    const lbm::FluidMesh& mesh, const lbm::KernelConfig& config);
 
 /// Which ceiling binds the kernel on this roofline.
 [[nodiscard]] Bound bound_for(const Roofline& roofline,
-                              real_t intensity_flops_per_byte);
+                              units::FlopsPerByte intensity);
 
 /// Roofline-corrected prediction: replaces the memory term with
 /// max(memory term, compute term) where the compute term is the task's
@@ -51,6 +52,6 @@ struct Roofline {
 /// every catalog instance (memory-bound), which is itself a checked claim.
 [[nodiscard]] ModelPrediction roofline_adjusted(
     const ModelPrediction& prediction, const Roofline& roofline,
-    real_t task_flops, real_t task_share);
+    units::Flops task_flops, real_t task_share);
 
 }  // namespace hemo::core

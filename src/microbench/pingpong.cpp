@@ -25,8 +25,9 @@ std::vector<PingPongSample> simulated_pingpong(
   std::vector<PingPongSample> out;
   out.reserve(sizes.size());
   for (real_t s : sizes) {
-    out.push_back(
-        PingPongSample{s, net.measured_pingpong_us(s, internode, sample)});
+    out.push_back(PingPongSample{
+        s, net.measured_pingpong(units::Bytes(s), internode, sample)
+               .value()});
   }
   return out;
 }

@@ -56,8 +56,8 @@ std::vector<BandwidthSample> simulated_stream_sweep(
   std::vector<BandwidthSample> sweep;
   sweep.reserve(static_cast<std::size_t>(max_threads));
   for (index_t t = 1; t <= max_threads; ++t) {
-    sweep.push_back(
-        BandwidthSample{t, memory.measured_node_bandwidth_mbs(t, sample)});
+    sweep.push_back(BandwidthSample{
+        t, memory.measured_node_bandwidth(t, sample).value()});
   }
   return sweep;
 }

@@ -67,7 +67,7 @@ namespace {
 struct InFlight {
   std::size_t job = 0;  ///< index into the records vector
   Placement placement;
-  real_t start_s = 0.0;
+  units::Seconds start_s;
   std::future<AttemptResult> future;
   bool ready = false;
   AttemptResult result;
@@ -100,7 +100,7 @@ CampaignReport CampaignEngine::run(std::vector<CampaignJobSpec> jobs) {
   for (std::size_t i = 0; i < records.size(); ++i) pending[i] = i;
   std::vector<InFlight> inflight;
   std::vector<ErrorSample> trajectory;
-  real_t clock = 0.0;
+  units::Seconds clock;
 
   const auto fail = [&](JobRecord& rec, const std::string& why) {
     rec.state = JobState::kFailed;
@@ -115,18 +115,21 @@ CampaignReport CampaignEngine::run(std::vector<CampaignJobSpec> jobs) {
     for (const std::size_t idx : pending) {
       JobRecord& rec = records[idx];
       const CampaignJobSpec& spec = rec.spec;
-      if (spec.deadline_s > 0.0 && clock >= spec.deadline_s) {
+      if (spec.deadline_s.value() > 0.0 && clock >= spec.deadline_s) {
         fail(rec, "deadline passed while queued");
         continue;
       }
       PlacementRequest request;
       request.spec = &spec;
       request.remaining_steps = spec.timesteps - rec.steps_done;
-      request.remaining_deadline_s =
-          spec.deadline_s > 0.0 ? spec.deadline_s - clock : 0.0;
-      request.remaining_budget =
-          spec.budget_dollars > 0.0 ? spec.budget_dollars - rec.dollars : 0.0;
-      if (spec.budget_dollars > 0.0 && request.remaining_budget <= 0.0) {
+      request.remaining_deadline_s = spec.deadline_s.value() > 0.0
+                                         ? spec.deadline_s - clock
+                                         : units::Seconds{};
+      request.remaining_budget = spec.budget_dollars.value() > 0.0
+                                     ? spec.budget_dollars - rec.dollars
+                                     : units::Dollars{};
+      if (spec.budget_dollars.value() > 0.0 &&
+          request.remaining_budget.value() <= 0.0) {
         fail(rec, "budget exhausted");
         continue;
       }
@@ -145,7 +148,7 @@ CampaignReport CampaignEngine::run(std::vector<CampaignJobSpec> jobs) {
       ++rec.attempts;
       rec.placements.push_back(decision.placement);
       rec.state = JobState::kRunning;
-      if (rec.start_s < 0.0) rec.start_s = clock;
+      if (rec.start_s.value() < 0.0) rec.start_s = clock;
 
       AttemptContext ctx;
       ctx.plan = &scheduler_->plan_for(spec.geometry,
@@ -197,8 +200,9 @@ CampaignReport CampaignEngine::run(std::vector<CampaignJobSpec> jobs) {
     // Next event: earliest virtual finish, ties broken by job id.
     std::size_t best = 0;
     for (std::size_t i = 1; i < inflight.size(); ++i) {
-      const real_t fi = inflight[i].start_s + inflight[i].result.sim_seconds;
-      const real_t fb =
+      const units::Seconds fi =
+          inflight[i].start_s + inflight[i].result.sim_seconds;
+      const units::Seconds fb =
           inflight[best].start_s + inflight[best].result.sim_seconds;
       if (fi < fb || (fi == fb && records[inflight[i].job].spec.id <
                                       records[inflight[best].job].spec.id)) {
@@ -222,7 +226,7 @@ CampaignReport CampaignEngine::run(std::vector<CampaignJobSpec> jobs) {
 
     // Mid-campaign refinement: feed the measurement back before the next
     // placement pass runs, so later decisions use the refined fit.
-    if (res.measured_mflups > 0.0) {
+    if (res.measured_mflups.value() > 0.0) {
       scheduler_->tracker().record(core::Observation{
           workload_key(rec.spec), event.placement.instance,
           event.placement.n_tasks, event.placement.raw_mflups,
@@ -231,8 +235,10 @@ CampaignReport CampaignEngine::run(std::vector<CampaignJobSpec> jobs) {
       sample.virtual_time_s = clock;
       sample.job_id = rec.spec.id;
       sample.abs_rel_error =
-          std::abs(event.placement.predicted_mflups - res.measured_mflups) /
-          res.measured_mflups;
+          std::abs(
+              (event.placement.predicted_mflups - res.measured_mflups)
+                  .value()) /
+          res.measured_mflups.value();
       trajectory.push_back(sample);
     }
 

@@ -76,7 +76,7 @@ struct EngineConfig {
   index_t max_attempts = 4;
   /// Spot retry bound within one attempt.
   index_t max_preemptions = 8;
-  real_t backoff_base_s = 60.0;
+  units::Seconds backoff_base_s{60.0};
   /// Deterministic fault injection applied to every attempt (all-off by
   /// default; see sched::FaultInjection and src/check/).
   FaultInjection faults;

@@ -7,15 +7,15 @@
 
 namespace hemo::sched {
 
-real_t scaled_step_seconds(const cluster::ExecutionResult& result,
-                           real_t factor) {
+units::Seconds scaled_step_seconds(const cluster::ExecutionResult& result,
+                                   real_t factor) {
   HEMO_REQUIRE(factor > 0.0, "resolution factor must be positive");
   if (factor == 1.0) return result.step_seconds;
-  const real_t noise_free = result.critical.total();
-  if (noise_free <= 0.0) return result.step_seconds;
+  const units::Seconds noise_free = result.critical.total();
+  if (noise_free.value() <= 0.0) return result.step_seconds;
   const real_t noise = result.step_seconds / noise_free;
   const real_t surface = std::cbrt(factor) * std::cbrt(factor);
-  const real_t scaled =
+  const units::Seconds scaled =
       (result.critical.mem_s + result.critical.overhead_s +
        result.critical.xfer_s) * factor +
       (result.critical.intra_s + result.critical.inter_s) * surface;
@@ -33,8 +33,8 @@ AttemptResult simulate_attempt(const AttemptContext& ctx) {
   AttemptResult res;
 
   const index_t chunk_steps = (ctx.steps + ctx.n_chunks - 1) / ctx.n_chunks;
-  real_t occupied_s = 0.0;  ///< paid allocation time (compute + losses)
-  real_t backoff_s = 0.0;   ///< unpaid waits between spot retries
+  units::Seconds occupied_s;  ///< paid allocation time (compute + losses)
+  units::Seconds backoff_s;   ///< unpaid waits between spot retries
   index_t done = 0;
 
   while (done < ctx.steps) {
@@ -42,7 +42,7 @@ AttemptResult simulate_attempt(const AttemptContext& ctx) {
     const cluster::MeasurementContext when{rng.below(7), rng.below(24),
                                            rng.below(1 << 20)};
     const auto exec = vc.execute(*ctx.plan, this_steps, when);
-    const real_t chunk_s =
+    const units::Seconds chunk_s =
         scaled_step_seconds(exec, ctx.resolution_factor) *
         static_cast<real_t>(this_steps) * ctx.faults.slowdown_factor;
 
@@ -50,7 +50,9 @@ AttemptResult simulate_attempt(const AttemptContext& ctx) {
       // Poisson interruption arrivals over the chunk's wall time, plus any
       // injected interruption storm.
       const real_t p_preempt =
-          1.0 - std::exp(-ctx.spot.preemptions_per_hour * chunk_s / 3600.0) +
+          1.0 -
+          std::exp(-ctx.spot.preemptions_per_hour.value() * chunk_s.value() /
+                   3600.0) +
           ctx.faults.extra_preemption_probability;
       const real_t draw = rng.uniform();
       const real_t strike_fraction = rng.uniform();
@@ -101,12 +103,13 @@ AttemptResult simulate_attempt(const AttemptContext& ctx) {
 
   res.steps_done = done;
   res.sim_seconds = occupied_s + backoff_s;
-  res.dollars = occupied_s / 3600.0 * ctx.placement.cost_rate_per_hour;
-  if (res.compute_seconds > 0.0) {
+  res.dollars = units::to_hours(occupied_s) * ctx.placement.cost_rate_per_hour;
+  if (res.compute_seconds.value() > 0.0) {
     const real_t points = static_cast<real_t>(ctx.plan->total_points) *
                           ctx.resolution_factor;
-    res.measured_mflups = points * static_cast<real_t>(done) /
-                          (res.compute_seconds * 1e6);
+    res.measured_mflups =
+        units::Mflups(points * static_cast<real_t>(done) /
+                      (res.compute_seconds.value() * 1e6));
   }
   return res;
 }

@@ -77,9 +77,9 @@ struct AttemptContext {
   index_t n_chunks = 10;  ///< checkpoint/progress-report granularity
   std::uint64_t seed = 0; ///< per-(campaign, job, attempt) stream
 
-  core::SpotOptions spot;      ///< tenancy model (used when placement.spot)
-  index_t max_preemptions = 8; ///< retry bound within the attempt
-  real_t backoff_base_s = 60.0;///< first retry wait; doubles per retry
+  core::SpotOptions spot;       ///< tenancy model (used when placement.spot)
+  index_t max_preemptions = 8;  ///< retry bound within the attempt
+  units::Seconds backoff_base_s{60.0};  ///< first wait; doubles per retry
 
   FaultInjection faults;       ///< all-off by default
 };
@@ -89,7 +89,7 @@ struct AttemptContext {
 /// count while halo communication grows with the cut surface (factor^2/3),
 /// matching core::scale_resolution's rationale on the prediction side. The
 /// run-level noise of the measurement is preserved.
-[[nodiscard]] real_t scaled_step_seconds(
+[[nodiscard]] units::Seconds scaled_step_seconds(
     const cluster::ExecutionResult& result, real_t factor);
 
 /// Runs one attempt to completion, guard stop, or retry exhaustion.

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "units/units.hpp"
 #include "util/common.hpp"
 
 namespace hemo::sched {
@@ -29,13 +30,13 @@ struct CampaignJobSpec {
 
   index_t timesteps = 10000;
 
-  /// 0 = no deadline; otherwise the job must finish within this many
-  /// simulated seconds of campaign start (queue wait included).
-  real_t deadline_s = 0.0;
+  /// 0 = no deadline; otherwise the job must finish within this much
+  /// simulated time after campaign start (queue wait included).
+  units::Seconds deadline_s;
 
   /// 0 = no budget; otherwise placements whose guard ceiling exceeds the
   /// remaining budget are rejected.
-  real_t budget_dollars = 0.0;
+  units::Dollars budget_dollars;
 
   /// Run on preemptible (spot) capacity: discounted rate, interruption
   /// risk, checkpoint/restart recovery.
@@ -65,13 +66,13 @@ struct Placement {
 
   /// Refined (tracker-corrected) prediction for the steps this attempt
   /// covers; the overrun guard is armed from this.
-  real_t predicted_seconds = 0.0;
-  real_t predicted_mflups = 0.0;
+  units::Seconds predicted_seconds;
+  units::Mflups predicted_mflups;
   /// Raw model throughput before the campaign correction factor; this is
   /// what gets stored against the measurement so the tracker's geometric
   /// mean is not double-corrected.
-  real_t raw_mflups = 0.0;
-  real_t cost_rate_per_hour = 0.0;  ///< whole allocation, tenancy-adjusted
+  units::Mflups raw_mflups;
+  units::DollarsPerHour cost_rate_per_hour;  ///< whole allocation, tenancy-adjusted
 };
 
 /// What one attempt actually did (all times simulated).
@@ -80,10 +81,10 @@ struct AttemptResult {
   /// Virtual wall occupancy of the allocation: compute + preemption
   /// losses + restart overheads (backoff waits excluded — nodes are
   /// released while waiting).
-  real_t sim_seconds = 0.0;
-  real_t compute_seconds = 0.0;  ///< productive compute inside sim_seconds
-  real_t dollars = 0.0;
-  real_t measured_mflups = 0.0;  ///< throughput over productive compute
+  units::Seconds sim_seconds;
+  units::Seconds compute_seconds;  ///< productive compute in sim_seconds
+  units::Dollars dollars;
+  units::Mflups measured_mflups;  ///< throughput over productive compute
   index_t preemptions = 0;
   /// Injected corrupted-checkpoint reloads survived (FaultInjection only;
   /// always 0 in production runs).
@@ -98,10 +99,10 @@ struct JobRecord {
   JobState state = JobState::kPending;
   index_t attempts = 0;
   index_t steps_done = 0;  ///< across attempts (checkpoint/restart resume)
-  real_t start_s = -1.0;   ///< virtual time of first placement
-  real_t finish_s = -1.0;  ///< virtual time of completion/failure
-  real_t dollars = 0.0;
-  real_t compute_seconds = 0.0;
+  units::Seconds start_s{-1.0};   ///< virtual time of first placement
+  units::Seconds finish_s{-1.0};  ///< virtual time of completion/failure
+  units::Dollars dollars;
+  units::Seconds compute_seconds;
   real_t points = 0.0;  ///< fluid points at the job's resolution
   index_t preemptions = 0;
   index_t checkpoint_corruptions = 0;  ///< injected-fault recoveries

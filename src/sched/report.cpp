@@ -24,7 +24,7 @@ const char* state_name(JobState state) {
 
 CampaignReport build_report(const std::vector<JobRecord>& records,
                             std::vector<ErrorSample> trajectory,
-                            real_t makespan_s) {
+                            units::Seconds makespan_s) {
   CampaignReport report;
   report.makespan_s = makespan_s;
   report.error_trajectory = std::move(trajectory);
@@ -53,7 +53,7 @@ CampaignReport build_report(const std::vector<JobRecord>& records,
     row.attempts = r->attempts;
     row.overruns = r->overruns;
     row.preemptions = r->preemptions;
-    if (r->start_s >= 0.0 && r->finish_s >= 0.0) {
+    if (r->start_s.value() >= 0.0 && r->finish_s.value() >= 0.0) {
       row.actual_s = r->finish_s - r->start_s;
     }
     row.dollars = r->dollars;
@@ -71,8 +71,9 @@ CampaignReport build_report(const std::vector<JobRecord>& records,
     report.total_requeues += std::max<index_t>(0, r->attempts - 1);
     report.total_dollars += r->dollars;
   }
-  if (report.total_dollars > 0.0) {
-    report.mlups_per_dollar = total_updates / 1e6 / report.total_dollars;
+  if (report.total_dollars.value() > 0.0) {
+    report.mlups_per_dollar = units::MlupsPerDollar(
+        total_updates / 1e6 / report.total_dollars.value());
   }
 
   const index_t n = static_cast<index_t>(report.error_trajectory.size());
@@ -94,23 +95,23 @@ CampaignReport build_report(const std::vector<JobRecord>& records,
 void CampaignReport::print(std::ostream& os) const {
   TextTable t;
   t.set_header({"Job", "Geometry", "Instance", "Tasks", "Tenancy", "State",
-                "Att", "Ovr", "Pre", "Pred (h)", "Actual (h)", "Dollars"});
+                "Att", "Ovr", "Pre", "Pred (h)", "Actual (h)", "Cost (USD)"});
   for (const JobReportRow& row : jobs) {
     t.add_row({TextTable::num(row.id), row.geometry, row.instance,
                TextTable::num(row.n_tasks), row.spot ? "spot" : "on-demand",
                state_name(row.state), TextTable::num(row.attempts),
                TextTable::num(row.overruns), TextTable::num(row.preemptions),
-               TextTable::num(row.predicted_s / 3600.0, 3),
-               TextTable::num(row.actual_s / 3600.0, 3),
-               TextTable::num(row.dollars, 2)});
+               TextTable::num(row.predicted_s.value() / 3600.0, 3),
+               TextTable::num(row.actual_s.value() / 3600.0, 3),
+               TextTable::num(row.dollars.value(), 2)});
   }
   t.print(os);
   os << "\njobs " << n_completed << "/" << n_jobs << " completed, "
      << n_failed << " failed; requeues " << total_requeues << ", overruns "
      << total_overruns << ", preemptions " << total_preemptions << "\n"
-     << "total $" << TextTable::num(total_dollars, 2) << ", makespan "
-     << TextTable::num(makespan_s / 3600.0, 3) << " h, "
-     << TextTable::num(mlups_per_dollar, 1) << " MLUP/$\n"
+     << "total $" << TextTable::num(total_dollars.value(), 2)
+     << ", makespan " << TextTable::num(makespan_s.value() / 3600.0, 3)
+     << " h, " << TextTable::num(mlups_per_dollar.value(), 1) << " MLUP/$\n"
      << "prediction |error|: " << TextTable::num(early_error * 100.0, 2)
      << " % (early) -> " << TextTable::num(late_error * 100.0, 2)
      << " % (late) over " << error_trajectory.size() << " attempts\n";
@@ -118,26 +119,29 @@ void CampaignReport::print(std::ostream& os) const {
 
 std::string CampaignReport::to_csv() const {
   std::ostringstream os;
+  // Column names carry their unit explicitly: _s seconds, _usd dollars.
   os << "job,geometry,instance,tasks,spot,state,attempts,overruns,"
-        "preemptions,predicted_s,actual_s,dollars\n";
+        "preemptions,predicted_s,actual_s,cost_usd\n";
   for (const JobReportRow& row : jobs) {
     os << row.id << ',' << row.geometry << ',' << row.instance << ','
        << row.n_tasks << ',' << (row.spot ? 1 : 0) << ','
        << state_name(row.state) << ',' << row.attempts << ','
        << row.overruns << ',' << row.preemptions << ','
-       << TextTable::num(row.predicted_s, 6) << ','
-       << TextTable::num(row.actual_s, 6) << ','
-       << TextTable::num(row.dollars, 6) << '\n';
+       << TextTable::num(row.predicted_s.value(), 6) << ','
+       << TextTable::num(row.actual_s.value(), 6) << ','
+       << TextTable::num(row.dollars.value(), 6) << '\n';
   }
-  os << "total_dollars," << TextTable::num(total_dollars, 6) << '\n'
-     << "makespan_s," << TextTable::num(makespan_s, 6) << '\n'
-     << "mlups_per_dollar," << TextTable::num(mlups_per_dollar, 6) << '\n'
+  os << "total_cost_usd," << TextTable::num(total_dollars.value(), 6) << '\n'
+     << "makespan_s," << TextTable::num(makespan_s.value(), 6) << '\n'
+     << "mlups_per_usd," << TextTable::num(mlups_per_dollar.value(), 6)
+     << '\n'
      << "completed," << n_completed << ",failed," << n_failed << '\n'
      << "overruns," << total_overruns << ",preemptions," << total_preemptions
      << ",requeues," << total_requeues << ",corruptions," << total_corruptions
      << '\n';
   for (const ErrorSample& s : error_trajectory) {
-    os << "err," << TextTable::num(s.virtual_time_s, 6) << ',' << s.job_id
+    os << "err," << TextTable::num(s.virtual_time_s.value(), 6) << ','
+       << s.job_id
        << ',' << TextTable::num(s.abs_rel_error, 6) << '\n';
   }
   return os.str();

@@ -22,7 +22,7 @@ namespace hemo::sched {
 
 /// One prediction-vs-measurement sample, in virtual-time order.
 struct ErrorSample {
-  real_t virtual_time_s = 0.0;
+  units::Seconds virtual_time_s;
   index_t job_id = 0;
   /// |predicted - measured| / measured throughput of the attempt.
   real_t abs_rel_error = 0.0;
@@ -39,9 +39,9 @@ struct JobReportRow {
   index_t attempts = 0;
   index_t overruns = 0;
   index_t preemptions = 0;
-  real_t predicted_s = 0.0;  ///< first placement's refined prediction
-  real_t actual_s = 0.0;     ///< finish - start (virtual)
-  real_t dollars = 0.0;
+  units::Seconds predicted_s;  ///< first placement's refined prediction
+  units::Seconds actual_s;     ///< finish - start (virtual)
+  units::Dollars dollars;
 };
 
 /// The campaign result.
@@ -57,11 +57,11 @@ struct CampaignReport {
   /// Corrupted-checkpoint recoveries (injected faults only; 0 otherwise).
   index_t total_corruptions = 0;
 
-  real_t total_dollars = 0.0;
-  real_t makespan_s = 0.0;  ///< virtual time-to-solution of the campaign
+  units::Dollars total_dollars;
+  units::Seconds makespan_s;  ///< virtual time-to-solution of the campaign
   /// Completed mega-lattice-updates per dollar (the campaign-level analog
   /// of the paper's MFLUPS-per-cost-rate metric).
-  real_t mlups_per_dollar = 0.0;
+  units::MlupsPerDollar mlups_per_dollar;
 
   std::vector<ErrorSample> error_trajectory;
   /// Mean |relative error| over the first / second half of the
@@ -82,6 +82,6 @@ struct CampaignReport {
 /// final virtual clock.
 [[nodiscard]] CampaignReport build_report(
     const std::vector<JobRecord>& records,
-    std::vector<ErrorSample> trajectory, real_t makespan_s);
+    std::vector<ErrorSample> trajectory, units::Seconds makespan_s);
 
 }  // namespace hemo::sched

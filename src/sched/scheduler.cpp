@@ -160,14 +160,14 @@ PlacementDecision CampaignScheduler::place(
     Candidate c;
     c.spot = spec.allow_spot;
     c.row = c.spot ? core::apply_spot_pricing(raw, config_.spot) : raw;
-    if (request.remaining_deadline_s > 0.0 &&
+    if (request.remaining_deadline_s.value() > 0.0 &&
         c.row.time_to_solution_s > request.remaining_deadline_s) {
       continue;
     }
-    if (request.remaining_budget > 0.0) {
+    if (request.remaining_budget.value() > 0.0) {
       // Budget must cover the guard ceiling, not just the point estimate:
       // the job is allowed to run tolerance-% long before the hard stop.
-      const real_t ceiling =
+      const units::Dollars ceiling =
           c.row.total_dollars * (1.0 + config_.guard_tolerance);
       if (ceiling > request.remaining_budget) continue;
     }
@@ -201,7 +201,7 @@ PlacementDecision CampaignScheduler::place(
       for (const Candidate* c : open) open_rows.push_back(c->row);
       const core::Objective objective =
           config_.objective == core::Objective::kDeadline &&
-                  request.remaining_deadline_s <= 0.0
+                  request.remaining_deadline_s.value() <= 0.0
               ? core::Objective::kMinCost
               : config_.objective;
       const auto best = core::Dashboard::recommend(
@@ -245,7 +245,8 @@ PlacementDecision CampaignScheduler::place(
   d.placement.spot = chosen->spot;
   d.placement.predicted_seconds = chosen->row.time_to_solution_s;
   d.placement.predicted_mflups = chosen->row.prediction.mflups;
-  d.placement.raw_mflups = chosen->row.prediction.mflups / correction;
+  d.placement.raw_mflups =
+      units::Mflups(chosen->row.prediction.mflups.value() / correction);
   d.placement.cost_rate_per_hour = chosen->row.cost_rate_per_hour;
   return d;
 }

@@ -73,8 +73,8 @@ struct PlacementDecision {
 struct PlacementRequest {
   const CampaignJobSpec* spec = nullptr;
   index_t remaining_steps = 0;
-  real_t remaining_deadline_s = 0.0;  ///< 0 = none
-  real_t remaining_budget = 0.0;      ///< 0 = none
+  units::Seconds remaining_deadline_s;  ///< 0 = none
+  units::Dollars remaining_budget;      ///< 0 = none
 };
 
 class CampaignScheduler {

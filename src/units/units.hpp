@@ -1,0 +1,246 @@
+// Zero-overhead dimensional safety for the performance/cost model stack.
+//
+// The paper's predictors mix quantities with incompatible units — bytes
+// and bytes/s (Eqs. 8-9, 12), seconds per step (Eq. 6), MFLUPS (Eq. 7),
+// $/hour and MFLUPS/$ in the CSP dashboard (Eq. 17). Passing all of them
+// as bare real_t lets a swapped latency/bandwidth argument or an
+// hours-vs-seconds cost slip compile silently. Quantity<Tag> is a strong
+// typedef over real_t (or index_t for discrete counts) that makes such
+// mixes a compile error while compiling to the identical machine code:
+// every operation below is a single inlined arithmetic op on the wrapped
+// representation, in the same order the bare-double expression used, so a
+// refactor onto these types is byte-identical in its numerics.
+//
+// Only physically meaningful cross-unit operations are defined:
+//   Bytes / BytesPerSec        -> Seconds            (Eq. 6 memory term)
+//   Bytes / Seconds            -> BytesPerSec
+//   Hours * DollarsPerHour     -> Dollars            (dashboard cost)
+//   Dollars / DollarsPerHour   -> Hours
+//   Mflups / DollarsPerHour    -> MflupsPerDollarHour (Eq. 17 dashboard)
+//   PerHour * Hours            -> real_t              (expected count)
+//   GflopsPerSec / GigabytesPerSec -> FlopsPerByte    (roofline ridge)
+// Everything else — Seconds + Bytes, Dollars / Seconds, passing Seconds
+// where Bytes is expected — fails to compile (see tests/test_units.cpp and
+// tests/compile_fail/).
+//
+// Different scales of one dimension (Seconds vs Hours vs Microseconds,
+// Bytes vs Gibibytes) are distinct types with *explicit* conversion
+// functions, never implicit factors: the stored number is always exactly
+// what the constructor received, so wrapping existing code cannot change
+// results.
+#pragma once
+
+#include <compare>
+
+#include "util/common.hpp"
+
+namespace hemo::units {
+
+/// Strong typedef of an arithmetic value carrying a dimension tag.
+/// Same-tag quantities add, subtract, scale, and compare; a ratio of two
+/// same-tag quantities is a dimensionless Rep. Nothing converts
+/// implicitly to or from the raw representation.
+template <class Tag, class Rep = real_t>
+class Quantity {
+ public:
+  using rep = Rep;
+
+  constexpr Quantity() noexcept = default;
+  explicit constexpr Quantity(Rep value) noexcept : value_(value) {}
+
+  /// The raw number, for I/O, raw math kernels, and layer boundaries.
+  [[nodiscard]] constexpr Rep value() const noexcept { return value_; }
+
+  [[nodiscard]] friend constexpr Quantity operator+(Quantity a,
+                                                    Quantity b) noexcept {
+    return Quantity(a.value_ + b.value_);
+  }
+  [[nodiscard]] friend constexpr Quantity operator-(Quantity a,
+                                                    Quantity b) noexcept {
+    return Quantity(a.value_ - b.value_);
+  }
+  [[nodiscard]] constexpr Quantity operator-() const noexcept {
+    return Quantity(-value_);
+  }
+  constexpr Quantity& operator+=(Quantity o) noexcept {
+    value_ += o.value_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity o) noexcept {
+    value_ -= o.value_;
+    return *this;
+  }
+
+  /// Scaling by a dimensionless factor.
+  [[nodiscard]] friend constexpr Quantity operator*(Quantity a,
+                                                    Rep s) noexcept {
+    return Quantity(a.value_ * s);
+  }
+  [[nodiscard]] friend constexpr Quantity operator*(Rep s,
+                                                    Quantity a) noexcept {
+    return Quantity(s * a.value_);
+  }
+  [[nodiscard]] friend constexpr Quantity operator/(Quantity a,
+                                                    Rep s) noexcept {
+    return Quantity(a.value_ / s);
+  }
+  constexpr Quantity& operator*=(Rep s) noexcept {
+    value_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(Rep s) noexcept {
+    value_ /= s;
+    return *this;
+  }
+
+  /// Ratio of same-dimension quantities is dimensionless.
+  [[nodiscard]] friend constexpr Rep operator/(Quantity a,
+                                               Quantity b) noexcept {
+    return a.value_ / b.value_;
+  }
+
+  [[nodiscard]] friend constexpr auto operator<=>(Quantity a,
+                                                  Quantity b) noexcept =
+      default;
+
+ private:
+  Rep value_{};
+};
+
+// --- Time -----------------------------------------------------------------
+struct SecondsTag {};
+struct HoursTag {};
+struct MicrosecondsTag {};
+using Seconds = Quantity<SecondsTag>;
+using Hours = Quantity<HoursTag>;
+using Microseconds = Quantity<MicrosecondsTag>;
+
+// --- Information ----------------------------------------------------------
+struct BytesTag {};
+struct GibibytesTag {};
+struct GigabytesTag {};
+using Bytes = Quantity<BytesTag>;
+using Gibibytes = Quantity<GibibytesTag>;
+using Gigabytes = Quantity<GigabytesTag>;  ///< decimal GB (vendor specs)
+
+// --- Rates ----------------------------------------------------------------
+struct BytesPerSecTag {};
+struct MegabytesPerSecTag {};
+struct GigabytesPerSecTag {};
+struct GigabitsPerSecTag {};
+struct PerHourTag {};
+using BytesPerSec = Quantity<BytesPerSecTag>;
+using MegabytesPerSec = Quantity<MegabytesPerSecTag>;  ///< paper Table III
+using GigabytesPerSec = Quantity<GigabytesPerSecTag>;
+using GigabitsPerSec = Quantity<GigabitsPerSecTag>;  ///< link nominal speed
+using PerHour = Quantity<PerHourTag>;  ///< event rate (e.g. preemptions)
+
+// --- Throughput and compute ----------------------------------------------
+struct MflupsTag {};
+struct GflopsPerSecTag {};
+struct FlopsTag {};
+struct FlopsPerByteTag {};
+using Mflups = Quantity<MflupsTag>;  ///< 1e6 fluid lattice updates / s
+using GflopsPerSec = Quantity<GflopsPerSecTag>;
+using Flops = Quantity<FlopsTag>;
+using FlopsPerByte = Quantity<FlopsPerByteTag>;  ///< arithmetic intensity
+
+// --- Money ----------------------------------------------------------------
+struct DollarsTag {};
+struct DollarsPerHourTag {};
+struct MflupsPerDollarHourTag {};
+struct MlupsPerDollarTag {};
+using Dollars = Quantity<DollarsTag>;
+using DollarsPerHour = Quantity<DollarsPerHourTag>;
+using MflupsPerDollarHour = Quantity<MflupsPerDollarHourTag>;  ///< Eq. 17
+using MlupsPerDollar = Quantity<MlupsPerDollarTag>;  ///< campaign analog
+
+// --- Discrete counts ------------------------------------------------------
+struct CoresTag {};
+struct TasksTag {};
+using Cores = Quantity<CoresTag, index_t>;
+using Tasks = Quantity<TasksTag, index_t>;
+
+// --- Explicit scale conversions ------------------------------------------
+[[nodiscard]] constexpr Hours to_hours(Seconds s) noexcept {
+  return Hours(s.value() / 3600.0);
+}
+[[nodiscard]] constexpr Seconds to_seconds(Hours h) noexcept {
+  return Seconds(h.value() * 3600.0);
+}
+[[nodiscard]] constexpr Seconds to_seconds(Microseconds us) noexcept {
+  return Seconds(us.value() * 1e-6);
+}
+[[nodiscard]] constexpr Microseconds to_microseconds(Seconds s) noexcept {
+  return Microseconds(s.value() * 1e6);
+}
+[[nodiscard]] constexpr Gibibytes to_gibibytes(Bytes b) noexcept {
+  return Gibibytes(b.value() / (1024.0 * 1024.0 * 1024.0));
+}
+[[nodiscard]] constexpr Bytes to_bytes(Gibibytes g) noexcept {
+  return Bytes(g.value() * (1024.0 * 1024.0 * 1024.0));
+}
+[[nodiscard]] constexpr BytesPerSec to_bytes_per_sec(
+    MegabytesPerSec mbs) noexcept {
+  return BytesPerSec(mbs.value() * 1e6);
+}
+[[nodiscard]] constexpr MegabytesPerSec to_megabytes_per_sec(
+    BytesPerSec bps) noexcept {
+  return MegabytesPerSec(bps.value() / 1e6);
+}
+[[nodiscard]] constexpr GigabytesPerSec to_gigabytes_per_sec(
+    MegabytesPerSec mbs) noexcept {
+  return GigabytesPerSec(mbs.value() / 1e3);
+}
+
+// --- Physically meaningful cross-unit algebra ----------------------------
+[[nodiscard]] constexpr Seconds operator/(Bytes b, BytesPerSec r) noexcept {
+  return Seconds(b.value() / r.value());
+}
+[[nodiscard]] constexpr BytesPerSec operator/(Bytes b, Seconds t) noexcept {
+  return BytesPerSec(b.value() / t.value());
+}
+[[nodiscard]] constexpr Bytes operator*(BytesPerSec r, Seconds t) noexcept {
+  return Bytes(r.value() * t.value());
+}
+[[nodiscard]] constexpr Bytes operator*(Seconds t, BytesPerSec r) noexcept {
+  return Bytes(t.value() * r.value());
+}
+
+[[nodiscard]] constexpr Dollars operator*(Hours h,
+                                          DollarsPerHour r) noexcept {
+  return Dollars(h.value() * r.value());
+}
+[[nodiscard]] constexpr Dollars operator*(DollarsPerHour r,
+                                          Hours h) noexcept {
+  return Dollars(r.value() * h.value());
+}
+[[nodiscard]] constexpr Hours operator/(Dollars d,
+                                        DollarsPerHour r) noexcept {
+  return Hours(d.value() / r.value());
+}
+[[nodiscard]] constexpr DollarsPerHour operator/(Dollars d,
+                                                 Hours h) noexcept {
+  return DollarsPerHour(d.value() / h.value());
+}
+
+[[nodiscard]] constexpr MflupsPerDollarHour operator/(
+    Mflups m, DollarsPerHour r) noexcept {
+  return MflupsPerDollarHour(m.value() / r.value());
+}
+
+/// Expected number of events at `rate` over `h` hours (dimensionless).
+[[nodiscard]] constexpr real_t operator*(PerHour rate, Hours h) noexcept {
+  return rate.value() * h.value();
+}
+[[nodiscard]] constexpr real_t operator*(Hours h, PerHour rate) noexcept {
+  return h.value() * rate.value();
+}
+
+/// Roofline ridge point: GFLOP/s over GB/s is numerically flops/byte.
+[[nodiscard]] constexpr FlopsPerByte operator/(GflopsPerSec f,
+                                               GigabytesPerSec b) noexcept {
+  return FlopsPerByte(f.value() / b.value());
+}
+
+}  // namespace hemo::units

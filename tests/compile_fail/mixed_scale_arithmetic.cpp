@@ -1,0 +1,25 @@
+// Different scales of one dimension are distinct types: Seconds + Hours
+// and Bytes + Gibibytes must not compile without an explicit conversion.
+#include "units/units.hpp"
+
+namespace hemo {
+
+units::Seconds good() {
+  return units::Seconds(10.0) + units::to_seconds(units::Hours(1.0));
+}
+
+#ifdef HEMO_COMPILE_FAIL
+units::Seconds bad_seconds_plus_hours() {
+  return units::Seconds(10.0) + units::Hours(1.0);
+}
+
+units::Bytes bad_bytes_plus_gibibytes() {
+  return units::Bytes(512.0) + units::Gibibytes(1.0);
+}
+
+bool bad_cross_scale_compare() {
+  return units::Seconds(10.0) < units::Hours(1.0);
+}
+#endif
+
+}  // namespace hemo

@@ -1,0 +1,27 @@
+// The wrapper has no implicit conversions: a bare real_t neither enters a
+// Quantity parameter nor leaves via assignment — both directions must go
+// through the explicit constructor / .value().
+#include "units/units.hpp"
+
+namespace hemo {
+
+real_t good() {
+  const units::Seconds t(1.5);   // explicit in
+  return t.value();              // explicit out
+}
+
+#ifdef HEMO_COMPILE_FAIL
+units::Seconds bad_implicit_in(real_t raw) {
+  return raw;  // real_t -> Seconds requires the explicit constructor
+}
+
+real_t bad_implicit_out(units::Seconds t) {
+  return t;  // Seconds -> real_t requires .value()
+}
+
+bool bad_compare_with_raw(units::Seconds t) {
+  return t > 1.0;
+}
+#endif
+
+}  // namespace hemo

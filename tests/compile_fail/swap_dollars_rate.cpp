@@ -1,0 +1,30 @@
+// Acceptance case: total_cost(rate, runtime) rejects swapped arguments and
+// a Dollars total where the $/hour rate belongs.
+#include "core/models.hpp"
+#include "units/units.hpp"
+
+namespace hemo {
+
+units::Dollars good() {
+  return core::total_cost(units::DollarsPerHour(2.448),
+                          units::Seconds(3600.0));
+}
+
+#ifdef HEMO_COMPILE_FAIL
+units::Dollars bad_swapped() {
+  return core::total_cost(units::Seconds(3600.0),
+                          units::DollarsPerHour(2.448));
+}
+
+units::Dollars bad_total_for_rate() {
+  // Dollars and DollarsPerHour are distinct dimensions, not scales.
+  return core::total_cost(units::Dollars(2.448), units::Seconds(3600.0));
+}
+
+units::Dollars bad_rate_times_seconds() {
+  // $/h * s must go through to_hours explicitly; no implicit 3600.
+  return units::DollarsPerHour(2.448) * units::Seconds(3600.0);
+}
+#endif
+
+}  // namespace hemo

@@ -1,0 +1,27 @@
+// Acceptance case: swapping a Seconds argument for Bytes (and vice versa)
+// in the core model APIs must not compile. Driven by tools/compile_fail.py:
+// this file compiles as-is; -DHEMO_COMPILE_FAIL enables the bad calls.
+#include "core/models.hpp"
+#include "units/units.hpp"
+
+namespace hemo {
+
+units::Mflups good() {
+  // Control: the correct argument order compiles.
+  return core::mflups_from(1.0e6, units::Seconds(0.02));
+}
+
+#ifdef HEMO_COMPILE_FAIL
+units::Mflups bad_bytes_for_seconds() {
+  // Bytes where the step time is expected: no Bytes -> Seconds conversion
+  // exists, so overload resolution fails here.
+  return core::mflups_from(1.0e6, units::Bytes(0.02));
+}
+
+units::Seconds bad_seconds_bytes_division() {
+  // Seconds / Bytes has no physical meaning and no operator.
+  return units::Seconds(3.0) / units::Bytes(2.0);
+}
+#endif
+
+}  // namespace hemo

@@ -1,0 +1,24 @@
+// Acceptance case: time_to_solution(step, timesteps) with the arguments
+// swapped must not compile — the step is a typed Seconds, the count a raw
+// index_t, and neither converts to the other.
+#include "core/models.hpp"
+#include "units/units.hpp"
+
+namespace hemo {
+
+units::Seconds good() {
+  return core::time_to_solution(units::Seconds(0.02), 1000);
+}
+
+#ifdef HEMO_COMPILE_FAIL
+units::Seconds bad_swapped() {
+  return core::time_to_solution(1000, units::Seconds(0.02));
+}
+
+units::Seconds bad_raw_step() {
+  // A bare double step (the pre-units API) no longer compiles either.
+  return core::time_to_solution(0.02, 1000);
+}
+#endif
+
+}  // namespace hemo

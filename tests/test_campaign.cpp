@@ -11,13 +11,14 @@ namespace hemo::core {
 namespace {
 
 Observation obs(real_t predicted, real_t measured) {
-  return Observation{"aorta", "CSP-2", 36, predicted, measured};
+  return Observation{"aorta", "CSP-2", 36, units::Mflups(predicted),
+                     units::Mflups(measured)};
 }
 
 TEST(CampaignTracker, EmptyTrackerIsNeutral) {
   CampaignTracker t;
   EXPECT_DOUBLE_EQ(t.correction_factor(), 1.0);
-  EXPECT_DOUBLE_EQ(t.refined_mflups(50.0), 50.0);
+  EXPECT_DOUBLE_EQ(t.refined_mflups(units::Mflups(50.0)).value(), 50.0);
   EXPECT_DOUBLE_EQ(t.mean_abs_relative_error(), 0.0);
 }
 
@@ -28,7 +29,7 @@ TEST(CampaignTracker, LearnsConsistentOverprediction) {
     t.record(obs(measured * 1.25, measured));
   }
   EXPECT_NEAR(t.correction_factor(), 0.8, 1e-12);
-  EXPECT_NEAR(t.refined_mflups(100.0), 80.0, 1e-9);
+  EXPECT_NEAR(t.refined_mflups(units::Mflups(100.0)).value(), 80.0, 1e-9);
   // Refinement collapses the error for a consistent bias.
   EXPECT_NEAR(t.mean_abs_relative_error(), 0.25, 1e-12);
   EXPECT_NEAR(t.refined_mean_abs_relative_error(), 0.0, 1e-12);
@@ -57,58 +58,58 @@ TEST(CampaignTracker, RejectsNonPositiveThroughputs) {
 
 TEST(JobGuard, LimitsFollowToleranceAndPrice) {
   JobGuard g;
-  g.predicted_seconds = 3600.0;
+  g.predicted_seconds = units::Seconds(3600.0);
   g.tolerance = 0.10;
-  g.price_per_hour = 12.0;
-  EXPECT_NEAR(g.max_seconds(), 3960.0, 1e-9);
-  EXPECT_NEAR(g.max_dollars(), 3960.0 / 3600.0 * 12.0, 1e-9);
+  g.price_per_hour = units::DollarsPerHour(12.0);
+  EXPECT_NEAR(g.max_seconds().value(), 3960.0, 1e-9);
+  EXPECT_NEAR(g.max_dollars().value(), 3960.0 / 3600.0 * 12.0, 1e-9);
 }
 
 TEST(JobGuard, AbortsWhenHardLimitExceeded) {
   JobGuard g;
-  g.predicted_seconds = 100.0;
+  g.predicted_seconds = units::Seconds(100.0);
   g.tolerance = 0.10;
-  EXPECT_TRUE(g.should_abort(111.0, 0.9));
-  EXPECT_FALSE(g.should_abort(50.0, 0.5));
+  EXPECT_TRUE(g.should_abort(units::Seconds(111.0), 0.9));
+  EXPECT_FALSE(g.should_abort(units::Seconds(50.0), 0.5));
 }
 
 TEST(JobGuard, AbortsOnProjectedOverrun) {
   JobGuard g;
-  g.predicted_seconds = 100.0;
+  g.predicted_seconds = units::Seconds(100.0);
   g.tolerance = 0.10;
   // 30 s elapsed for 20 % done projects to 150 s > 110 s: flag it early.
-  EXPECT_TRUE(g.should_abort(30.0, 0.2));
+  EXPECT_TRUE(g.should_abort(units::Seconds(30.0), 0.2));
   // On pace: 22 s for 20 % projects exactly to the limit.
-  EXPECT_FALSE(g.should_abort(21.9, 0.2));
+  EXPECT_FALSE(g.should_abort(units::Seconds(21.9), 0.2));
 }
 
 TEST(JobGuard, ExactToleranceBoundary) {
   JobGuard g;
-  g.predicted_seconds = 100.0;
+  g.predicted_seconds = units::Seconds(100.0);
   g.tolerance = 0.10;
   // The hard limit is inclusive: landing exactly on max_seconds() stops
   // the job ...
   EXPECT_TRUE(g.should_abort(g.max_seconds(), 0.5));
   // ... but a pace that *projects* exactly onto the limit is still
   // acceptable (strict overshoot required): 22 s for 20 % -> 110 s == max.
-  EXPECT_FALSE(g.should_abort(22.0, 0.2));
-  EXPECT_TRUE(g.should_abort(22.0 * (1.0 + 1e-9), 0.2));
+  EXPECT_FALSE(g.should_abort(units::Seconds(22.0), 0.2));
+  EXPECT_TRUE(g.should_abort(units::Seconds(22.0 * (1.0 + 1e-9)), 0.2));
 }
 
 TEST(JobGuard, ZeroToleranceStopsAtThePrediction) {
   JobGuard g;
-  g.predicted_seconds = 100.0;
+  g.predicted_seconds = units::Seconds(100.0);
   g.tolerance = 0.0;
-  EXPECT_NEAR(g.max_seconds(), 100.0, 1e-12);
-  EXPECT_FALSE(g.should_abort(99.0, 0.99));
-  EXPECT_TRUE(g.should_abort(100.0, 0.99));
+  EXPECT_NEAR(g.max_seconds().value(), 100.0, 1e-12);
+  EXPECT_FALSE(g.should_abort(units::Seconds(99.0), 0.99));
+  EXPECT_TRUE(g.should_abort(units::Seconds(100.0), 0.99));
 }
 
 TEST(JobGuard, RejectsFractionOutsideUnitInterval) {
   JobGuard g;
-  g.predicted_seconds = 100.0;
-  EXPECT_THROW((void)g.should_abort(10.0, -0.1), PreconditionError);
-  EXPECT_THROW((void)g.should_abort(10.0, 1.1), PreconditionError);
+  g.predicted_seconds = units::Seconds(100.0);
+  EXPECT_THROW((void)g.should_abort(units::Seconds(10.0), -0.1), PreconditionError);
+  EXPECT_THROW((void)g.should_abort(units::Seconds(10.0), 1.1), PreconditionError);
 }
 
 TEST(CampaignTracker, ConvergesToTrueBiasWithMoreObservations) {
@@ -128,9 +129,9 @@ TEST(CampaignTracker, ConvergesToTrueBiasWithMoreObservations) {
 
 TEST(JobGuard, NoProgressYetOnlyHardLimitApplies) {
   JobGuard g;
-  g.predicted_seconds = 100.0;
-  EXPECT_FALSE(g.should_abort(5.0, 0.0));
-  EXPECT_TRUE(g.should_abort(120.0, 0.0));
+  g.predicted_seconds = units::Seconds(100.0);
+  EXPECT_FALSE(g.should_abort(units::Seconds(5.0), 0.0));
+  EXPECT_TRUE(g.should_abort(units::Seconds(120.0), 0.0));
 }
 
 }  // namespace

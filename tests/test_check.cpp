@@ -237,9 +237,9 @@ TEST(FaultInjection, DisabledFaultsLeaveAttemptsByteIdentical) {
   explicit_off.faults = sched::FaultInjection{};  // spelled-out defaults
   const sched::AttemptResult b = simulate_attempt(explicit_off);
   EXPECT_EQ(a.steps_done, b.steps_done);
-  EXPECT_DOUBLE_EQ(a.sim_seconds, b.sim_seconds);
-  EXPECT_DOUBLE_EQ(a.compute_seconds, b.compute_seconds);
-  EXPECT_DOUBLE_EQ(a.dollars, b.dollars);
+  EXPECT_DOUBLE_EQ(a.sim_seconds.value(), b.sim_seconds.value());
+  EXPECT_DOUBLE_EQ(a.compute_seconds.value(), b.compute_seconds.value());
+  EXPECT_DOUBLE_EQ(a.dollars.value(), b.dollars.value());
   EXPECT_EQ(a.preemptions, b.preemptions);
   EXPECT_EQ(a.checkpoint_corruptions, 0);
   EXPECT_EQ(b.checkpoint_corruptions, 0);
@@ -281,7 +281,7 @@ TEST(FaultInjection, CorruptedCheckpointsAreCountedAndRedone) {
   // Disarm the guard completely: the 120 s restart overheads dwarf this
   // sub-second job, and this test is about corruption accounting, not
   // pacing.
-  ctx.guard.predicted_seconds = 1e9;
+  ctx.guard.predicted_seconds = units::Seconds(1e9);
   ctx.max_preemptions = 64;
   // A corruption rolls a chunk back, so keep the interruption probability
   // well under 0.5 per chunk — otherwise progress is a driftless random

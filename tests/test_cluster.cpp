@@ -26,34 +26,34 @@ TEST(Catalog, TableOneValuesSeeded) {
   const auto& trc = instance_by_abbrev("TRC");
   EXPECT_EQ(trc.cores_per_node, 40);
   EXPECT_EQ(trc.total_cores, 2000);
-  EXPECT_DOUBLE_EQ(trc.interconnect_gbits, 56.0);
+  EXPECT_DOUBLE_EQ(trc.interconnect.value(), 56.0);
   const auto& ec = instance_by_abbrev("CSP-2 EC");
   EXPECT_EQ(ec.cores_per_node, 36);
-  EXPECT_DOUBLE_EQ(ec.interconnect_gbits, 100.0);
+  EXPECT_DOUBLE_EQ(ec.interconnect.value(), 100.0);
   // Table III values drive the ground truth.
   EXPECT_NEAR(ec.memory.a1, 7605.85, 1e-6);
-  EXPECT_NEAR(ec.inter.latency_us, 20.94, 1e-6);
+  EXPECT_NEAR(ec.inter.latency.value(), 20.94, 1e-6);
 }
 
 TEST(MemoryParams, TwoLineLawContinuousAndSaturating) {
   const auto& p = instance_by_abbrev("CSP-2");
-  const real_t at_knee = p.memory.node_bandwidth_mbs(p.memory.a3);
+  const real_t at_knee = p.memory.node_bandwidth_mbs(p.memory.a3).value();
   EXPECT_NEAR(at_knee, p.memory.a1 * p.memory.a3, 1e-6);
   // Slope flattens after the knee.
-  const real_t before = p.memory.node_bandwidth_mbs(5.0) -
-                        p.memory.node_bandwidth_mbs(4.0);
-  const real_t after = p.memory.node_bandwidth_mbs(20.0) -
-                       p.memory.node_bandwidth_mbs(19.0);
+  const real_t before = p.memory.node_bandwidth_mbs(5.0).value() -
+                        p.memory.node_bandwidth_mbs(4.0).value();
+  const real_t after = p.memory.node_bandwidth_mbs(20.0).value() -
+                       p.memory.node_bandwidth_mbs(19.0).value();
   EXPECT_GT(before, after);
 }
 
 TEST(MemorySystem, MeasurementsAreDeterministicPerSample) {
   const auto& p = instance_by_abbrev("CSP-2");
   MemorySystem mem(p);
-  EXPECT_DOUBLE_EQ(mem.measured_node_bandwidth_mbs(8, 0),
-                   mem.measured_node_bandwidth_mbs(8, 0));
-  EXPECT_NE(mem.measured_node_bandwidth_mbs(8, 0),
-            mem.measured_node_bandwidth_mbs(8, 1));
+  EXPECT_DOUBLE_EQ(mem.measured_node_bandwidth(8, 0).value(),
+                   mem.measured_node_bandwidth(8, 0).value());
+  EXPECT_NE(mem.measured_node_bandwidth(8, 0).value(),
+            mem.measured_node_bandwidth(8, 1).value());
 }
 
 TEST(MemorySystem, SharedChannelVarianceKicksInPastKnee) {
@@ -62,7 +62,7 @@ TEST(MemorySystem, SharedChannelVarianceKicksInPastKnee) {
   auto spread = [&](index_t threads) {
     real_t lo = 1e30, hi = 0.0;
     for (index_t s = 0; s < 24; ++s) {
-      const real_t b = mem.measured_node_bandwidth_mbs(threads, s);
+      const real_t b = mem.measured_node_bandwidth(threads, s).value();
       lo = std::min(lo, b);
       hi = std::max(hi, b);
     }
@@ -74,8 +74,8 @@ TEST(MemorySystem, SharedChannelVarianceKicksInPastKnee) {
 TEST(MemorySystem, TaskShareSplitsNodeBandwidth) {
   const auto& p = instance_by_abbrev("TRC");
   MemorySystem mem(p);
-  const real_t full = mem.ideal_node_bandwidth_mbs(40.0);
-  EXPECT_NEAR(mem.task_bandwidth_mbs(40), full / 40.0, 1e-9);
+  const real_t full = mem.ideal_node_bandwidth(40.0).value();
+  EXPECT_NEAR(mem.task_bandwidth(40).value(), full / 40.0, 1e-9);
 }
 
 TEST(Interconnect, EcBeatsNoEcAndTrcBeatsBoth) {
@@ -83,26 +83,26 @@ TEST(Interconnect, EcBeatsNoEcAndTrcBeatsBoth) {
   Interconnect noec(instance_by_abbrev("CSP-2"));
   Interconnect trc(instance_by_abbrev("TRC"));
   for (real_t bytes : {0.0, 1024.0, 65536.0, 1048576.0}) {
-    EXPECT_LT(ec.message_time_us(bytes, true),
-              noec.message_time_us(bytes, true));
-    EXPECT_LT(trc.message_time_us(bytes, true),
-              ec.message_time_us(bytes, true));
+    EXPECT_LT(ec.message_time(units::Bytes(bytes), true).value(),
+              noec.message_time(units::Bytes(bytes), true).value());
+    EXPECT_LT(trc.message_time(units::Bytes(bytes), true).value(),
+              ec.message_time(units::Bytes(bytes), true).value());
   }
 }
 
 TEST(Interconnect, IntranodeFasterThanInternode) {
   Interconnect net(instance_by_abbrev("CSP-2"));
   for (real_t bytes : {0.0, 4096.0, 1048576.0}) {
-    EXPECT_LT(net.message_time_us(bytes, false),
-              net.message_time_us(bytes, true));
+    EXPECT_LT(net.message_time(units::Bytes(bytes), false).value(),
+              net.message_time(units::Bytes(bytes), true).value());
   }
 }
 
 TEST(Interconnect, TimeIsMonotoneInSize) {
   Interconnect net(instance_by_abbrev("CSP-1"));
-  real_t prev = net.message_time_us(0.0, true);
+  real_t prev = net.message_time(units::Bytes(0.0), true).value();
   for (real_t bytes = 1.0; bytes <= 1 << 22; bytes *= 4.0) {
-    const real_t t = net.message_time_us(bytes, true);
+    const real_t t = net.message_time(units::Bytes(bytes), true).value();
     EXPECT_GT(t, prev);
     prev = t;
   }
@@ -112,11 +112,12 @@ TEST(Interconnect, EffectiveLatencyGrowsWithSize) {
   // The deliberate nonlinearity: zero-anchored linear fits underestimate
   // latency at large sizes (paper Section III-E).
   Interconnect net(instance_by_abbrev("CSP-2"));
-  const real_t l0 = net.message_time_us(0.0, true);
+  const real_t l0 = net.message_time(units::Bytes(0.0), true).value();
   const real_t big = 4.0 * 1024 * 1024;
   const real_t linear_estimate =
-      l0 + big / instance_by_abbrev("CSP-2").inter.bandwidth_mbs;
-  EXPECT_GT(net.message_time_us(big, true), linear_estimate);
+      l0 + big / instance_by_abbrev("CSP-2").inter.bandwidth.value();
+  EXPECT_GT(net.message_time(units::Bytes(big), true).value(),
+            linear_estimate);
 }
 
 TEST(NoiseModel, DeterministicAndCentered) {
@@ -175,17 +176,18 @@ TEST_F(WorkloadFixture, ExecuteProducesPositiveThroughput) {
   const auto& profile = instance_by_abbrev("CSP-2");
   VirtualCluster vc(profile);
   const auto result = vc.execute(plan(36, 36), 1000, {});
-  EXPECT_GT(result.mflups, 0.0);
-  EXPECT_GT(result.step_seconds, 0.0);
-  EXPECT_NEAR(result.total_seconds, result.step_seconds * 1000.0, 1e-9);
-  EXPECT_GT(result.critical.mem_s, 0.0);
+  EXPECT_GT(result.mflups.value(), 0.0);
+  EXPECT_GT(result.step_seconds.value(), 0.0);
+  EXPECT_NEAR(result.total_seconds.value(),
+              result.step_seconds.value() * 1000.0, 1e-9);
+  EXPECT_GT(result.critical.mem_s.value(), 0.0);
 }
 
 TEST_F(WorkloadFixture, MoreTasksWithinNodeIncreaseThroughput) {
   const auto& profile = instance_by_abbrev("CSP-2");
   VirtualCluster vc(profile);
-  const real_t m4 = vc.execute(plan(4, 36), 100, {}).mflups;
-  const real_t m16 = vc.execute(plan(16, 36), 100, {}).mflups;
+  const real_t m4 = vc.execute(plan(4, 36), 100, {}).mflups.value();
+  const real_t m16 = vc.execute(plan(16, 36), 100, {}).mflups.value();
   EXPECT_GT(m16, m4);
 }
 
@@ -195,15 +197,16 @@ TEST_F(WorkloadFixture, EcOutperformsNoEcAtMultiNodeScale) {
   const WorkloadPlan p = plan(144, 36);
   VirtualCluster ec(instance_by_abbrev("CSP-2 EC"));
   VirtualCluster noec(instance_by_abbrev("CSP-2"));
-  EXPECT_GT(ec.execute(p, 100, {}).mflups, noec.execute(p, 100, {}).mflups);
+  EXPECT_GT(ec.execute(p, 100, {}).mflups.value(),
+            noec.execute(p, 100, {}).mflups.value());
 }
 
 TEST_F(WorkloadFixture, NoiseVariesByMeasurementContext) {
   const auto& profile = instance_by_abbrev("CSP-2 Small");
   VirtualCluster vc(profile);
   const WorkloadPlan p = plan(16, 8);
-  const real_t a = vc.execute(p, 100, {0, 0, 0}).mflups;
-  const real_t b = vc.execute(p, 100, {3, 12, 0}).mflups;
+  const real_t a = vc.execute(p, 100, {0, 0, 0}).mflups.value();
+  const real_t b = vc.execute(p, 100, {3, 12, 0}).mflups.value();
   EXPECT_NE(a, b);
   EXPECT_NEAR(a, b, a * 0.2);  // but within noise scale
 }
@@ -215,8 +218,8 @@ TEST_F(WorkloadFixture, BreakdownsCoverAllTasks) {
   const auto breakdowns = vc.task_breakdowns(p);
   ASSERT_EQ(static_cast<index_t>(breakdowns.size()), 20);
   for (const auto& b : breakdowns) {
-    EXPECT_GT(b.mem_s, 0.0);
-    EXPECT_GE(b.total(), b.mem_s);
+    EXPECT_GT(b.mem_s.value(), 0.0);
+    EXPECT_GE(b.total().value(), b.mem_s.value());
   }
 }
 

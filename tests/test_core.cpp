@@ -40,10 +40,10 @@ TEST(CalibrateInstance, RecoversCommunicationParameters) {
   const InstanceCalibration cal = calibrate_instance(profile);
   // The nonlinearity biases the fitted bandwidth/latency slightly; the
   // parameters must still land near the ground truth.
-  EXPECT_NEAR(cal.inter.latency, profile.inter.latency_us,
-              profile.inter.latency_us * 0.15);
-  EXPECT_NEAR(cal.inter.bandwidth, profile.inter.bandwidth_mbs,
-              profile.inter.bandwidth_mbs * 0.25);
+  EXPECT_NEAR(cal.inter.latency, profile.inter.latency.value(),
+              profile.inter.latency.value() * 0.15);
+  EXPECT_NEAR(cal.inter.bandwidth, profile.inter.bandwidth.value(),
+              profile.inter.bandwidth.value() * 0.25);
   ASSERT_TRUE(cal.inter_raw.has_value());
   EXPECT_GT((*cal.inter_raw)(65536.0), (*cal.inter_raw)(64.0));
 }
@@ -61,8 +61,9 @@ TEST(CalibrateWorkload, FitsImbalanceAndEvents) {
   const std::vector<index_t> counts = {2, 4, 8, 16, 32, 64};
   const WorkloadCalibration cal = calibrate_workload(sim, counts, 36);
   EXPECT_EQ(cal.total_points, sim.mesh().num_points());
-  EXPECT_GT(cal.serial_bytes, 0.0);
-  EXPECT_DOUBLE_EQ(cal.point_comm_bytes, 40.0);  // 5 dists * 8 bytes
+  EXPECT_GT(cal.serial_bytes.value(), 0.0);
+  // 5 dists * 8 bytes
+  EXPECT_DOUBLE_EQ(cal.point_comm_bytes.value(), 40.0);
   // z law fits measured imbalance reasonably at the sampled counts.
   for (index_t n : counts) {
     const real_t measured = decomp::measured_imbalance(
@@ -77,11 +78,13 @@ TEST(DirectModel, PredictsPositiveDecomposedRuntime) {
   auto sim = make_sim(geometry::make_cylinder({.radius = 8, .length = 64}));
   const auto& plan = sim.plan(36, 36);
   const ModelPrediction pred = predict_direct(plan, csp2_calibration());
-  EXPECT_GT(pred.t_mem_s, 0.0);
-  EXPECT_GT(pred.t_comm_s, 0.0);
-  EXPECT_NEAR(pred.step_seconds, pred.t_mem_s + pred.t_comm_s, 1e-15);
-  EXPECT_NEAR(pred.t_comm_s, pred.t_intra_s + pred.t_inter_s, 1e-12);
-  EXPECT_GT(pred.mflups, 0.0);
+  EXPECT_GT(pred.t_mem.value(), 0.0);
+  EXPECT_GT(pred.t_comm.value(), 0.0);
+  EXPECT_NEAR(pred.step_seconds.value(),
+              (pred.t_mem + pred.t_comm).value(), 1e-15);
+  EXPECT_NEAR(pred.t_comm.value(),
+              (pred.t_intra + pred.t_inter).value(), 1e-12);
+  EXPECT_GT(pred.mflups.value(), 0.0);
 }
 
 TEST(DirectModel, OverpredictsMeasuredThroughputConsistently) {
@@ -96,7 +99,7 @@ TEST(DirectModel, OverpredictsMeasuredThroughputConsistently) {
     const auto& plan = sim.plan(n, 36);
     const ModelPrediction pred = predict_direct(plan, cal);
     const auto measured = sim.measure(profile, n, 200);
-    EXPECT_GT(pred.mflups, measured.mflups) << "n = " << n;
+    EXPECT_GT(pred.mflups.value(), measured.mflups.value()) << "n = " << n;
     ratios.push_back(pred.mflups / measured.mflups);
   }
   // Consistency: the overprediction factor varies by < 35 % across scales.
@@ -116,7 +119,8 @@ TEST(GeneralModel, TracksDirectModelShape) {
   for (index_t n : {4, 16, 32}) {
     const ModelPrediction d = predict_direct(sim.plan(n, 36), cal);
     const ModelPrediction g = predict_general(wcal, cal, n, 36);
-    EXPECT_NEAR(g.mflups, d.mflups, 0.5 * d.mflups) << "n = " << n;
+    EXPECT_NEAR(g.mflups.value(), d.mflups.value(), 0.5 * d.mflups.value())
+        << "n = " << n;
   }
 }
 
@@ -125,8 +129,8 @@ TEST(GeneralModel, SerialCaseHasNoCommunication) {
   const std::vector<index_t> counts = {2, 4, 8};
   const WorkloadCalibration wcal = calibrate_workload(sim, counts, 36);
   const ModelPrediction p = predict_general(wcal, csp2_calibration(), 1, 36);
-  EXPECT_DOUBLE_EQ(p.t_comm_s, 0.0);
-  EXPECT_GT(p.t_mem_s, 0.0);
+  EXPECT_DOUBLE_EQ(p.t_comm.value(), 0.0);
+  EXPECT_GT(p.t_mem.value(), 0.0);
 }
 
 TEST(GeneralModel, CommunicationBecomesLatencyDominatedAtScale) {
@@ -137,7 +141,7 @@ TEST(GeneralModel, CommunicationBecomesLatencyDominatedAtScale) {
   const WorkloadCalibration wcal = calibrate_workload(sim, counts, 36);
   const ModelPrediction p =
       predict_general(wcal, csp2_calibration(), 512, 36);
-  EXPECT_GT(p.t_comm_lat_s, p.t_comm_bw_s);
+  EXPECT_GT(p.t_comm_lat.value(), p.t_comm_bw.value());
 }
 
 TEST(GeneralModel, MemTermShrinksWithTasks) {
@@ -145,15 +149,15 @@ TEST(GeneralModel, MemTermShrinksWithTasks) {
   const std::vector<index_t> counts = {2, 4, 8, 16};
   const WorkloadCalibration wcal = calibrate_workload(sim, counts, 36);
   const InstanceCalibration& cal = csp2_calibration();
-  const real_t mem36 = predict_general(wcal, cal, 36, 36).t_mem_s;
-  const real_t mem144 = predict_general(wcal, cal, 144, 36).t_mem_s;
-  EXPECT_LT(mem144, mem36);
+  const units::Seconds mem36 = predict_general(wcal, cal, 36, 36).t_mem;
+  const units::Seconds mem144 = predict_general(wcal, cal, 144, 36).t_mem;
+  EXPECT_LT(mem144.value(), mem36.value());
 }
 
 TEST(RelativeValue, MatrixIsReciprocal) {
   ModelPrediction a, b;
-  a.mflups = 100.0;
-  b.mflups = 130.0;
+  a.mflups = units::Mflups(100.0);
+  b.mflups = units::Mflups(130.0);
   EXPECT_NEAR(relative_value(b, a), 1.3, 1e-12);
   EXPECT_NEAR(relative_value(a, b) * relative_value(b, a), 1.0, 1e-12);
   EXPECT_DOUBLE_EQ(relative_value(a, a), 1.0);

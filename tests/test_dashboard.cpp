@@ -44,10 +44,10 @@ TEST_F(DashboardTest, EvaluatesEveryInstanceAtEveryCoreCount) {
   const auto rows = dashboard_->evaluate(*workload_, JobSpec{10000}, cores);
   EXPECT_EQ(rows.size(), 6u);  // 3 instances x 2 core counts
   for (const auto& row : rows) {
-    EXPECT_GT(row.prediction.mflups, 0.0);
-    EXPECT_GT(row.time_to_solution_s, 0.0);
-    EXPECT_GT(row.total_dollars, 0.0);
-    EXPECT_GT(row.mflups_per_dollar_hour, 0.0);
+    EXPECT_GT(row.prediction.mflups.value(), 0.0);
+    EXPECT_GT(row.time_to_solution_s.value(), 0.0);
+    EXPECT_GT(row.total_dollars.value(), 0.0);
+    EXPECT_GT(row.mflups_per_dollar_hour.value(), 0.0);
     EXPECT_GE(row.n_nodes, 1);
   }
 }
@@ -81,9 +81,9 @@ TEST_F(DashboardTest, EcBeatsNoEcBeatsTrcAtScale) {
   ASSERT_EQ(rows.size(), 3u);
   real_t trc = 0, csp2 = 0, ec = 0;
   for (const auto& row : rows) {
-    if (row.instance == "TRC") trc = row.prediction.mflups;
-    if (row.instance == "CSP-2") csp2 = row.prediction.mflups;
-    if (row.instance == "CSP-2 EC") ec = row.prediction.mflups;
+    if (row.instance == "TRC") trc = row.prediction.mflups.value();
+    if (row.instance == "CSP-2") csp2 = row.prediction.mflups.value();
+    if (row.instance == "CSP-2 EC") ec = row.prediction.mflups.value();
   }
   EXPECT_GT(ec, csp2);
   EXPECT_GT(csp2, trc);
@@ -102,13 +102,14 @@ TEST_F(DashboardTest, RecommendationsFollowObjectives) {
       Dashboard::recommend(rows, Objective::kMaxThroughput);
   ASSERT_TRUE(fastest.has_value());
   for (const auto& row : rows) {
-    EXPECT_LE(row.prediction.mflups, fastest->prediction.mflups);
+    EXPECT_LE(row.prediction.mflups.value(),
+              fastest->prediction.mflups.value());
   }
 
   const auto cheapest = Dashboard::recommend(rows, Objective::kMinCost);
   ASSERT_TRUE(cheapest.has_value());
   for (const auto& row : rows) {
-    EXPECT_GE(row.total_dollars, cheapest->total_dollars);
+    EXPECT_GE(row.total_dollars.value(), cheapest->total_dollars.value());
   }
 }
 
@@ -116,7 +117,7 @@ TEST_F(DashboardTest, DeadlineObjectivePicksCheapestQualifying) {
   const std::vector<index_t> cores = {36, 144};
   const auto rows = dashboard_->evaluate(*workload_, JobSpec{50000}, cores);
   // A deadline everyone can meet: the pick must be the global cheapest.
-  real_t slowest = 0.0;
+  units::Seconds slowest;
   for (const auto& row : rows) {
     slowest = std::max(slowest, row.time_to_solution_s);
   }
@@ -124,24 +125,28 @@ TEST_F(DashboardTest, DeadlineObjectivePicksCheapestQualifying) {
       Dashboard::recommend(rows, Objective::kDeadline, slowest * 2.0);
   const auto cheapest = Dashboard::recommend(rows, Objective::kMinCost);
   ASSERT_TRUE(within.has_value());
-  EXPECT_DOUBLE_EQ(within->total_dollars, cheapest->total_dollars);
+  EXPECT_DOUBLE_EQ(within->total_dollars.value(),
+                   cheapest->total_dollars.value());
   // An impossible deadline yields no recommendation.
-  EXPECT_FALSE(
-      Dashboard::recommend(rows, Objective::kDeadline, 1e-9).has_value());
+  EXPECT_FALSE(Dashboard::recommend(rows, Objective::kDeadline,
+                                    units::Seconds(1e-9))
+                   .has_value());
 }
 
 TEST_F(DashboardTest, RefinementScalesPredictions) {
   CampaignTracker tracker;
-  tracker.record(Observation{"aorta", "CSP-2", 36, 125.0, 100.0});
+  tracker.record(Observation{"aorta", "CSP-2", 36, units::Mflups(125.0),
+                             units::Mflups(100.0)});
   const std::vector<index_t> cores = {36};
   const auto raw = dashboard_->evaluate(*workload_, JobSpec{1000}, cores);
   const auto refined =
       dashboard_->evaluate(*workload_, JobSpec{1000}, cores, &tracker);
   ASSERT_EQ(raw.size(), refined.size());
   for (std::size_t i = 0; i < raw.size(); ++i) {
-    EXPECT_NEAR(refined[i].prediction.mflups,
-                raw[i].prediction.mflups * 0.8, 1e-6);
-    EXPECT_GT(refined[i].time_to_solution_s, raw[i].time_to_solution_s);
+    EXPECT_NEAR(refined[i].prediction.mflups.value(),
+                raw[i].prediction.mflups.value() * 0.8, 1e-6);
+    EXPECT_GT(refined[i].time_to_solution_s.value(),
+              raw[i].time_to_solution_s.value());
   }
 }
 
@@ -149,10 +154,11 @@ TEST_F(DashboardTest, GuardDerivesFromRow) {
   const std::vector<index_t> cores = {144};
   const auto rows = dashboard_->evaluate(*workload_, JobSpec{10000}, cores);
   const JobGuard guard = Dashboard::make_guard(rows.front(), 0.10);
-  EXPECT_DOUBLE_EQ(guard.predicted_seconds, rows.front().time_to_solution_s);
-  EXPECT_GT(guard.max_dollars(), 0.0);
-  EXPECT_NEAR(guard.max_seconds(), rows.front().time_to_solution_s * 1.1,
-              1e-9);
+  EXPECT_DOUBLE_EQ(guard.predicted_seconds.value(),
+                   rows.front().time_to_solution_s.value());
+  EXPECT_GT(guard.max_dollars().value(), 0.0);
+  EXPECT_NEAR(guard.max_seconds().value(),
+              rows.front().time_to_solution_s.value() * 1.1, 1e-9);
 }
 
 }  // namespace

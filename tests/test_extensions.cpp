@@ -26,9 +26,11 @@ TEST(GpuSystem, CatalogHasGpuVariantWithSaneNumbers) {
   const auto& p = cluster::instance_by_abbrev("CSP-2 GPU");
   ASSERT_TRUE(p.gpu.has_value());
   EXPECT_EQ(p.gpu->gpus_per_node, 4);
-  EXPECT_GT(p.gpu->memory_bandwidth_mbs, p.memory.node_bandwidth_mbs(36.0));
+  EXPECT_GT(p.gpu->memory_bandwidth.value(),
+            p.memory.node_bandwidth_mbs(36.0).value());
   cluster::GpuSystem gpu(p);
-  EXPECT_LT(gpu.effective_bandwidth_mbs(), p.gpu->memory_bandwidth_mbs);
+  EXPECT_LT(gpu.effective_bandwidth().value(),
+            p.gpu->memory_bandwidth.value());
   // CPU-only instances reject GpuSystem.
   EXPECT_THROW(cluster::GpuSystem(cluster::instance_by_abbrev("TRC")),
                PreconditionError);
@@ -36,9 +38,9 @@ TEST(GpuSystem, CatalogHasGpuVariantWithSaneNumbers) {
 
 TEST(GpuSystem, TransferTimeMonotoneAndSuperlinearLatency) {
   cluster::GpuSystem gpu(cluster::instance_by_abbrev("CSP-2 GPU"));
-  real_t prev = gpu.transfer_time_us(0.0);
+  real_t prev = gpu.transfer_time(units::Bytes(0.0)).value();
   for (real_t bytes = 1024.0; bytes <= 1 << 22; bytes *= 4.0) {
-    const real_t t = gpu.transfer_time_us(bytes);
+    const real_t t = gpu.transfer_time(units::Bytes(bytes)).value();
     EXPECT_GT(t, prev);
     prev = t;
   }
@@ -51,9 +53,9 @@ TEST(GpuExecution, GpuBeatsCpuOnSameInstanceForBigDomains) {
   const auto& gpu_profile = cluster::instance_by_abbrev("CSP-2 GPU");
   const auto cpu = sim.measure(gpu_profile, 36, 200);
   const auto gpu = sim.measure_gpu(gpu_profile, 4, 200);
-  EXPECT_GT(gpu.mflups, cpu.mflups * 2.0);
-  EXPECT_GT(gpu.critical.xfer_s, 0.0);   // PCIe staging is accounted
-  EXPECT_DOUBLE_EQ(cpu.critical.xfer_s, 0.0);
+  EXPECT_GT(gpu.mflups.value(), cpu.mflups.value() * 2.0);
+  EXPECT_GT(gpu.critical.xfer_s.value(), 0.0);  // PCIe staging is accounted
+  EXPECT_DOUBLE_EQ(cpu.critical.xfer_s.value(), 0.0);
 }
 
 TEST(GpuExecution, MeasureGpuRejectsCpuOnlyInstances) {
@@ -66,16 +68,16 @@ TEST(GpuExecution, MeasureGpuRejectsCpuOnlyInstances) {
 TEST(GpuModel, CalibrationCoversDeviceAndPcie) {
   const auto cal =
       core::calibrate_instance(cluster::instance_by_abbrev("CSP-2 GPU"));
-  ASSERT_TRUE(cal.gpu_bandwidth_mbs.has_value());
+  ASSERT_TRUE(cal.gpu_bandwidth.has_value());
   ASSERT_TRUE(cal.gpu_pcie.has_value());
   // Device STREAM lands near the published HBM figure (not the hidden
   // kernel-efficiency-derated one).
-  EXPECT_NEAR(*cal.gpu_bandwidth_mbs, 900000.0, 900000.0 * 0.05);
+  EXPECT_NEAR(cal.gpu_bandwidth->value(), 900000.0, 900000.0 * 0.05);
   EXPECT_GT(cal.gpu_pcie->bandwidth, 8000.0);
   // CPU-only calibration has no GPU fields.
   const auto cpu_cal =
       core::calibrate_instance(cluster::instance_by_abbrev("CSP-2"));
-  EXPECT_FALSE(cpu_cal.gpu_bandwidth_mbs.has_value());
+  EXPECT_FALSE(cpu_cal.gpu_bandwidth.has_value());
 }
 
 TEST(GpuModel, DirectModelOverpredictsGpuRunsToo) {
@@ -85,9 +87,10 @@ TEST(GpuModel, DirectModelOverpredictsGpuRunsToo) {
   const auto& plan = sim.gpu_plan(4, 4);
   const auto pred = core::predict_direct(plan, cal);
   const auto meas = sim.measure_gpu(profile, 4, 200);
-  EXPECT_GT(pred.mflups, meas.mflups);       // kernel efficiency is hidden
-  EXPECT_LT(pred.mflups, meas.mflups * 2.0); // but in the right ballpark
-  EXPECT_GT(pred.t_xfer_s, 0.0);             // Eq. 2's t_CPU-GPU appears
+  // Kernel efficiency is hidden, but the model is in the right ballpark.
+  EXPECT_GT(pred.mflups.value(), meas.mflups.value());
+  EXPECT_LT(pred.mflups.value(), meas.mflups.value() * 2.0);
+  EXPECT_GT(pred.t_xfer.value(), 0.0);  // Eq. 2's t_CPU-GPU appears
 }
 
 TEST(GpuModel, CpuPlanOnGpuCalibrationIgnoresDeviceFields) {
@@ -95,7 +98,7 @@ TEST(GpuModel, CpuPlanOnGpuCalibrationIgnoresDeviceFields) {
   const auto& profile = cluster::instance_by_abbrev("CSP-2 GPU");
   const auto cal = core::calibrate_instance(profile);
   const auto pred = core::predict_direct(sim.plan(36, 36), cal);
-  EXPECT_DOUBLE_EQ(pred.t_xfer_s, 0.0);
+  EXPECT_DOUBLE_EQ(pred.t_xfer.value(), 0.0);
 }
 
 TEST(TermSelector, KeepsUsefulTermDiscardsBogusOne) {
@@ -144,33 +147,35 @@ TEST(TermSelector, MinImprovementThresholdBlocksMarginalTerms) {
 TEST(SpotPricing, DiscountsShortJobsButInflatesWallTime) {
   core::DashboardRow row;
   row.instance = "CSP-2";
-  row.prediction.mflups = 100.0;
-  row.time_to_solution_s = 3600.0;
-  row.cost_rate_per_hour = 10.0;
-  row.total_dollars = 10.0;
-  row.mflups_per_dollar_hour = 10.0;
+  row.prediction.mflups = units::Mflups(100.0);
+  row.time_to_solution_s = units::Seconds(3600.0);
+  row.cost_rate_per_hour = units::DollarsPerHour(10.0);
+  row.total_dollars = units::Dollars(10.0);
+  row.mflups_per_dollar_hour = units::MflupsPerDollarHour(10.0);
 
   core::SpotOptions spot;  // 70 % discount, 0.15 preemptions/hour
   const auto priced = core::apply_spot_pricing(row, spot);
-  EXPECT_GT(priced.time_to_solution_s, row.time_to_solution_s);
-  EXPECT_LT(priced.total_dollars, row.total_dollars * 0.5);
-  EXPECT_GT(priced.mflups_per_dollar_hour, row.mflups_per_dollar_hour);
+  EXPECT_GT(priced.time_to_solution_s.value(),
+            row.time_to_solution_s.value());
+  EXPECT_LT(priced.total_dollars.value(), row.total_dollars.value() * 0.5);
+  EXPECT_GT(priced.mflups_per_dollar_hour.value(),
+            row.mflups_per_dollar_hour.value());
 }
 
 TEST(SpotPricing, HeavyPreemptionErodesTheDiscount) {
   core::DashboardRow row;
-  row.prediction.mflups = 100.0;
-  row.time_to_solution_s = 100.0 * 3600.0;  // a very long job
-  row.cost_rate_per_hour = 10.0;
-  row.total_dollars = 1000.0;
+  row.prediction.mflups = units::Mflups(100.0);
+  row.time_to_solution_s = units::Seconds(100.0 * 3600.0);  // very long job
+  row.cost_rate_per_hour = units::DollarsPerHour(10.0);
+  row.total_dollars = units::Dollars(1000.0);
 
   core::SpotOptions brutal;
   brutal.discount = 0.10;
-  brutal.preemptions_per_hour = 6.0;
-  brutal.restart_overhead_s = 3000.0;
-  brutal.checkpoint_interval_s = 3600.0;
+  brutal.preemptions_per_hour = units::PerHour(6.0);
+  brutal.restart_overhead_s = units::Seconds(3000.0);
+  brutal.checkpoint_interval_s = units::Seconds(3600.0);
   const auto priced = core::apply_spot_pricing(row, brutal);
-  EXPECT_GT(priced.total_dollars, row.total_dollars);
+  EXPECT_GT(priced.total_dollars.value(), row.total_dollars.value());
 }
 
 TEST(Hyperthreading, PlanningOneTaskPerVcpuIsCounterproductive) {
@@ -184,7 +189,7 @@ TEST(Hyperthreading, PlanningOneTaskPerVcpuIsCounterproductive) {
       core::calibrate_instance(cluster::instance_by_abbrev("CSP-2"));
   const auto ht = core::predict_direct(sim.plan(144, 72), cal_ht);
   const auto regular = core::predict_direct(sim.plan(144, 36), cal);
-  EXPECT_LT(ht.mflups, regular.mflups);
+  EXPECT_LT(ht.mflups.value(), regular.mflups.value());
 }
 
 }  // namespace

@@ -31,9 +31,9 @@ TEST(FeedbackLoop, ProportionalTermExplainsTheModelGap) {
   for (index_t n : {4, 9, 18, 36}) {
     const auto pred = core::predict_direct(sim.plan(n, 36), cal);
     const auto meas = sim.measure(profile, n, 200);
-    samples.push_back(
-        core::RefinementSample{n, pred.step_seconds, meas.step_seconds});
-    baseline[n] = pred.step_seconds;
+    samples.push_back(core::RefinementSample{
+        n, pred.step_seconds.value(), meas.step_seconds.value()});
+    baseline[n] = pred.step_seconds.value();
   }
   core::TermSelector selector(samples);
   const real_t initial = selector.current_error();
@@ -69,8 +69,10 @@ TEST(ResolutionScaling, ScalesTotalsOnly) {
   const auto base = core::calibrate_workload(sim, counts, 36);
   const auto scaled = core::scale_resolution(base, 8.0);
   EXPECT_EQ(scaled.total_points, base.total_points * 8);
-  EXPECT_DOUBLE_EQ(scaled.serial_bytes, base.serial_bytes * 8.0);
-  EXPECT_DOUBLE_EQ(scaled.point_comm_bytes, base.point_comm_bytes);
+  EXPECT_DOUBLE_EQ(scaled.serial_bytes.value(),
+                   base.serial_bytes.value() * 8.0);
+  EXPECT_DOUBLE_EQ(scaled.point_comm_bytes.value(),
+                   base.point_comm_bytes.value());
   EXPECT_DOUBLE_EQ(scaled.imbalance.z(64.0), base.imbalance.z(64.0));
   EXPECT_THROW((void)core::scale_resolution(base, 0.0), PreconditionError);
 }

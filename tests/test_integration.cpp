@@ -46,10 +46,10 @@ TEST(Integration, FullFrameworkLoopImprovesPredictions) {
   const auto pred36 = core::predict_general(wcal, ical, 36,
                                             profile.cores_per_node);
   const real_t refined_step =
-      1.0 / (tracker.refined_mflups(pred36.mflups) * 1e6 /
+      1.0 / (tracker.refined_mflups(pred36.mflups).value() * 1e6 /
              static_cast<real_t>(wcal.total_points));
   core::JobGuard guard;
-  guard.predicted_seconds = refined_step * 1000.0;
+  guard.predicted_seconds = units::Seconds(refined_step * 1000.0);
   guard.tolerance = 0.15;
   const auto actual = sim.measure(profile, 36, 1000);
   EXPECT_FALSE(guard.should_abort(actual.total_seconds, 1.0));
@@ -64,7 +64,7 @@ TEST(Integration, NoiseCampaignMatchesTableFourMagnitudes) {
   for (index_t day = 0; day < 7; ++day) {
     for (index_t hour = 0; hour < 24; hour += 6) {
       samples.push_back(
-          sim.measure(profile, 16, 100, {day, hour, 0}).mflups);
+          sim.measure(profile, 16, 100, {day, hour, 0}).mflups.value());
     }
   }
   const auto summary = fit::summarize(samples);
@@ -86,8 +86,8 @@ TEST(Integration, StrongScalingShapesMatchFigureThree) {
   real_t cerebral36 = 0.0, cylinder36 = 0.0;
   for (auto& [name, geo] : geos) {
     harvey::Simulation sim(std::move(geo), opts);
-    const real_t m9 = sim.measure(profile, 9, 100).mflups;
-    const real_t m36 = sim.measure(profile, 36, 100).mflups;
+    const real_t m9 = sim.measure(profile, 9, 100).mflups.value();
+    const real_t m36 = sim.measure(profile, 36, 100).mflups.value();
     EXPECT_GT(m36, m9) << name;
     if (name == "cerebral") cerebral36 = m36;
     if (name == "cylinder") cylinder36 = m36;
@@ -102,7 +102,7 @@ TEST(Integration, ProxyMeasurementsMatchKernelOrdering) {
   proxy::ProxyParams params;
   auto mflups_for = [&](lbm::KernelConfig k) {
     proxy::ProxyApp app(params, k);
-    return app.measure(profile, 36, 100).mflups;
+    return app.measure(profile, 36, 100).mflups.value();
   };
   lbm::KernelConfig aa_aos, ab_aos, ab_soa;
   aa_aos.propagation = lbm::Propagation::kAA;
@@ -121,11 +121,11 @@ TEST(Integration, DirectModelCompositionShowsCommGrowth) {
       geometry::make_cylinder({.radius = 10, .length = 80}), opts);
   const auto p36 = core::predict_direct(sim.plan(36, 36), ical);
   const auto p144 = core::predict_direct(sim.plan(144, 36), ical);
-  const real_t share36 = p36.t_comm_s / p36.step_seconds;
-  const real_t share144 = p144.t_comm_s / p144.step_seconds;
+  const real_t share36 = p36.t_comm / p36.step_seconds;
+  const real_t share144 = p144.t_comm / p144.step_seconds;
   EXPECT_GT(share144, share36);
   // Internodal dwarfs intranodal at 4 nodes (paper Fig. 9: green ≪ purple).
-  EXPECT_GT(p144.t_inter_s, p144.t_intra_s);
+  EXPECT_GT(p144.t_inter.value(), p144.t_intra.value());
 }
 
 }  // namespace

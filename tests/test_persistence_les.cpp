@@ -15,9 +15,12 @@ namespace {
 
 TEST(CampaignPersistence, RoundTripPreservesObservations) {
   core::CampaignTracker tracker;
-  tracker.record(core::Observation{"aorta", "CSP-2 EC", 36, 125.5, 99.25});
-  tracker.record(
-      core::Observation{"cerebral", "CSP-2 Small", 128, 88.125, 70.0625});
+  tracker.record(core::Observation{"aorta", "CSP-2 EC", 36,
+                                   units::Mflups(125.5),
+                                   units::Mflups(99.25)});
+  tracker.record(core::Observation{"cerebral", "CSP-2 Small", 128,
+                                   units::Mflups(88.125),
+                                   units::Mflups(70.0625)});
 
   std::stringstream buffer;
   core::save_campaign(tracker, buffer);
@@ -26,7 +29,8 @@ TEST(CampaignPersistence, RoundTripPreservesObservations) {
   EXPECT_EQ(restored.observations()[0].workload, "aorta");
   EXPECT_EQ(restored.observations()[0].instance, "CSP-2 EC");
   EXPECT_EQ(restored.observations()[1].n_tasks, 128);
-  EXPECT_DOUBLE_EQ(restored.observations()[1].measured_mflups, 70.0625);
+  EXPECT_DOUBLE_EQ(restored.observations()[1].measured_mflups.value(),
+                   70.0625);
   EXPECT_DOUBLE_EQ(restored.correction_factor(),
                    tracker.correction_factor());
 }
@@ -56,8 +60,9 @@ TEST(CalibrationPersistence, RoundTripPreservesModels) {
     EXPECT_NEAR((*restored.inter_raw)(bytes), (*cal.inter_raw)(bytes),
                 (*cal.inter_raw)(bytes) * 0.05);
   }
-  ASSERT_TRUE(restored.gpu_bandwidth_mbs.has_value());
-  EXPECT_DOUBLE_EQ(*restored.gpu_bandwidth_mbs, *cal.gpu_bandwidth_mbs);
+  ASSERT_TRUE(restored.gpu_bandwidth.has_value());
+  EXPECT_DOUBLE_EQ(restored.gpu_bandwidth->value(),
+                   cal.gpu_bandwidth->value());
   EXPECT_DOUBLE_EQ(restored.gpu_pcie->latency, cal.gpu_pcie->latency);
 }
 
@@ -67,7 +72,7 @@ TEST(CalibrationPersistence, CpuOnlyCalibrationHasNoGpuFields) {
   std::stringstream buffer;
   core::save_calibration(cal, buffer);
   const auto restored = core::load_calibration(buffer);
-  EXPECT_FALSE(restored.gpu_bandwidth_mbs.has_value());
+  EXPECT_FALSE(restored.gpu_bandwidth.has_value());
 }
 
 TEST(Smagorinsky, ZeroConstantMatchesBgkBitwise) {

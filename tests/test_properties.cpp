@@ -241,7 +241,7 @@ TEST_P(CatalogSweep, CalibrationRecoversGroundTruthMemoryLaw) {
   const auto cal = core::calibrate_instance(profile);
   // Fitted node bandwidth at full physical cores within 12 % of truth.
   const real_t n = static_cast<real_t>(profile.cores_per_node);
-  const real_t truth = profile.memory.node_bandwidth_mbs(n);
+  const real_t truth = profile.memory.node_bandwidth_mbs(n).value();
   EXPECT_NEAR(cal.memory.bandwidth(n), truth, truth * 0.12) << GetParam();
   // Comm fits positive and ordered (intra faster than inter).
   EXPECT_GT(cal.inter.bandwidth, 0.0);
@@ -260,7 +260,7 @@ TEST_P(CatalogSweep, ExecutionIsDeterministicPerContext) {
   cluster::VirtualCluster vc(profile);
   const auto a = vc.execute(plan, 100, {2, 6, 1});
   const auto b = vc.execute(plan, 100, {2, 6, 1});
-  EXPECT_DOUBLE_EQ(a.mflups, b.mflups);
+  EXPECT_DOUBLE_EQ(a.mflups.value(), b.mflups.value());
   EXPECT_EQ(a.critical_task, b.critical_task);
 }
 

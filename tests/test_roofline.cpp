@@ -17,10 +17,10 @@ TEST(Roofline, PeakAndRidgeScaleWithThreads) {
   const auto& trc = cluster::instance_by_abbrev("TRC");
   const auto r1 = core::instance_roofline(trc, 1);
   const auto r40 = core::instance_roofline(trc, 40);
-  EXPECT_NEAR(r40.peak_gflops, r1.peak_gflops * 40.0, 1e-9);
-  EXPECT_GT(r40.bandwidth_gbs, r1.bandwidth_gbs);
+  EXPECT_NEAR(r40.peak.value(), r1.peak.value() * 40.0, 1e-9);
+  EXPECT_GT(r40.bandwidth.value(), r1.bandwidth.value());
   // Bandwidth saturates, so the ridge point moves right with threads.
-  EXPECT_GT(r40.ridge_flops_per_byte, r1.ridge_flops_per_byte);
+  EXPECT_GT(r40.ridge.value(), r1.ridge.value());
 }
 
 TEST(Roofline, LbmIsMemoryBoundOnEveryCatalogInstance) {
@@ -29,16 +29,16 @@ TEST(Roofline, LbmIsMemoryBoundOnEveryCatalogInstance) {
   // for our kernel's measured arithmetic intensity on every system.
   const auto geo = geometry::make_cylinder({.radius = 6, .length = 32});
   const auto mesh = lbm::FluidMesh::build(geo.grid);
-  const real_t intensity =
+  const units::FlopsPerByte intensity =
       core::arithmetic_intensity(mesh, lbm::KernelConfig{});
-  EXPECT_GT(intensity, 0.5);
-  EXPECT_LT(intensity, 3.0);  // ~1.3 flops/byte for D3Q19 BGK
+  EXPECT_GT(intensity.value(), 0.5);
+  EXPECT_LT(intensity.value(), 3.0);  // ~1.3 flops/byte for D3Q19 BGK
   for (const auto& profile : cluster::default_catalog()) {
     const auto roofline =
         core::instance_roofline(profile, profile.cores_per_node);
     EXPECT_EQ(core::bound_for(roofline, intensity), core::Bound::kMemory)
         << profile.abbrev;
-    EXPECT_GT(roofline.ridge_flops_per_byte, intensity) << profile.abbrev;
+    EXPECT_GT(roofline.ridge.value(), intensity.value()) << profile.abbrev;
   }
 }
 
@@ -47,31 +47,31 @@ TEST(Roofline, AdjustmentIsNoOpForMemoryBoundKernels) {
   // per step against a ~1.4 GB/s per-task share (t_mem ~ 27 ms) while
   // needing only ~45 Mflops (t_compute ~ 2.6 ms at a 1/40 peak share).
   core::ModelPrediction pred;
-  pred.t_mem_s = 2.7e-2;
-  pred.t_comm_s = 1e-4;
-  pred.step_seconds = 2.71e-2;
-  pred.mflups = 100.0;
+  pred.t_mem = units::Seconds(2.7e-2);
+  pred.t_comm = units::Seconds(1e-4);
+  pred.step_seconds = units::Seconds(2.71e-2);
+  pred.mflups = units::Mflups(100.0);
   const auto& trc = cluster::instance_by_abbrev("TRC");
   const auto roofline = core::instance_roofline(trc, 40);
-  const auto adjusted = core::roofline_adjusted(pred, roofline, 4.5e7,
-                                                1.0 / 40.0);
-  EXPECT_DOUBLE_EQ(adjusted.t_mem_s, pred.t_mem_s);
-  EXPECT_DOUBLE_EQ(adjusted.mflups, pred.mflups);
+  const auto adjusted = core::roofline_adjusted(
+      pred, roofline, units::Flops(4.5e7), 1.0 / 40.0);
+  EXPECT_DOUBLE_EQ(adjusted.t_mem.value(), pred.t_mem.value());
+  EXPECT_DOUBLE_EQ(adjusted.mflups.value(), pred.mflups.value());
 }
 
 TEST(Roofline, AdjustmentBindsForComputeHeavyWork) {
   core::ModelPrediction pred;
-  pred.t_mem_s = 1e-6;  // tiny memory term
-  pred.t_comm_s = 0.0;
-  pred.step_seconds = 1e-6;
-  pred.mflups = 100.0;
+  pred.t_mem = units::Seconds(1e-6);  // tiny memory term
+  pred.t_comm = units::Seconds(0.0);
+  pred.step_seconds = units::Seconds(1e-6);
+  pred.mflups = units::Mflups(100.0);
   const auto& trc = cluster::instance_by_abbrev("TRC");
   const auto roofline = core::instance_roofline(trc, 40);
   // A hypothetical compute-dominated task: 1e12 flops.
   const auto adjusted =
-      core::roofline_adjusted(pred, roofline, 1e12, 1.0);
-  EXPECT_GT(adjusted.t_mem_s, pred.t_mem_s * 100.0);
-  EXPECT_LT(adjusted.mflups, pred.mflups);
+      core::roofline_adjusted(pred, roofline, units::Flops(1e12), 1.0);
+  EXPECT_GT(adjusted.t_mem.value(), pred.t_mem.value() * 100.0);
+  EXPECT_LT(adjusted.mflups.value(), pred.mflups.value());
 }
 
 TEST(PointFlops, BoundaryPointsSkipRelaxation) {

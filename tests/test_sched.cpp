@@ -56,8 +56,8 @@ TEST(SchedPlacement, RespectsBoundedPoolCapacity) {
   const auto first = scheduler->place(request);
   ASSERT_EQ(first.kind, PlacementDecision::Kind::kPlaced);
   EXPECT_GE(first.placement.n_nodes, 1);
-  EXPECT_GT(first.placement.predicted_seconds, 0.0);
-  EXPECT_GT(first.placement.predicted_mflups, 0.0);
+  EXPECT_GT(first.placement.predicted_seconds.value(), 0.0);
+  EXPECT_GT(first.placement.predicted_mflups.value(), 0.0);
 
   // Fill both pools completely: the same job must now wait, not fail.
   Placement all_csp1;
@@ -81,7 +81,8 @@ TEST(SchedPlacement, RespectsBoundedPoolCapacity) {
 TEST(SchedPlacement, ImpossibleConstraintsAreInfeasible) {
   auto scheduler = make_scheduler(small_config());
   CampaignJobSpec spec = cylinder_job(1, 100000);
-  spec.budget_dollars = 1e-6;  // no option's guard ceiling fits this
+  // No option's guard ceiling fits this budget.
+  spec.budget_dollars = units::Dollars(1e-6);
   PlacementRequest request;
   request.spec = &spec;
   request.remaining_steps = spec.timesteps;
@@ -131,7 +132,7 @@ TEST(SchedEngine, OverrunGuardKillsAndRequeuesJob) {
 TEST(SchedEngine, SpotJobResumesFromCheckpointAndCompletes) {
   SchedulerConfig config = small_config();
   config.guard_tolerance = 0.50;  // isolate preemption from the guard
-  config.spot.preemptions_per_hour = 40.0;
+  config.spot.preemptions_per_hour = units::PerHour(40.0);
   auto scheduler = make_scheduler(config);
 
   EngineConfig engine_config;
@@ -149,7 +150,7 @@ TEST(SchedEngine, SpotJobResumesFromCheckpointAndCompletes) {
   EXPECT_EQ(job.state, JobState::kCompleted);
   EXPECT_TRUE(job.spot);
   EXPECT_GE(job.preemptions, 1);
-  EXPECT_GT(job.dollars, 0.0);
+  EXPECT_GT(job.dollars.value(), 0.0);
 }
 
 // The same preemption stream replayed directly through simulate_attempt:
@@ -174,7 +175,7 @@ TEST(SchedGuard, AttemptAccountsPreemptionLosses) {
   ctx.guard.predicted_seconds = decision.placement.predicted_seconds * 10.0;
   ctx.steps = spec.timesteps;
   ctx.seed = 123;
-  ctx.spot.preemptions_per_hour = 60.0;
+  ctx.spot.preemptions_per_hour = units::PerHour(60.0);
   ctx.max_preemptions = 64;
 
   const AttemptResult result = simulate_attempt(ctx);
@@ -183,10 +184,10 @@ TEST(SchedGuard, AttemptAccountsPreemptionLosses) {
   EXPECT_GE(result.preemptions, 1);
   // Occupancy strictly exceeds productive compute: lost partial chunks
   // plus one restart overhead per preemption.
-  EXPECT_GT(result.sim_seconds, result.compute_seconds);
-  EXPECT_GT(result.sim_seconds - result.compute_seconds,
+  EXPECT_GT(result.sim_seconds.value(), result.compute_seconds.value());
+  EXPECT_GT((result.sim_seconds - result.compute_seconds).value(),
             static_cast<real_t>(result.preemptions) *
-                ctx.spot.restart_overhead_s);
+                ctx.spot.restart_overhead_s.value());
 }
 
 TEST(SchedGuard, ResolutionScalingPreservesNoiseAndBaseCase) {
@@ -194,12 +195,13 @@ TEST(SchedGuard, ResolutionScalingPreservesNoiseAndBaseCase) {
   const auto& plan = scheduler->plan_for("cylinder", "CSP-1", 16);
   const cluster::VirtualCluster vc(scheduler->profile_for("CSP-1"));
   const auto result = vc.execute(plan, 100, {1, 12, 3});
-  EXPECT_DOUBLE_EQ(scaled_step_seconds(result, 1.0), result.step_seconds);
+  EXPECT_DOUBLE_EQ(scaled_step_seconds(result, 1.0).value(),
+                   result.step_seconds.value());
   // 8x the points: memory term x8, halo surface x4 — the scaled step lies
   // strictly between those bounds.
-  const real_t scaled = scaled_step_seconds(result, 8.0);
-  EXPECT_GT(scaled, 4.0 * result.step_seconds);
-  EXPECT_LT(scaled, 8.0 * result.step_seconds + 1e-12);
+  const units::Seconds scaled = scaled_step_seconds(result, 8.0);
+  EXPECT_GT(scaled.value(), 4.0 * result.step_seconds.value());
+  EXPECT_LT(scaled.value(), 8.0 * result.step_seconds.value() + 1e-12);
 }
 
 // Acceptance (c): two runs of a 20-job concurrent campaign with the same
@@ -208,7 +210,7 @@ TEST(SchedGuard, ResolutionScalingPreservesNoiseAndBaseCase) {
 TEST(SchedEngine, TwentyJobCampaignIsDeterministic) {
   const auto run_campaign = [](index_t n_workers) {
     SchedulerConfig config = small_config();
-    config.spot.preemptions_per_hour = 10.0;
+    config.spot.preemptions_per_hour = units::PerHour(10.0);
     auto scheduler = make_scheduler(config);
     EngineConfig engine_config;
     engine_config.n_workers = n_workers;

@@ -1,0 +1,176 @@
+// Tests for the dimensional-safety layer (src/units/units.hpp): explicit
+// scale conversions round-trip exactly where the math allows it, the
+// curated cross-unit algebra produces the right types and numbers, and —
+// via requires-expressions evaluated at compile time — the illegal mixes
+// the layer exists to forbid really are ill-formed. The latter complements
+// tests/compile_fail/, which proves the same thing end-to-end through a
+// real failed compiler invocation.
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "core/models.hpp"
+#include "units/units.hpp"
+
+namespace hemo::units {
+namespace {
+
+// --- Compile-time legality probes ----------------------------------------
+// ok_plus<A, B> is true iff `A + B` compiles, and so on. These evaluate
+// inside the test TU, so a regression in units.hpp that legalises an
+// illegal mix breaks the build of the tier-1 suite itself.
+template <class A, class B>
+concept ok_plus = requires(A a, B b) { a + b; };
+template <class A, class B>
+concept ok_div = requires(A a, B b) { a / b; };
+template <class A, class B>
+concept ok_mul = requires(A a, B b) { a * b; };
+template <class A, class B>
+concept ok_cmp = requires(A a, B b) { a < b; };
+template <class To, class From>
+concept ok_convert = std::is_convertible_v<From, To>;
+
+// Same-tag algebra stays available...
+static_assert(ok_plus<Seconds, Seconds>);
+static_assert(ok_div<Bytes, Bytes>);  // dimensionless ratio
+static_assert(ok_cmp<Dollars, Dollars>);
+static_assert(ok_mul<Mflups, real_t>);
+
+// ...the curated cross-unit operations exist with the right result types...
+static_assert(std::is_same_v<decltype(Bytes{} / BytesPerSec{}), Seconds>);
+static_assert(std::is_same_v<decltype(Bytes{} / Seconds{}), BytesPerSec>);
+static_assert(std::is_same_v<decltype(BytesPerSec{} * Seconds{}), Bytes>);
+static_assert(std::is_same_v<decltype(Hours{} * DollarsPerHour{}), Dollars>);
+static_assert(std::is_same_v<decltype(Dollars{} / DollarsPerHour{}), Hours>);
+static_assert(std::is_same_v<decltype(Dollars{} / Hours{}), DollarsPerHour>);
+static_assert(
+    std::is_same_v<decltype(Mflups{} / DollarsPerHour{}), MflupsPerDollarHour>);
+static_assert(std::is_same_v<decltype(PerHour{} * Hours{}), real_t>);
+static_assert(
+    std::is_same_v<decltype(GflopsPerSec{} / GigabytesPerSec{}), FlopsPerByte>);
+static_assert(std::is_same_v<decltype(Seconds{} / Seconds{}), real_t>);
+
+// ...and everything else is ill-formed.
+static_assert(!ok_plus<Seconds, Bytes>);
+static_assert(!ok_plus<Seconds, Hours>);  // same dimension, different scale
+static_assert(!ok_plus<Bytes, Gibibytes>);
+static_assert(!ok_plus<Dollars, DollarsPerHour>);
+static_assert(!ok_plus<Seconds, real_t>);
+static_assert(!ok_div<Seconds, Bytes>);
+static_assert(!ok_div<Dollars, Seconds>);  // must convert to Hours first
+static_assert(!ok_div<BytesPerSec, Bytes>);
+static_assert(!ok_mul<Seconds, Seconds>);  // no s^2 in the model
+static_assert(!ok_mul<Dollars, DollarsPerHour>);
+static_assert(!ok_mul<PerHour, Seconds>);  // rate is per *hour*
+static_assert(!ok_cmp<Seconds, Hours>);
+static_assert(!ok_cmp<Seconds, real_t>);
+
+// No implicit conversions in or out of the wrapper.
+static_assert(!ok_convert<Seconds, real_t>);
+static_assert(!ok_convert<real_t, Seconds>);
+static_assert(!ok_convert<Seconds, Hours>);
+static_assert(!ok_convert<Bytes, Seconds>);
+static_assert(!ok_convert<Cores, index_t>);
+
+// The acceptance-criteria APIs: swapped argument orders must not compile.
+template <class A, class B>
+concept ok_mflups_from = requires(A a, B b) { core::mflups_from(a, b); };
+template <class A, class B>
+concept ok_tts = requires(A a, B b) { core::time_to_solution(a, b); };
+template <class A, class B>
+concept ok_total_cost = requires(A a, B b) { core::total_cost(a, b); };
+
+static_assert(ok_mflups_from<real_t, Seconds>);
+static_assert(!ok_mflups_from<Seconds, real_t>);  // swapped
+static_assert(!ok_mflups_from<real_t, Bytes>);    // wrong dimension
+static_assert(!ok_mflups_from<real_t, Hours>);    // wrong scale
+static_assert(ok_tts<Seconds, index_t>);
+static_assert(!ok_tts<index_t, Seconds>);  // swapped
+static_assert(ok_total_cost<DollarsPerHour, Seconds>);
+static_assert(!ok_total_cost<Seconds, DollarsPerHour>);  // swapped
+static_assert(!ok_total_cost<Dollars, Seconds>);  // $ where $/h expected
+
+// Zero overhead: the wrapper is layout-identical to its representation and
+// trivially copyable, so it passes in registers exactly like a bare double.
+static_assert(sizeof(Seconds) == sizeof(real_t));
+static_assert(sizeof(Cores) == sizeof(index_t));
+static_assert(std::is_trivially_copyable_v<Seconds>);
+
+// The curated algebra is constexpr end to end.
+static_assert((Bytes(6.0) / BytesPerSec(2.0)).value() == 3.0);
+static_assert((Hours(2.0) * DollarsPerHour(3.0)).value() == 6.0);
+static_assert(to_hours(Seconds(7200.0)).value() == 2.0);
+
+// --- Runtime behaviour ----------------------------------------------------
+
+TEST(Units, TimeRoundTripsExactly) {
+  // 3600 divides the mantissa cleanly for these values: s -> h -> s is
+  // bit-exact, which the byte-identical-numerics contract relies on.
+  for (const real_t s : {0.0, 1.0, 1800.0, 3600.0, 86400.0, 1.25e7}) {
+    EXPECT_EQ(to_seconds(to_hours(Seconds(s))).value(), s);
+  }
+  EXPECT_EQ(to_seconds(to_microseconds(Seconds(0.25))).value(), 0.25);
+  EXPECT_DOUBLE_EQ(to_seconds(to_microseconds(Seconds(1.7))).value(), 1.7);
+}
+
+TEST(Units, BytesRoundTripsExactly) {
+  // Powers of two survive the binary-scale GiB conversion bit-exactly.
+  for (const real_t b : {0.0, 512.0, 1048576.0, 1073741824.0, 6.0e9}) {
+    EXPECT_EQ(to_bytes(to_gibibytes(Bytes(b))).value(), b);
+  }
+  EXPECT_DOUBLE_EQ(to_bytes_per_sec(MegabytesPerSec(25600.0)).value(),
+                   2.56e10);
+  EXPECT_DOUBLE_EQ(
+      to_megabytes_per_sec(to_bytes_per_sec(MegabytesPerSec(204.8))).value(),
+      204.8);
+  EXPECT_DOUBLE_EQ(to_gigabytes_per_sec(MegabytesPerSec(25600.0)).value(),
+                   25.6);
+}
+
+TEST(Units, ConstructorStoresTheExactValue) {
+  // No hidden normalisation: what goes in comes out.
+  EXPECT_EQ(Seconds(0.1).value(), 0.1);
+  EXPECT_EQ(DollarsPerHour(2.448).value(), 2.448);
+  EXPECT_EQ(Cores(96).value(), 96);
+}
+
+TEST(Units, SameTagAlgebra) {
+  units::Seconds t(1.5);
+  t += Seconds(0.5);
+  t *= 2.0;
+  EXPECT_EQ(t.value(), 4.0);
+  EXPECT_EQ((t - Seconds(1.0)).value(), 3.0);
+  EXPECT_EQ((-t).value(), -4.0);
+  EXPECT_EQ(t / Seconds(2.0), 2.0);  // dimensionless
+  EXPECT_LT(Seconds(1.0), Seconds(2.0));
+  EXPECT_EQ(Bytes(8.0), Bytes(8.0));
+}
+
+TEST(Units, CrossUnitAlgebraMatchesBareDoubleMath) {
+  const Bytes bytes(4.8e9);
+  const BytesPerSec bw(1.2e9);
+  EXPECT_EQ((bytes / bw).value(), 4.8e9 / 1.2e9);
+  EXPECT_EQ((bw * Seconds(2.0)).value(), (Seconds(2.0) * bw).value());
+
+  const Seconds runtime(5400.0);
+  const DollarsPerHour rate(2.448);
+  const Dollars cost = to_hours(runtime) * rate;
+  EXPECT_EQ(cost.value(), (5400.0 / 3600.0) * 2.448);
+  EXPECT_EQ((cost / rate).value(), to_hours(runtime).value());
+
+  EXPECT_EQ((Mflups(1000.0) / rate).value(), 1000.0 / 2.448);
+  EXPECT_EQ(PerHour(0.5) * Hours(6.0), 3.0);
+  EXPECT_EQ((GflopsPerSec(1500.0) / GigabytesPerSec(100.0)).value(), 15.0);
+}
+
+TEST(Units, ModelHelpersCarryUnits) {
+  const Mflups m = core::mflups_from(1.0e6, Seconds(0.5));
+  EXPECT_EQ(m.value(), 2.0);
+  const Seconds tts = core::time_to_solution(Seconds(0.02), 1000);
+  EXPECT_EQ(tts.value(), 20.0);
+  const Dollars cost = core::total_cost(DollarsPerHour(3.6), Seconds(3600.0));
+  EXPECT_DOUBLE_EQ(cost.value(), 3.6);
+}
+
+}  // namespace
+}  // namespace hemo::units

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Compile-fail harness for the dimensional-safety layer.
+
+Each case file under tests/compile_fail/ must:
+
+  * compile cleanly as-is (the control build — proves the includes and the
+    surrounding code are valid, so a later failure is the intended error,
+    not a broken header), and
+  * FAIL to compile with -DHEMO_COMPILE_FAIL (the guarded block enables
+    the illegal unit mix under test).
+
+Both checks use -fsyntax-only, so no artifacts are produced. The harness
+exits non-zero (failing the ctest entry) if the control build breaks, if
+the guarded build unexpectedly succeeds, or if the guarded build's error
+output does not mention the expected diagnostic marker given via
+--expect-error (defaults to no marker check).
+
+Usage:
+  compile_fail.py --cxx g++ --std c++20 -I src [--expect-error TEXT] case.cpp
+"""
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+
+
+def compile_once(cxx: str, std: str, includes: list[str], extra: list[str],
+                 source: str) -> subprocess.CompletedProcess:
+    cmd = [cxx, f"-std={std}", "-fsyntax-only", "-Wall", "-Wextra"]
+    for inc in includes:
+        cmd += ["-I", inc]
+    cmd += extra
+    cmd.append(source)
+    return subprocess.run(cmd, capture_output=True, text=True)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cxx", required=True, help="C++ compiler to drive")
+    parser.add_argument("--std", default="c++20")
+    parser.add_argument("-I", "--include", action="append", default=[],
+                        dest="includes")
+    parser.add_argument("--expect-error", default=None,
+                        help="substring required in the failing diagnostics")
+    parser.add_argument("source")
+    args = parser.parse_args()
+
+    control = compile_once(args.cxx, args.std, args.includes, [], args.source)
+    if control.returncode != 0:
+        print(f"FAIL: control build of {args.source} should compile but "
+              f"did not:\n{control.stderr}", file=sys.stderr)
+        return 1
+
+    guarded = compile_once(args.cxx, args.std, args.includes,
+                           ["-DHEMO_COMPILE_FAIL"], args.source)
+    if guarded.returncode == 0:
+        print(f"FAIL: {args.source} compiled with -DHEMO_COMPILE_FAIL; the "
+              "illegal unit mix under test is no longer rejected.",
+              file=sys.stderr)
+        return 1
+    if args.expect_error and args.expect_error not in guarded.stderr:
+        print(f"FAIL: {args.source} failed to compile (good) but the "
+              f"diagnostics do not mention {args.expect_error!r}:\n"
+              f"{guarded.stderr}", file=sys.stderr)
+        return 1
+
+    print(f"PASS: {args.source} rejects the guarded unit mix")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

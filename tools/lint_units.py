@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Tree lint: public headers must not reintroduce raw real_t for
+dimensioned quantities.
+
+Scans the public headers of the unit-typed layers (src/core, src/cluster,
+src/sched by default) for declarations that pair `real_t` (or `double`)
+with an identifier carrying a dimension suffix — `step_s`, `latency_us`,
+`bandwidth_mbs`, `price_dollars`, ... Those are exactly the declarations
+the units layer (src/units/units.hpp) exists to type: a match means a
+dimensioned parameter or field slipped back to a bare double, and CI
+fails.
+
+Deliberate raw-real_t boundaries (e.g. sample structs handed to the
+unit-agnostic fit:: layer) are exempted by putting
+  // units-ok(<reason>)
+on the same line. The reason is mandatory — a bare escape fails the lint.
+
+Usage: lint_units.py [--root REPO_ROOT] [DIR ...]
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+DEFAULT_DIRS = ["src/core", "src/cluster", "src/sched"]
+
+# Identifier suffixes that name a dimension. Keep in sync with the unit
+# vocabulary in src/units/units.hpp.
+DIMENSION_SUFFIXES = (
+    "s", "us", "ms", "secs", "seconds", "hours", "hr",
+    "bytes", "gb", "gib", "kb", "mb",
+    "bw", "mbs", "gbs", "bps", "gbits",
+    "mflups", "mlups", "flops", "gflops",
+    "dollars", "usd", "cost", "price", "per_hour", "per_usd",
+)
+
+RAW_DECL = re.compile(
+    r"\b(?:real_t|double|float)\s+"
+    r"(?:[A-Za-z_]\w*_(?:" + "|".join(DIMENSION_SUFFIXES) + r"))\b"
+)
+ESCAPE = re.compile(r"//\s*units-ok\(([^)]*)\)")
+
+
+def lint_file(path: pathlib.Path) -> list[str]:
+    findings = []
+    in_block_comment = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if in_block_comment:
+            if "*/" in line:
+                in_block_comment = False
+            continue
+        if line.lstrip().startswith("//"):
+            continue
+        if "/*" in line and "*/" not in line:
+            in_block_comment = True
+        match = RAW_DECL.search(line)
+        if not match:
+            continue
+        escape = ESCAPE.search(line)
+        if escape:
+            if not escape.group(1).strip():
+                findings.append(
+                    f"{path}:{lineno}: units-ok() needs a reason: "
+                    f"{line.strip()}")
+            continue
+        findings.append(
+            f"{path}:{lineno}: raw floating declaration of dimensioned "
+            f"quantity `{match.group(0)}` — use a units:: type from "
+            f"src/units/units.hpp (or annotate `// units-ok(reason)`): "
+            f"{line.strip()}")
+    return findings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".", help="repository root")
+    parser.add_argument("dirs", nargs="*", default=DEFAULT_DIRS,
+                        help=f"directories to scan (default: {DEFAULT_DIRS})")
+    args = parser.parse_args()
+
+    root = pathlib.Path(args.root)
+    findings: list[str] = []
+    n_headers = 0
+    for rel in (args.dirs or DEFAULT_DIRS):
+        directory = root / rel
+        if not directory.is_dir():
+            print(f"lint_units: no such directory: {directory}",
+                  file=sys.stderr)
+            return 2
+        for header in sorted(directory.rglob("*.hpp")):
+            n_headers += 1
+            findings.extend(lint_file(header))
+
+    for finding in findings:
+        print(finding, file=sys.stderr)
+    status = "FAIL" if findings else "OK"
+    print(f"lint_units: {status} — {n_headers} public headers, "
+          f"{len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
