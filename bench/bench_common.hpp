@@ -15,6 +15,7 @@
 #include "core/dashboard.hpp"
 #include "core/models.hpp"
 #include "harvey/simulation.hpp"
+#include "obs/log.hpp"
 #include "proxy/proxy_app.hpp"
 #include "util/table.hpp"
 
@@ -74,6 +75,7 @@ class CalibrationCache {
   const core::InstanceCalibration& get(const std::string& abbrev) {
     auto it = cache_.find(abbrev);
     if (it == cache_.end()) {
+      HEMO_LOG_INFO("calibrating %s ...", abbrev.c_str());
       it = cache_
                .emplace(abbrev, core::calibrate_instance(
                                     cluster::instance_by_abbrev(abbrev)))

@@ -11,20 +11,29 @@
 //   hemocloud_cli simulate <geometry> <steps> [out.vtk]
 //       Run the real solver locally; optionally export the flow field.
 //   hemocloud_cli schedule <geometry> <n_jobs> <timesteps> [seed] [--csv]
+//                          [--trace out.json] [--metrics out.jsonl]
 //       Run a model-driven campaign through the scheduler (src/sched/)
 //       and print the campaign report (--csv: canonical CSV instead of
-//       the table; byte-identical for a fixed seed).
+//       the table; byte-identical for a fixed seed). --trace exports a
+//       Chrome-trace/Perfetto JSON of the campaign (virtual-time spans
+//       are byte-stable for a fixed seed); --metrics writes a JSONL
+//       snapshot of the telemetry registry.
+//   hemocloud_cli metrics <file.jsonl>
+//       Summarize a --metrics snapshot as a table.
 //   hemocloud_cli check [cases] [seed]
 //       Run the differential validation oracles (src/check/). Exit 0
 //       only when every oracle passes; failures print the shrunk
-//       counterexample and its replay seed.
+//       counterexample and its replay seed. Prints per-oracle wall
+//       time, slowest first.
 //   hemocloud_cli mutate [cases] [seed]
 //       Mutation self-test: perturb one fitted model coefficient at a
 //       time and verify the matching oracle catches it.
 //
 // Geometries: cylinder | aorta | cerebral.
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -33,6 +42,9 @@
 #include "core/dashboard.hpp"
 #include "harvey/simulation.hpp"
 #include "lbm/io.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sched/executor.hpp"
 #include "util/table.hpp"
 
@@ -73,7 +85,7 @@ int cmd_instances() {
 
 int cmd_calibrate(const std::string& instance) {
   const auto& profile = cluster::instance_by_abbrev(instance);
-  std::cout << "calibrating " << profile.name << " ...\n";
+  HEMO_LOG_INFO("calibrating %s ...", profile.name.c_str());
   const auto cal = core::calibrate_instance(profile);
   TextTable t;
   t.set_header({"Parameter", "Value", "Units"});
@@ -190,7 +202,15 @@ int cmd_simulate(const std::string& geometry_name, index_t steps,
 }
 
 int cmd_schedule(const std::string& geometry_name, index_t n_jobs,
-                 index_t timesteps, std::uint64_t seed, bool csv) {
+                 index_t timesteps, std::uint64_t seed, bool csv,
+                 const std::string& trace_path,
+                 const std::string& metrics_path) {
+  // Telemetry is opt-in per invocation: enabling costs locks and
+  // allocations on every instrumented path, and the default run must
+  // keep the golden --csv bytes and bench numbers untouched.
+  if (!trace_path.empty()) obs::TraceRecorder::global().enable(true);
+  if (!metrics_path.empty()) obs::MetricsRegistry::global().enable(true);
+
   std::vector<const cluster::InstanceProfile*> profiles;
   for (const auto& p : cluster::default_catalog()) {
     if (!p.gpu && p.abbrev != "CSP-2 Hyp.") profiles.push_back(&p);
@@ -200,8 +220,10 @@ int cmd_schedule(const std::string& geometry_name, index_t n_jobs,
   config.core_counts = {16, 36, 72, 144};
   sched::CampaignScheduler scheduler(std::move(profiles), config);
   auto geometry = make_named_geometry(geometry_name);
-  // Progress goes to stderr so --csv output stays clean for golden files.
-  std::cerr << "calibrating " << geometry_name << " (phase 1 + pilots) ...\n";
+  // Progress goes to stderr (via the logger) so --csv output stays clean
+  // for golden files.
+  HEMO_LOG_INFO("calibrating %s (phase 1 + pilots) ...",
+                geometry_name.c_str());
   const std::vector<index_t> cal_counts = {2, 4, 8, 16, 32};
   scheduler.register_workload(geometry_name, std::move(geometry), cal_counts);
 
@@ -224,6 +246,15 @@ int cmd_schedule(const std::string& geometry_name, index_t n_jobs,
   } else {
     report.print(std::cout);
   }
+  if (!trace_path.empty()) {
+    obs::TraceRecorder::global().write_chrome_json(trace_path);
+    HEMO_LOG_INFO("trace written to %s (open in ui.perfetto.dev)",
+                  trace_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    obs::write_metrics_jsonl(obs::MetricsRegistry::global(), metrics_path);
+    HEMO_LOG_INFO("metrics written to %s", metrics_path.c_str());
+  }
   return 0;
 }
 
@@ -231,23 +262,118 @@ int cmd_check(index_t cases, std::uint64_t seed) {
   check::PropertyConfig config;
   config.seed = seed;
   config.cases = cases;
-  std::cout << "calibrating oracle context (3 workloads, CPU catalog) ...\n";
+  // The oracle runner stores per-oracle wall time in the registry; the
+  // results themselves stay a pure function of the seed.
+  obs::MetricsRegistry::global().enable(true);
+  HEMO_LOG_INFO("calibrating oracle context (3 workloads, CPU catalog) ...");
   auto ctx = check::OracleContext::make_default();
   bool all_passed = true;
   for (const auto& result : check::run_all_oracles(ctx, config)) {
     std::cout << result.summary() << "\n";
     all_passed = all_passed && result.passed;
   }
+
+  std::vector<std::pair<std::string, real_t>> timings;
+  for (const auto& snap : obs::MetricsRegistry::global().snapshot()) {
+    if (snap.name != "check_oracle_wall_seconds") continue;
+    std::string oracle;
+    for (const auto& [k, v] : snap.labels) {
+      if (k == "oracle") oracle = v;
+    }
+    timings.emplace_back(oracle, snap.value);
+  }
+  std::sort(timings.begin(), timings.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (!timings.empty()) {
+    std::cout << "\noracle wall time (slowest first):\n";
+    TextTable t;
+    t.set_header({"oracle", "wall_s"});
+    for (const auto& [oracle, seconds] : timings) {
+      t.add_row({oracle, TextTable::num(seconds, 3)});
+    }
+    t.print(std::cout);
+  }
   std::cout << (all_passed ? "check: all oracles passed\n"
                            : "check: FAILURES above\n");
   return all_passed ? 0 : 1;
+}
+
+/// Value of a `"key":"string"` field in one JSONL line, or "" if absent.
+/// The snapshot format is our own (src/obs/metrics.cpp), so a targeted
+/// scan is enough — no general JSON parser needed.
+std::string jsonl_string(const std::string& line, const std::string& key) {
+  const std::string tag = "\"" + key + "\":\"";
+  const auto pos = line.find(tag);
+  if (pos == std::string::npos) return "";
+  std::string out;
+  for (std::size_t i = pos + tag.size(); i < line.size(); ++i) {
+    if (line[i] == '\\' && i + 1 < line.size()) {
+      out += line[++i];
+    } else if (line[i] == '"') {
+      break;
+    } else {
+      out += line[i];
+    }
+  }
+  return out;
+}
+
+/// Raw text of a `"key":<number>` field, or "-" if absent.
+std::string jsonl_number(const std::string& line, const std::string& key) {
+  const std::string tag = "\"" + key + "\":";
+  const auto pos = line.find(tag);
+  if (pos == std::string::npos) return "-";
+  const auto start = pos + tag.size();
+  auto end = start;
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  return line.substr(start, end - start);
+}
+
+int cmd_metrics(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    std::cerr << "error: cannot read metrics file: " << path << "\n";
+    return 1;
+  }
+  const std::string labels_open = "\"labels\":{";
+  TextTable t;
+  t.set_header({"metric", "labels", "type", "value/count", "p50", "p99"});
+  index_t rows = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::string name = jsonl_string(line, "name");
+    if (name.empty()) continue;
+    const std::string type = jsonl_string(line, "type");
+    std::string labels;
+    const auto lpos = line.find(labels_open);
+    if (lpos != std::string::npos) {
+      const auto lend = line.find('}', lpos);
+      labels = line.substr(lpos + labels_open.size(),
+                           lend - lpos - labels_open.size());
+    }
+    const bool histogram = type == "histogram";
+    t.add_row({name, labels.empty() ? "-" : labels, type,
+               histogram ? jsonl_number(line, "count")
+                         : jsonl_number(line, "value"),
+               histogram ? jsonl_number(line, "p50") : "-",
+               histogram ? jsonl_number(line, "p99") : "-"});
+    ++rows;
+  }
+  if (rows == 0) {
+    std::cerr << "error: no metrics found in " << path << "\n";
+    return 1;
+  }
+  t.print(std::cout);
+  std::cout << rows << " series\n";
+  return 0;
 }
 
 int cmd_mutate(index_t cases, std::uint64_t seed) {
   check::PropertyConfig config;
   config.seed = seed;
   config.cases = cases;
-  std::cout << "calibrating oracle context (3 workloads, CPU catalog) ...\n";
+  HEMO_LOG_INFO("calibrating oracle context (3 workloads, CPU catalog) ...");
   auto ctx = check::OracleContext::make_default();
   const check::MutationReport report =
       check::run_mutation_suite(ctx, config);
@@ -264,6 +390,9 @@ int usage() {
             << "  hemocloud_cli simulate <geometry> <steps> [out.vtk]\n"
             << "  hemocloud_cli schedule <geometry> <n_jobs> <timesteps> "
                "[seed] [--csv]\n"
+            << "                         [--trace out.json] "
+               "[--metrics out.jsonl]\n"
+            << "  hemocloud_cli metrics <file.jsonl>\n"
             << "  hemocloud_cli check [cases] [seed]\n"
             << "  hemocloud_cli mutate [cases] [seed]\n";
   return 2;
@@ -286,20 +415,26 @@ int main(int argc, char** argv) {
       return cmd_simulate(argv[2], std::atol(argv[3]),
                           argc == 5 ? argv[4] : "");
     }
-    if (cmd == "schedule" && argc >= 5 && argc <= 7) {
+    if (cmd == "schedule" && argc >= 5 && argc <= 11) {
       bool csv = false;
       std::uint64_t seed = 42;
+      std::string trace_path, metrics_path;
       for (int i = 5; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--csv") {
           csv = true;
+        } else if (arg == "--trace" && i + 1 < argc) {
+          trace_path = argv[++i];
+        } else if (arg == "--metrics" && i + 1 < argc) {
+          metrics_path = argv[++i];
         } else {
           seed = hemo::parse_seed(argv[i], seed);
         }
       }
       return cmd_schedule(argv[2], std::atol(argv[3]), std::atol(argv[4]),
-                          seed, csv);
+                          seed, csv, trace_path, metrics_path);
     }
+    if (cmd == "metrics" && argc == 3) return cmd_metrics(argv[2]);
     if (cmd == "check" && argc >= 2 && argc <= 4) {
       return cmd_check(argc > 2 ? std::atol(argv[2]) : 40,
                        argc > 3 ? hemo::parse_seed(argv[3], 42)

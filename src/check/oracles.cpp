@@ -1,6 +1,7 @@
 #include "check/oracles.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <sstream>
 #include <utility>
@@ -10,6 +11,7 @@
 #include "core/models.hpp"
 #include "geometry/generators.hpp"
 #include "lbm/mesh.hpp"
+#include "obs/metrics.hpp"
 #include "lbm/solver.hpp"
 #include "sched/executor.hpp"
 #include "sched/report.hpp"
@@ -439,11 +441,23 @@ std::vector<PropertyResult> run_all_oracles(OracleContext& ctx,
     return c;
   };
   std::vector<PropertyResult> results;
-  results.push_back(oracle_model_agreement(ctx, config));
-  results.push_back(oracle_model_vs_measurement(ctx, config));
-  results.push_back(oracle_poiseuille(scaled(10)));
-  results.push_back(oracle_scheduler_invariance(scaled(16)));
-  results.push_back(oracle_fault_recovery(scaled(10)));
+  // Wall-time per oracle lands in the registry (not in PropertyResult,
+  // whose contents stay a pure function of the seed) so `hemocloud_cli
+  // check` can report where the time went.
+  const auto timed = [&results](auto&& oracle) {
+    const auto t0 = std::chrono::steady_clock::now();
+    PropertyResult r = oracle();
+    const std::chrono::duration<real_t> dt =
+        std::chrono::steady_clock::now() - t0;
+    obs::MetricsRegistry::global().set("check_oracle_wall_seconds",
+                                       dt.count(), {{"oracle", r.name}});
+    results.push_back(std::move(r));
+  };
+  timed([&] { return oracle_model_agreement(ctx, config); });
+  timed([&] { return oracle_model_vs_measurement(ctx, config); });
+  timed([&] { return oracle_poiseuille(scaled(10)); });
+  timed([&] { return oracle_scheduler_invariance(scaled(16)); });
+  timed([&] { return oracle_fault_recovery(scaled(10)); });
   return results;
 }
 

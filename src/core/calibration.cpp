@@ -7,6 +7,8 @@
 #include "lbm/access_counts.hpp"
 #include "microbench/pingpong.hpp"
 #include "microbench/stream.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace hemo::core {
 
@@ -52,6 +54,8 @@ fit::CommModel fit_pingpong(
 
 InstanceCalibration calibrate_instance(
     const cluster::InstanceProfile& profile) {
+  const auto span = obs::TraceRecorder::global().wall_span(
+      "calibrate_instance", "calibration", {{"instance", profile.abbrev}});
   InstanceCalibration cal;
   cal.abbrev = profile.abbrev;
 
@@ -98,6 +102,17 @@ InstanceCalibration calibrate_instance(
     }
     cal.gpu_pcie = fit_pingpong(pcie);
   }
+
+  // Fitted-parameter gauges: a metrics snapshot shows what each instance's
+  // calibration actually resolved to, next to the drift it later produces.
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
+  const obs::Labels who{{"instance", cal.abbrev}};
+  metrics.set("calibration_mem_slope_mbps_per_thread", cal.memory.a1, who);
+  metrics.set("calibration_mem_breakpoint_threads", cal.memory.a3, who);
+  metrics.set("calibration_inter_bandwidth_mbps", cal.inter.bandwidth, who);
+  metrics.set("calibration_inter_latency_us", cal.inter.latency, who);
+  metrics.set("calibration_intra_bandwidth_mbps", cal.intra.bandwidth, who);
+  metrics.set("calibration_intra_latency_us", cal.intra.latency, who);
   return cal;
 }
 
@@ -106,6 +121,9 @@ WorkloadCalibration calibrate_workload(harvey::Simulation& sim,
                                        index_t tasks_per_node) {
   HEMO_REQUIRE(task_counts.size() >= 2,
                "need at least two task counts to fit the workload laws");
+  const auto span = obs::TraceRecorder::global().wall_span(
+      "calibrate_workload", "calibration",
+      {{"geometry", sim.geometry().name}});
   WorkloadCalibration cal;
   cal.name = sim.geometry().name;
   cal.kernel = sim.options().solver.kernel;

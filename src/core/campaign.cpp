@@ -4,6 +4,10 @@
 
 namespace hemo::core {
 
+// CampaignTracker is deliberately uninstrumented: place() builds throwaway
+// keyed trackers per decision, so gauges live at the engine call sites
+// (executor.cpp) where the campaign-wide tracker is the one being fed.
+
 void CampaignTracker::record(Observation obs) {
   HEMO_REQUIRE(obs.predicted_mflups.value() > 0.0 &&
                    obs.measured_mflups.value() > 0.0,

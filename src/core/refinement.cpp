@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
+
 namespace hemo::core {
 
 TermSelector::TermSelector(std::vector<RefinementSample> samples)
@@ -44,6 +46,12 @@ TermEvaluation TermSelector::check(const CandidateTerm& candidate,
     kept_terms_.push_back(candidate);
     kept_names_.push_back(candidate.name);
   }
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
+  metrics.add("refinement_term_checks_total", 1.0,
+              {{"term", eval.name}, {"kept", eval.keep ? "true" : "false"}});
+  metrics.set("refinement_term_error_delta",
+              eval.baseline_error - eval.with_term_error,
+              {{"term", eval.name}});
   return eval;
 }
 

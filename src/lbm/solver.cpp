@@ -4,6 +4,12 @@
 
 #include "lbm/point_update.hpp"
 
+#ifdef HEMO_OBS_DETAIL
+#include <chrono>
+
+#include "obs/metrics.hpp"
+#endif
+
 namespace hemo::lbm {
 
 template <typename T>
@@ -135,6 +141,16 @@ void Solver<T>::step_aa_odd() {
 template <typename T>
 void Solver<T>::step() {
   const bool aos = params_.kernel.layout == Layout::kAoS;
+  // The kernels fuse collide+stream, so the per-phase breakdown is by
+  // kernel variant; halo exchange is modeled in the cluster layer, not
+  // here. Timing is compile-time gated: the default build keeps step()
+  // allocation-free and branchless on the hot path.
+#ifdef HEMO_OBS_DETAIL
+  const char* phase = params_.kernel.propagation == Propagation::kAB
+                          ? "ab_pull"
+                          : (timestep_ % 2 == 0 ? "aa_even" : "aa_odd");
+  const auto t0 = std::chrono::steady_clock::now();
+#endif
   if (params_.kernel.propagation == Propagation::kAB) {
     if (aos) step_ab<Layout::kAoS>();
     else step_ab<Layout::kSoA>();
@@ -147,6 +163,20 @@ void Solver<T>::step() {
       else step_aa_odd<Layout::kSoA>();
     }
   }
+#ifdef HEMO_OBS_DETAIL
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
+  if (metrics.enabled()) {
+    const std::chrono::duration<real_t> dt =
+        std::chrono::steady_clock::now() - t0;
+    metrics.observe("lbm_step_seconds", dt.count(),
+                    {{"phase", phase},
+                     {"layout", aos ? "aos" : "soa"},
+                     {"precision",
+                      params_.kernel.precision == Precision::kSingle
+                          ? "f32"
+                          : "f64"}});
+  }
+#endif
   ++timestep_;
 }
 

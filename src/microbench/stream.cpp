@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "cluster/hardware.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace hemo::microbench {
 
@@ -20,6 +22,10 @@ real_t seconds_since(Clock::time_point start) {
 StreamResult run_stream_local(index_t elements, index_t repetitions) {
   HEMO_REQUIRE(elements >= 1024, "STREAM arrays must hold >= 1024 elements");
   HEMO_REQUIRE(repetitions >= 1, "need at least one repetition");
+  const auto span = obs::TraceRecorder::global().wall_span(
+      "stream_local", "microbench",
+      {{"elements", std::to_string(elements)},
+       {"repetitions", std::to_string(repetitions)}});
   const auto n = static_cast<std::size_t>(elements);
   std::vector<double> a(n, 1.0), b(n, 2.0), c(n, 0.0);
   const double scalar = 3.0;
@@ -45,6 +51,8 @@ StreamResult run_stream_local(index_t elements, index_t repetitions) {
     for (std::size_t i = 0; i < n; ++i) a[i] = b[i] + scalar * c[i];
     best.triad = std::max(best.triad, mb_three / seconds_since(t0));
   }
+  obs::MetricsRegistry::global().set("microbench_stream_triad_mbps",
+                                     best.triad);
   return best;
 }
 

@@ -1,0 +1,47 @@
+#include "obs/drift.hpp"
+
+#include <array>
+
+namespace hemo::obs {
+
+namespace {
+
+constexpr std::array<real_t, 17> kErrorEdges = {
+    -1.0, -0.5, -0.3, -0.2, -0.1, -0.05, -0.02, -0.01, 0.0,
+    0.01, 0.02, 0.05, 0.1,  0.2,  0.3,   0.5,   1.0};
+
+}  // namespace
+
+std::string drift_round_label(index_t round) {
+  if (round <= 3) return std::to_string(round < 0 ? 0 : round);
+  if (round <= 7) return "4-7";
+  return "8+";
+}
+
+std::span<const real_t> drift_error_edges() noexcept { return kErrorEdges; }
+
+void record_drift(MetricsRegistry& registry, const DriftSample& sample) {
+  if (!registry.enabled()) return;
+  const Labels base = {{"workload", sample.workload},
+                       {"instance", sample.instance}};
+  registry.add("model_drift_samples_total", 1.0, base);
+
+  Labels keyed = base;
+  keyed.emplace_back("round", drift_round_label(sample.round));
+  if (sample.measured_mflups > 0.0) {
+    const real_t error = (sample.predicted_mflups - sample.measured_mflups) /
+                         sample.measured_mflups;
+    registry.observe("model_drift_mflups_rel_error", error, keyed,
+                     drift_error_edges());
+  }
+  if (sample.actual_step_seconds > 0.0 &&
+      sample.predicted_step_seconds > 0.0) {
+    const real_t error =
+        (sample.predicted_step_seconds - sample.actual_step_seconds) /
+        sample.actual_step_seconds;
+    registry.observe("model_drift_step_time_rel_error", error, keyed,
+                     drift_error_edges());
+  }
+}
+
+}  // namespace hemo::obs

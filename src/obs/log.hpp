@@ -1,0 +1,112 @@
+// Leveled diagnostic logging to stderr.
+//
+// Replaces the scattered raw `std::cerr` / `fprintf(stderr, ...)` progress
+// prints (tools/lint_logging.py forbids new ones in src/ outside src/obs/).
+// The level is read once from the HEMO_LOG_LEVEL environment variable —
+// `error`, `warn`, `info` (default), `debug`, or the digits 0-3 — so a
+// noisy calibration run can be silenced (`HEMO_LOG_LEVEL=error`) or a
+// placement decision traced (`HEMO_LOG_LEVEL=debug`) without a rebuild.
+//
+// Deliberately self-contained (no hemo headers): hemo_util sits *below*
+// hemo_obs in the link order but still needs to log (the effective-seed
+// banner in util/rng.cpp), and a header-only logger with only <cstdio>
+// dependencies breaks that cycle.
+//
+// Diagnostics go to stderr only; stdout stays reserved for machine-read
+// output (golden CSVs, trace JSON on request), which is what keeps
+// `hemocloud_cli schedule --csv` byte-identical under any log level.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace hemo::obs {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+};
+
+/// Parses a level name or digit; returns `fallback` on null/unknown text.
+inline LogLevel parse_log_level(const char* text, LogLevel fallback) noexcept {
+  if (text == nullptr || *text == '\0') return fallback;
+  if (std::strcmp(text, "error") == 0 || std::strcmp(text, "0") == 0) {
+    return LogLevel::kError;
+  }
+  if (std::strcmp(text, "warn") == 0 || std::strcmp(text, "1") == 0) {
+    return LogLevel::kWarn;
+  }
+  if (std::strcmp(text, "info") == 0 || std::strcmp(text, "2") == 0) {
+    return LogLevel::kInfo;
+  }
+  if (std::strcmp(text, "debug") == 0 || std::strcmp(text, "3") == 0) {
+    return LogLevel::kDebug;
+  }
+  return fallback;
+}
+
+/// The process log level: HEMO_LOG_LEVEL when set, else info. Read once and
+/// cached (matching the HEMO_SEED convention in util/rng.cpp).
+inline LogLevel log_level() noexcept {
+  static const LogLevel level =
+      parse_log_level(std::getenv("HEMO_LOG_LEVEL"), LogLevel::kInfo);
+  return level;
+}
+
+/// True when a message at `level` would be emitted. Callers use this to
+/// skip building expensive message arguments.
+inline bool log_enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) <= static_cast<int>(log_level());
+}
+
+namespace detail {
+
+inline const char* level_tag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kError: return "error";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+  }
+  return "?";
+}
+
+/// Formats into one buffer and writes with a single fputs so concurrent
+/// log lines never interleave mid-line.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 2, 3)))
+#endif
+inline void
+log_raw(LogLevel level, const char* fmt, ...) noexcept {
+  char message[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(message, sizeof(message), fmt, args);
+  va_end(args);
+  char line[1100];
+  std::snprintf(line, sizeof(line), "[hemo] %s: %s\n", level_tag(level),
+                message);
+  std::fputs(line, stderr);
+}
+
+}  // namespace detail
+
+}  // namespace hemo::obs
+
+/// printf-style leveled logging; arguments are not evaluated when the
+/// level is filtered out.
+#define HEMO_LOG(level, ...)                                    \
+  do {                                                          \
+    if (::hemo::obs::log_enabled(level)) {                      \
+      ::hemo::obs::detail::log_raw((level), __VA_ARGS__);       \
+    }                                                           \
+  } while (false)
+
+#define HEMO_LOG_ERROR(...) HEMO_LOG(::hemo::obs::LogLevel::kError, __VA_ARGS__)
+#define HEMO_LOG_WARN(...) HEMO_LOG(::hemo::obs::LogLevel::kWarn, __VA_ARGS__)
+#define HEMO_LOG_INFO(...) HEMO_LOG(::hemo::obs::LogLevel::kInfo, __VA_ARGS__)
+#define HEMO_LOG_DEBUG(...) HEMO_LOG(::hemo::obs::LogLevel::kDebug, __VA_ARGS__)

@@ -1,0 +1,236 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace hemo::obs {
+
+namespace {
+
+/// 1-2-5 ladder over 1e-9 .. 1e9 (54 finite edges, +inf implicit).
+constexpr std::array<real_t, 54> kDefaultEdges = [] {
+  std::array<real_t, 54> edges{};
+  real_t decade = 1e-9;
+  std::size_t i = 0;
+  for (int d = -9; d <= 8; ++d) {
+    edges[i++] = decade;
+    edges[i++] = 2.0 * decade;
+    edges[i++] = 5.0 * decade;
+    decade *= 10.0;
+  }
+  return edges;
+}();
+
+Labels canonical(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+std::string series_key(std::string_view name, const Labels& sorted) {
+  std::string key(name);
+  if (sorted.empty()) return key;
+  key += '{';
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) key += ',';
+    key += sorted[i].first;
+    key += '=';
+    key += sorted[i].second;
+  }
+  key += '}';
+  return key;
+}
+
+const char* kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+/// Shortest-roundtrip-ish fixed formatting: %.9g is stable for a given
+/// double, so identical recorded values render identical bytes.
+std::string num(real_t value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+void append_json_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buffer;
+    } else {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
+
+real_t HistogramData::quantile(real_t q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const real_t target = q * static_cast<real_t>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    const real_t before = static_cast<real_t>(seen);
+    seen += buckets[b];
+    if (static_cast<real_t>(seen) < target) continue;
+    // Interpolate inside bucket b: [lo, hi) with `buckets[b]` samples.
+    const real_t lo = b == 0 ? min : edges[b - 1];
+    const real_t hi = b < edges.size() ? edges[b] : max;
+    const real_t fraction =
+        (target - before) / static_cast<real_t>(buckets[b]);
+    const real_t estimate = lo + (hi - lo) * std::clamp(fraction, 0.0, 1.0);
+    return std::clamp(estimate, min, max);
+  }
+  return max;
+}
+
+std::string MetricSnapshot::key() const { return series_key(name, labels); }
+
+std::span<const real_t> default_bucket_edges() noexcept {
+  return kDefaultEdges;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  metrics_.clear();
+}
+
+MetricsRegistry::Metric& MetricsRegistry::series_locked(
+    std::string_view name, const Labels& labels, MetricKind kind) {
+  Labels sorted = canonical(labels);
+  std::string key = series_key(name, sorted);
+  auto it = metrics_.find(key);
+  if (it == metrics_.end()) {
+    Metric metric;
+    metric.name = std::string(name);
+    metric.labels = std::move(sorted);
+    metric.kind = kind;
+    it = metrics_.emplace(std::move(key), std::move(metric)).first;
+  }
+  HEMO_REQUIRE(it->second.kind == kind,
+               "metric " + it->first + " re-registered as a different kind");
+  return it->second;
+}
+
+void MetricsRegistry::add(std::string_view name, real_t delta,
+                          const Labels& labels) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  series_locked(name, labels, MetricKind::kCounter).value += delta;
+}
+
+void MetricsRegistry::set(std::string_view name, real_t value,
+                          const Labels& labels) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  series_locked(name, labels, MetricKind::kGauge).value = value;
+}
+
+void MetricsRegistry::observe(std::string_view name, real_t value,
+                              const Labels& labels,
+                              std::span<const real_t> edges) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Metric& metric = series_locked(name, labels, MetricKind::kHistogram);
+  HistogramData& h = metric.histogram;
+  if (h.edges.empty()) {
+    const std::span<const real_t> ladder =
+        edges.empty() ? default_bucket_edges() : edges;
+    HEMO_REQUIRE(std::is_sorted(ladder.begin(), ladder.end()),
+                 "histogram bucket edges must be ascending");
+    h.edges.assign(ladder.begin(), ladder.end());
+    h.buckets.assign(h.edges.size() + 1, 0);
+  }
+  const auto bucket = static_cast<std::size_t>(
+      std::upper_bound(h.edges.begin(), h.edges.end(), value) -
+      h.edges.begin());
+  ++h.buckets[bucket];
+  if (h.count == 0 || value < h.min) h.min = value;
+  if (h.count == 0 || value > h.max) h.max = value;
+  ++h.count;
+  h.sum += value;
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(metrics_.size());
+  for (const auto& [key, metric] : metrics_) {
+    MetricSnapshot snap;
+    snap.name = metric.name;
+    snap.labels = metric.labels;
+    snap.kind = metric.kind;
+    snap.value = metric.value;
+    snap.histogram = metric.histogram;
+    out.push_back(std::move(snap));
+  }
+  return out;  // map iteration order == canonical key order
+}
+
+std::size_t MetricsRegistry::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return metrics_.size();
+}
+
+std::string MetricsRegistry::to_jsonl() const {
+  std::string out;
+  for (const MetricSnapshot& snap : snapshot()) {
+    out += "{\"name\":\"";
+    append_json_escaped(out, snap.name);
+    out += "\",\"labels\":{";
+    for (std::size_t i = 0; i < snap.labels.size(); ++i) {
+      if (i > 0) out += ',';
+      out += '"';
+      append_json_escaped(out, snap.labels[i].first);
+      out += "\":\"";
+      append_json_escaped(out, snap.labels[i].second);
+      out += '"';
+    }
+    out += "},\"type\":\"";
+    out += kind_name(snap.kind);
+    out += '"';
+    if (snap.kind == MetricKind::kHistogram) {
+      const HistogramData& h = snap.histogram;
+      out += ",\"count\":" + std::to_string(h.count);
+      out += ",\"sum\":" + num(h.sum);
+      out += ",\"min\":" + num(h.min);
+      out += ",\"max\":" + num(h.max);
+      out += ",\"p50\":" + num(h.quantile(0.50));
+      out += ",\"p90\":" + num(h.quantile(0.90));
+      out += ",\"p99\":" + num(h.quantile(0.99));
+    } else {
+      out += ",\"value\":" + num(snap.value);
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+void write_metrics_jsonl(const MetricsRegistry& registry,
+                         const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) throw NumericError("cannot write metrics file: " + path);
+  out << registry.to_jsonl();
+}
+
+}  // namespace hemo::obs

@@ -1,0 +1,145 @@
+// Thread-safe metrics registry: counters, gauges, fixed-bucket histograms.
+//
+// Every metric is keyed by (name, labels) — `attempt_seconds{geometry=
+// cylinder,instance=CSP-1}` — with labels sorted into a canonical key so
+// two call sites naming the same series always hit the same slot, and a
+// snapshot renders in one deterministic order.
+//
+// The registry is OFF by default and the disabled path is the contract:
+// a single relaxed atomic load, no lock taken, no allocation — so the
+// instrumented hot layers (placement loop, campaign engine, calibration)
+// cost nothing in production runs and `bench/ablation_scheduler` numbers
+// are unchanged. Enabled updates take one mutex; the stress suite
+// (tests/test_obs_stress.cpp, ctest -L tsan) hammers one histogram from
+// many threads to prove the locking.
+//
+// Histograms use fixed bucket edges chosen at first observation (a default
+// 1-2-5 log ladder covers microseconds-to-hours and relative errors);
+// p50/p90/p99 summaries interpolate within buckets, clamped to the exact
+// observed min/max.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace hemo::obs {
+
+/// Label set of one series; canonicalized (sorted by key) on registration.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricKind {
+  kCounter,    ///< monotonically accumulated (add)
+  kGauge,      ///< last value wins (set)
+  kHistogram,  ///< bucketed distribution (observe)
+};
+
+/// Aggregated histogram state.
+struct HistogramData {
+  /// Ascending bucket upper bounds; a final +inf bucket is implicit, so
+  /// `buckets` has edges.size() + 1 entries.
+  std::vector<real_t> edges;
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t count = 0;
+  real_t sum = 0.0;
+  real_t min = 0.0;
+  real_t max = 0.0;
+
+  /// Quantile estimate (q in [0, 1]) by linear interpolation within the
+  /// containing bucket, clamped to the observed [min, max]. 0 when empty.
+  [[nodiscard]] real_t quantile(real_t q) const;
+};
+
+/// One series captured by snapshot().
+struct MetricSnapshot {
+  std::string name;
+  Labels labels;  ///< canonical (key-sorted) order
+  MetricKind kind = MetricKind::kCounter;
+  real_t value = 0.0;  ///< counter / gauge value
+  HistogramData histogram;
+
+  /// Canonical series key: `name{k1=v1,k2=v2}` (no braces when unlabeled).
+  [[nodiscard]] std::string key() const;
+};
+
+/// The default histogram ladder: 1-2-5 steps over 1e-9 .. 1e9. Wide enough
+/// for seconds, relative errors, and byte counts alike while keeping the
+/// bucket count fixed and small.
+[[nodiscard]] std::span<const real_t> default_bucket_edges() noexcept;
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry the instrumented layers record into.
+  [[nodiscard]] static MetricsRegistry& global();
+
+  /// Collection is opt-in; while disabled every record call is a no-op
+  /// (one relaxed load, no lock, no allocation).
+  void enable(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Drops every series (the enabled flag is left untouched).
+  void reset();
+
+  /// Counter += delta (creates the series at zero on first use).
+  void add(std::string_view name, real_t delta = 1.0,
+           const Labels& labels = {});
+
+  /// Gauge = value.
+  void set(std::string_view name, real_t value, const Labels& labels = {});
+
+  /// Histogram observation. `edges` fixes the bucket ladder when the
+  /// series is first observed (the default ladder otherwise) and is
+  /// ignored on later calls.
+  void observe(std::string_view name, real_t value, const Labels& labels = {},
+               std::span<const real_t> edges = {});
+
+  /// All series, sorted by canonical key (deterministic given the same
+  /// recorded values).
+  [[nodiscard]] std::vector<MetricSnapshot> snapshot() const;
+
+  /// One JSON object per line, in snapshot order; the `--metrics` file
+  /// format (parsed back by `hemocloud_cli metrics`).
+  [[nodiscard]] std::string to_jsonl() const;
+
+  /// Number of live series (0 when disabled throughout).
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Metric {
+    std::string name;
+    Labels labels;
+    MetricKind kind = MetricKind::kCounter;
+    real_t value = 0.0;
+    HistogramData histogram;
+  };
+
+  Metric& series_locked(std::string_view name, const Labels& labels,
+                        MetricKind kind);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::map<std::string, Metric> metrics_;
+};
+
+/// Writes `registry.to_jsonl()` to `path` (truncating). Throws
+/// NumericError when the file cannot be written.
+void write_metrics_jsonl(const MetricsRegistry& registry,
+                         const std::string& path);
+
+}  // namespace hemo::obs

@@ -1,0 +1,129 @@
+// Chrome-trace-event / Perfetto-compatible tracing with two clock domains.
+//
+// The campaign engine runs on *virtual* time (sched/executor.hpp): its
+// coordinator advances a deterministic event clock, so spans stamped with
+// that clock are a pure function of the campaign seed — byte-stable across
+// worker counts, which extends the PR-1 determinism contract from the CSV
+// report to the trace itself (tests/test_obs.cpp asserts it). Real work —
+// calibration sweeps, microbenches, HEMO_OBS_DETAIL solver steps — is
+// covered by RAII wall-clock spans instead; the two domains are kept on
+// separate trace "processes" (pid 1 = virtual campaign time, pid 2 = wall
+// clock) so a mixed export still reads sensibly in the Perfetto timeline,
+// and the virtual track can be exported alone for byte-comparison.
+//
+// Recording is OFF by default with the same near-zero disabled path as
+// MetricsRegistry: one relaxed atomic load per call, no locks, no
+// allocations. Virtual-time events must be recorded from one thread at a
+// time (the engine's coordinator is the only producer); wall spans are
+// thread-safe.
+//
+// Open an exported file in https://ui.perfetto.dev or chrome://tracing.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "units/units.hpp"
+#include "util/common.hpp"
+
+namespace hemo::obs {
+
+/// Ordered key/value annotations of one event. Values are rendered as JSON
+/// strings; use trace_num() to format numbers deterministically.
+using TraceArgs = std::vector<std::pair<std::string, std::string>>;
+
+/// Deterministic numeric formatting for TraceArgs values.
+[[nodiscard]] std::string trace_num(real_t value);
+
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  [[nodiscard]] static TraceRecorder& global();
+
+  void enable(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Drops every recorded event (the enabled flag is left untouched).
+  void reset();
+
+  /// Complete span on the virtual clock; `track` groups spans into one
+  /// timeline row (the engine uses the job id). start <= end required.
+  void virtual_span(std::string name, std::string category, index_t track,
+                    units::Seconds start, units::Seconds end,
+                    TraceArgs args = {});
+
+  /// Instant event on the virtual clock (guard kills, preemptions, ...).
+  void virtual_instant(std::string name, std::string category, index_t track,
+                       units::Seconds at, TraceArgs args = {});
+
+  /// RAII wall-clock span: stamps steady_clock on construction and records
+  /// the complete event on destruction. A span from a disabled recorder is
+  /// inert (and stays inert even if the recorder is enabled mid-flight, so
+  /// begin/end stamps always come from the same recording session).
+  class WallSpan {
+   public:
+    WallSpan(TraceRecorder& recorder, std::string name, std::string category,
+             TraceArgs args = {});
+    ~WallSpan();
+    WallSpan(const WallSpan&) = delete;
+    WallSpan& operator=(const WallSpan&) = delete;
+
+   private:
+    TraceRecorder* recorder_ = nullptr;  ///< null when inert
+    std::string name_;
+    std::string category_;
+    TraceArgs args_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  /// Convenience factory: `auto span = recorder.wall_span("stream", "bench");`
+  [[nodiscard]] WallSpan wall_span(std::string name, std::string category,
+                                   TraceArgs args = {}) {
+    return WallSpan(*this, std::move(name), std::move(category),
+                    std::move(args));
+  }
+
+  /// Number of recorded virtual-clock events.
+  [[nodiscard]] std::size_t virtual_event_count() const;
+
+  /// Chrome trace-event JSON ({"traceEvents":[...]}). Events keep their
+  /// recording order; `include_wall=false` exports only the virtual track,
+  /// which is the byte-stable artifact the determinism tests compare.
+  [[nodiscard]] std::string to_chrome_json(bool include_wall = true) const;
+
+  /// Writes to_chrome_json() to `path` (truncating). Throws NumericError
+  /// when the file cannot be written.
+  void write_chrome_json(const std::string& path,
+                         bool include_wall = true) const;
+
+ private:
+  struct Event {
+    std::string name;
+    std::string category;
+    char phase = 'X';     ///< 'X' complete, 'i' instant
+    bool wall = false;    ///< wall-clock domain (pid 2) vs virtual (pid 1)
+    index_t track = 0;    ///< tid
+    real_t ts_us = 0.0;   ///< microseconds (virtual or steady_clock)
+    real_t dur_us = 0.0;  ///< complete events only
+    TraceArgs args;
+  };
+
+  void record(Event event);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+};
+
+}  // namespace hemo::obs

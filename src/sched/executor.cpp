@@ -4,6 +4,9 @@
 #include <cmath>
 #include <set>
 
+#include "obs/drift.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace hemo::sched {
@@ -68,10 +71,20 @@ struct InFlight {
   std::size_t job = 0;  ///< index into the records vector
   Placement placement;
   units::Seconds start_s;
+  index_t steps_requested = 0;  ///< steps this attempt was placed for
   std::future<AttemptResult> future;
   bool ready = false;
   AttemptResult result;
 };
+
+const char* attempt_event_name(AttemptEvent::Kind kind) {
+  switch (kind) {
+    case AttemptEvent::Kind::kPreemption: return "preemption";
+    case AttemptEvent::Kind::kCorruptRestore: return "corrupt_restore";
+    case AttemptEvent::Kind::kGuardStop: return "guard_stop";
+  }
+  return "attempt_event";
+}
 
 }  // namespace
 
@@ -102,10 +115,20 @@ CampaignReport CampaignEngine::run(std::vector<CampaignJobSpec> jobs) {
   std::vector<ErrorSample> trajectory;
   units::Seconds clock;
 
+  // All telemetry is emitted from this coordinator thread at deterministic
+  // points of the virtual-event loop, so the recorded trace is a pure
+  // function of the seeded inputs regardless of n_workers.
+  obs::TraceRecorder& trace = obs::TraceRecorder::global();
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
+  std::vector<units::Seconds> queued_since(records.size());
+
   const auto fail = [&](JobRecord& rec, const std::string& why) {
     rec.state = JobState::kFailed;
     rec.failure = why;
     rec.finish_s = clock;
+    trace.virtual_instant("failed", "sched", rec.spec.id, clock,
+                          {{"reason", why}});
+    metrics.add("campaign_jobs_total", 1.0, {{"outcome", "failed"}});
   };
 
   while (!pending.empty() || !inflight.empty()) {
@@ -150,6 +173,18 @@ CampaignReport CampaignEngine::run(std::vector<CampaignJobSpec> jobs) {
       rec.state = JobState::kRunning;
       if (rec.start_s.value() < 0.0) rec.start_s = clock;
 
+      trace.virtual_span("queued", "sched", spec.id, queued_since[idx],
+                         clock,
+                         {{"attempt", std::to_string(rec.attempts)}});
+      trace.virtual_instant(
+          "placed", "sched", spec.id, clock,
+          {{"instance", decision.placement.instance},
+           {"tasks", std::to_string(decision.placement.n_tasks)},
+           {"spot", decision.placement.spot ? "1" : "0"}});
+      metrics.add("campaign_attempts_total", 1.0,
+                  {{"instance", decision.placement.instance},
+                   {"spot", decision.placement.spot ? "true" : "false"}});
+
       AttemptContext ctx;
       ctx.plan = &scheduler_->plan_for(spec.geometry,
                                        decision.placement.instance,
@@ -174,6 +209,7 @@ CampaignReport CampaignEngine::run(std::vector<CampaignJobSpec> jobs) {
       f.job = idx;
       f.placement = decision.placement;
       f.start_s = clock;
+      f.steps_requested = ctx.steps;
       f.future = pool.submit([ctx] { return simulate_attempt(ctx); });
       inflight.push_back(std::move(f));
     }
@@ -216,6 +252,35 @@ CampaignReport CampaignEngine::run(std::vector<CampaignJobSpec> jobs) {
     scheduler_->release(event.placement);
     JobRecord& rec = records[event.job];
     const AttemptResult& res = event.result;
+
+    trace.virtual_span(
+        "attempt", "sched", rec.spec.id, event.start_s, clock,
+        {{"instance", event.placement.instance},
+         {"steps_done", std::to_string(res.steps_done)},
+         {"preemptions", std::to_string(res.preemptions)},
+         {"mflups", obs::trace_num(res.measured_mflups.value())}});
+    for (const AttemptEvent& ev : res.events) {
+      trace.virtual_instant(attempt_event_name(ev.kind), "fault",
+                            rec.spec.id, event.start_s + ev.at_s,
+                            {{"steps_done", std::to_string(ev.steps_done)}});
+    }
+    if (res.preemptions > 0) {
+      metrics.add("campaign_preemptions_total",
+                  static_cast<real_t>(res.preemptions),
+                  {{"instance", event.placement.instance}});
+    }
+    if (res.checkpoint_corruptions > 0) {
+      metrics.add("campaign_corrupt_restores_total",
+                  static_cast<real_t>(res.checkpoint_corruptions),
+                  {{"instance", event.placement.instance}});
+    }
+    if (res.overrun_aborted) {
+      metrics.add("campaign_guard_stops_total", 1.0,
+                  {{"instance", event.placement.instance}});
+    }
+    metrics.observe("campaign_attempt_occupancy_seconds",
+                    res.sim_seconds.value());
+
     rec.dollars += res.dollars;
     rec.compute_seconds += res.compute_seconds;
     rec.preemptions += res.preemptions;
@@ -227,10 +292,37 @@ CampaignReport CampaignEngine::run(std::vector<CampaignJobSpec> jobs) {
     // Mid-campaign refinement: feed the measurement back before the next
     // placement pass runs, so later decisions use the refined fit.
     if (res.measured_mflups.value() > 0.0) {
+      const std::string wkey = workload_key(rec.spec);
+      index_t round = 0;
+      for (const core::Observation& past :
+           scheduler_->tracker().observations()) {
+        if (past.workload == wkey) ++round;
+      }
       scheduler_->tracker().record(core::Observation{
-          workload_key(rec.spec), event.placement.instance,
+          wkey, event.placement.instance,
           event.placement.n_tasks, event.placement.raw_mflups,
           res.measured_mflups});
+
+      obs::DriftSample drift;
+      drift.workload = wkey;
+      drift.instance = event.placement.instance;
+      drift.round = round;
+      drift.predicted_mflups = event.placement.predicted_mflups.value();
+      drift.measured_mflups = res.measured_mflups.value();
+      if (event.steps_requested > 0) {
+        drift.predicted_step_seconds =
+            event.placement.predicted_seconds.value() /
+            static_cast<real_t>(event.steps_requested);
+      }
+      if (res.steps_done > 0) {
+        drift.actual_step_seconds = res.compute_seconds.value() /
+                                    static_cast<real_t>(res.steps_done);
+      }
+      obs::record_drift(metrics, drift);
+      metrics.set("campaign_correction_factor",
+                  scheduler_->tracker().correction_factor());
+      metrics.set("campaign_mean_abs_rel_error",
+                  scheduler_->tracker().mean_abs_relative_error());
       ErrorSample sample;
       sample.virtual_time_s = clock;
       sample.job_id = rec.spec.id;
@@ -245,6 +337,9 @@ CampaignReport CampaignEngine::run(std::vector<CampaignJobSpec> jobs) {
     if (rec.steps_done >= rec.spec.timesteps) {
       rec.state = JobState::kCompleted;
       rec.finish_s = clock;
+      trace.virtual_instant("completed", "sched", rec.spec.id, clock,
+                            {{"attempts", std::to_string(rec.attempts)}});
+      metrics.add("campaign_jobs_total", 1.0, {{"outcome", "completed"}});
     } else if (res.overrun_aborted) {
       ++rec.overruns;
       if (rec.attempts >= config_.max_attempts) {
@@ -254,6 +349,11 @@ CampaignReport CampaignEngine::run(std::vector<CampaignJobSpec> jobs) {
         // this attempt's measurement, so the next placement predicts from
         // the corrected model and resumes at the checkpointed step.
         rec.state = JobState::kPending;
+        queued_since[event.job] = clock;
+        trace.virtual_instant("requeued", "sched", rec.spec.id, clock,
+                              {{"reason", "overrun"}});
+        metrics.add("campaign_requeues_total", 1.0,
+                    {{"reason", "overrun"}});
         pending.insert(std::upper_bound(pending.begin(), pending.end(),
                                         event.job),
                        event.job);
@@ -265,6 +365,11 @@ CampaignReport CampaignEngine::run(std::vector<CampaignJobSpec> jobs) {
         // Preempted past the retry bound: requeue on on-demand capacity.
         rec.spec.allow_spot = false;
         rec.state = JobState::kPending;
+        queued_since[event.job] = clock;
+        trace.virtual_instant("requeued", "sched", rec.spec.id, clock,
+                              {{"reason", "retries"}});
+        metrics.add("campaign_requeues_total", 1.0,
+                    {{"reason", "retries"}});
         pending.insert(std::upper_bound(pending.begin(), pending.end(),
                                         event.job),
                        event.job);

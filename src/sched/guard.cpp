@@ -62,6 +62,8 @@ AttemptResult simulate_attempt(const AttemptContext& ctx) {
         occupied_s +=
             chunk_s * strike_fraction + ctx.spot.restart_overhead_s;
         ++res.preemptions;
+        res.events.push_back({AttemptEvent::Kind::kPreemption,
+                              occupied_s + backoff_s, done});
         if (res.preemptions > ctx.max_preemptions) {
           res.retries_exhausted = true;
           break;
@@ -81,6 +83,8 @@ AttemptResult simulate_attempt(const AttemptContext& ctx) {
           done = std::max<index_t>(0, done - chunk_steps);
           occupied_s += ctx.spot.restart_overhead_s;
           ++res.checkpoint_corruptions;
+          res.events.push_back({AttemptEvent::Kind::kCorruptRestore,
+                                occupied_s + backoff_s, done});
         }
         continue;  // resume from the checkpoint: redo this chunk
       }
@@ -97,6 +101,8 @@ AttemptResult simulate_attempt(const AttemptContext& ctx) {
         static_cast<real_t>(done) / static_cast<real_t>(ctx.steps);
     if (done < ctx.steps && ctx.guard.should_abort(occupied_s, fraction)) {
       res.overrun_aborted = true;
+      res.events.push_back({AttemptEvent::Kind::kGuardStop,
+                            occupied_s + backoff_s, done});
       break;
     }
   }

@@ -75,6 +75,21 @@ struct Placement {
   units::DollarsPerHour cost_rate_per_hour;  ///< whole allocation, tenancy-adjusted
 };
 
+/// One noteworthy incident inside an attempt, stamped with the attempt's
+/// own virtual clock. Offsets are relative to the attempt start so the
+/// simulation stays a pure function of its inputs; the coordinator adds the
+/// placement instant to obtain absolute campaign time for the trace.
+struct AttemptEvent {
+  enum class Kind {
+    kPreemption,     ///< spot capacity reclaimed; checkpoint/backoff/restart
+    kCorruptRestore, ///< injected corrupted checkpoint forced a re-run
+    kGuardStop,      ///< overrun guard hard-stopped the attempt
+  };
+  Kind kind = Kind::kPreemption;
+  units::Seconds at_s;      ///< offset from attempt start (virtual)
+  index_t steps_done = 0;   ///< checkpointed steps at the event
+};
+
 /// What one attempt actually did (all times simulated).
 struct AttemptResult {
   index_t steps_done = 0;  ///< steps completed and checkpointed
@@ -91,6 +106,8 @@ struct AttemptResult {
   index_t checkpoint_corruptions = 0;
   bool overrun_aborted = false;    ///< guard hard stop (>10 % over model)
   bool retries_exhausted = false;  ///< preempted beyond the retry bound
+  /// Faults and guard stops in virtual order (offsets from attempt start).
+  std::vector<AttemptEvent> events;
 };
 
 /// Accumulated history of one job across attempts.

@@ -5,6 +5,7 @@
 
 #include "cluster/virtual_cluster.hpp"
 #include "core/models.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace hemo::sched {
@@ -146,22 +147,36 @@ PlacementDecision CampaignScheduler::place(
   }
   const core::CampaignTracker& view = keyed.size() > 0 ? keyed : tracker_;
   const real_t correction = view.correction_factor();
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
+  metrics.set("sched_correction_factor", correction,
+              {{"workload", key}});
   const auto rows =
       dashboard_.evaluate(cal, core::JobSpec{request.remaining_steps},
                           config_.core_counts, &view);
 
+  const auto reject = [&metrics](const char* reason) {
+    metrics.add("sched_candidates_rejected_total", 1.0,
+                {{"reason", reason}});
+  };
   std::vector<Candidate> feasible;
   for (const core::DashboardRow& raw : rows) {
     const auto pit = pools_.find(raw.instance);
-    if (pit == pools_.end()) continue;
+    if (pit == pools_.end()) {
+      reject("no_pool");
+      continue;
+    }
     const Pool& pool = pit->second;
-    if (raw.n_nodes > pool.total_nodes) continue;  // allocation too large
+    if (raw.n_nodes > pool.total_nodes) {  // allocation too large
+      reject("too_large");
+      continue;
+    }
 
     Candidate c;
     c.spot = spec.allow_spot;
     c.row = c.spot ? core::apply_spot_pricing(raw, config_.spot) : raw;
     if (request.remaining_deadline_s.value() > 0.0 &&
         c.row.time_to_solution_s > request.remaining_deadline_s) {
+      reject("deadline");
       continue;
     }
     if (request.remaining_budget.value() > 0.0) {
@@ -169,13 +184,17 @@ PlacementDecision CampaignScheduler::place(
       // the job is allowed to run tolerance-% long before the hard stop.
       const units::Dollars ceiling =
           c.row.total_dollars * (1.0 + config_.guard_tolerance);
-      if (ceiling > request.remaining_budget) continue;
+      if (ceiling > request.remaining_budget) {
+        reject("budget");
+        continue;
+      }
     }
     c.fits_now = raw.n_nodes <= pool.total_nodes - pool.in_use;
     feasible.push_back(std::move(c));
   }
 
   if (feasible.empty()) {
+    metrics.add("sched_place_total", 1.0, {{"outcome", "infeasible"}});
     PlacementDecision d;
     d.kind = PlacementDecision::Kind::kInfeasible;
     d.reason = "no (instance, core count) option satisfies the job's "
@@ -188,6 +207,7 @@ PlacementDecision CampaignScheduler::place(
     if (c.fits_now) open.push_back(&c);
   }
   if (open.empty()) {
+    metrics.add("sched_place_total", 1.0, {{"outcome", "wait"}});
     PlacementDecision d;
     d.kind = PlacementDecision::Kind::kWait;
     return d;
@@ -237,6 +257,10 @@ PlacementDecision CampaignScheduler::place(
       break;
   }
 
+  metrics.add("sched_place_total", 1.0, {{"outcome", "placed"}});
+  metrics.add("sched_placements_total", 1.0,
+              {{"instance", chosen->row.instance},
+               {"spot", chosen->spot ? "true" : "false"}});
   PlacementDecision d;
   d.kind = PlacementDecision::Kind::kPlaced;
   d.placement.instance = chosen->row.instance;

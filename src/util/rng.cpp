@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/log.hpp"
+
 namespace hemo {
 
 std::uint64_t parse_seed(const char* text, std::uint64_t fallback) noexcept {
@@ -20,10 +22,9 @@ std::uint64_t global_seed() noexcept {
   static const std::uint64_t seed = [] {
     const char* env = std::getenv("HEMO_SEED");
     const std::uint64_t s = parse_seed(env, 42);
-    std::fprintf(stderr,
-                 "[hemo] effective seed %" PRIu64 " (%s)\n", s,
-                 env != nullptr ? "from HEMO_SEED"
-                                : "default; set HEMO_SEED to override");
+    HEMO_LOG_INFO("effective seed %" PRIu64 " (%s)", s,
+                  env != nullptr ? "from HEMO_SEED"
+                                 : "default; set HEMO_SEED to override");
     return s;
   }();
   return seed;

@@ -14,9 +14,11 @@
 #include <atomic>
 #include <future>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sched/executor.hpp"
 #include "sched/guard.hpp"
 #include "sched/report.hpp"
@@ -140,6 +142,110 @@ TEST(ExecutorStress, FaultStormReportIsWorkerCountInvariant) {
                                << " workers";
     }
   }
+}
+
+// Attempt-level incident records: every preemption / corrupted-restore /
+// guard-stop that simulate_attempt counts must also appear in
+// AttemptResult::events, stamped with a nondecreasing attempt-relative
+// virtual offset inside the attempt's occupancy window. (The executor
+// relies on this to place trace instants at absolute campaign time.)
+TEST(ExecutorStress, AttemptEventsAreOrderedAndMatchCounters) {
+  SchedulerConfig sched_config = stress_scheduler_config();
+  auto scheduler = make_scheduler(sched_config);
+
+  CampaignJobSpec spec;
+  spec.id = 1;
+  spec.geometry = "cylinder";
+  spec.timesteps = 40000;
+  spec.allow_spot = true;
+  PlacementRequest request;
+  request.spec = &spec;
+  request.remaining_steps = spec.timesteps;
+  const PlacementDecision decision = scheduler->place(request);
+  ASSERT_EQ(decision.kind, PlacementDecision::Kind::kPlaced);
+
+  AttemptContext ctx;
+  ctx.plan = &scheduler->plan_for(spec.geometry, decision.placement.instance,
+                                  decision.placement.n_tasks);
+  ctx.profile = &scheduler->profile_for(decision.placement.instance);
+  ctx.placement = decision.placement;
+  ctx.placement.spot = true;  // force the preemption machinery on
+  ctx.guard.predicted_seconds = decision.placement.predicted_seconds;
+  // Very tolerant guard: let the attempt run all its chunks so the spot
+  // preemption/corrupted-restore machinery gets exercised end to end.
+  ctx.guard.tolerance = 100.0;
+  ctx.guard.price_per_hour = decision.placement.cost_rate_per_hour;
+  ctx.steps = spec.timesteps;
+  ctx.seed = 99;
+  ctx.spot = sched_config.spot;
+  ctx.max_preemptions = 64;
+  ctx.faults.extra_preemption_probability = 0.5;
+  ctx.faults.checkpoint_corruption_rate = 0.5;
+
+  const AttemptResult res = simulate_attempt(ctx);
+  ASSERT_FALSE(res.events.empty()) << "fault storm produced no events";
+
+  index_t preemptions = 0, corruptions = 0, guard_stops = 0;
+  units::Seconds previous{0.0};
+  for (const AttemptEvent& event : res.events) {
+    EXPECT_GE(event.at_s.value(), previous.value())
+        << "event offsets must be nondecreasing";
+    EXPECT_GE(event.at_s.value(), 0.0);
+    // Checkpointed progress at an event is bounded by the request; it is
+    // NOT monotone — a corrupted restore regresses to the older durable
+    // checkpoint by design.
+    EXPECT_GE(event.steps_done, 0);
+    EXPECT_LE(event.steps_done, ctx.steps);
+    previous = event.at_s;
+    switch (event.kind) {
+      case AttemptEvent::Kind::kPreemption: ++preemptions; break;
+      case AttemptEvent::Kind::kCorruptRestore: ++corruptions; break;
+      case AttemptEvent::Kind::kGuardStop: ++guard_stops; break;
+    }
+  }
+  EXPECT_EQ(preemptions, res.preemptions);
+  EXPECT_EQ(corruptions, res.checkpoint_corruptions);
+  EXPECT_EQ(guard_stops, res.overrun_aborted ? 1 : 0);
+  EXPECT_GT(res.preemptions, 0) << "storm must exercise spot preemption";
+}
+
+// The telemetry extension of the determinism contract: the virtual-time
+// trace (spans + fault instants) of the fault storm is byte-identical for
+// any worker count, and its preemption instants agree with the report.
+TEST(ExecutorStress, FaultStormVirtualTraceIsWorkerCountInvariant) {
+  obs::TraceRecorder& trace = obs::TraceRecorder::global();
+  trace.enable(true);
+
+  const auto count_instants = [](const std::string& json,
+                                 const std::string& name) {
+    const std::string needle = "{\"name\":\"" + name + "\",";
+    std::size_t n = 0;
+    for (std::size_t pos = json.find(needle); pos != std::string::npos;
+         pos = json.find(needle, pos + 1)) {
+      ++n;
+    }
+    return n;
+  };
+
+  std::string baseline;
+  for (const index_t n_workers : {1, 8}) {
+    trace.reset();
+    auto scheduler = make_scheduler(stress_scheduler_config());
+    CampaignEngine engine(*scheduler, stress_engine_config(n_workers));
+    const CampaignReport report = engine.run(stress_jobs());
+    const std::string json = trace.to_chrome_json(/*include_wall=*/false);
+    EXPECT_EQ(count_instants(json, "preemption"),
+              static_cast<std::size_t>(report.total_preemptions));
+    if (baseline.empty()) {
+      baseline = json;
+    } else {
+      EXPECT_EQ(json, baseline)
+          << "virtual trace diverged at " << n_workers << " workers";
+    }
+  }
+
+  trace.enable(false);
+  trace.reset();
 }
 
 }  // namespace

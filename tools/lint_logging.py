@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Tree lint: library code must log through src/obs/log.hpp.
+
+Scans src/ (excluding src/obs/, which implements the logger) for raw
+`std::cerr` / `fprintf(stderr, ...)` / `std::clog` uses. Library-layer
+diagnostics must go through HEMO_LOG_* so HEMO_LOG_LEVEL filters them
+uniformly and stdout stays reserved for machine-readable output (golden
+CSVs, tables, traces).
+
+Deliberate raw-stderr sites (e.g. a crash handler that must not allocate)
+are exempted by putting
+  // log-ok(<reason>)
+on the same line. The reason is mandatory — a bare escape fails the lint.
+
+Usage: lint_logging.py [--root REPO_ROOT] [DIR ...]
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+DEFAULT_DIRS = ["src"]
+EXCLUDED = ("src/obs",)
+
+RAW_LOG = re.compile(
+    r"std::cerr|std::clog|fprintf\s*\(\s*stderr|fputs\s*\([^,]+,\s*stderr"
+)
+ESCAPE = re.compile(r"//\s*log-ok\(([^)]*)\)")
+
+
+def lint_file(path: pathlib.Path) -> list[str]:
+    findings = []
+    in_block_comment = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if in_block_comment:
+            if "*/" in line:
+                in_block_comment = False
+            continue
+        if line.lstrip().startswith("//"):
+            continue
+        if "/*" in line and "*/" not in line:
+            in_block_comment = True
+        match = RAW_LOG.search(line)
+        if not match:
+            continue
+        escape = ESCAPE.search(line)
+        if escape:
+            if not escape.group(1).strip():
+                findings.append(
+                    f"{path}:{lineno}: log-ok() needs a reason: "
+                    f"{line.strip()}")
+            continue
+        findings.append(
+            f"{path}:{lineno}: raw stderr logging `{match.group(0)}` — use "
+            f"HEMO_LOG_* from src/obs/log.hpp (or annotate "
+            f"`// log-ok(reason)`): {line.strip()}")
+    return findings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".", help="repository root")
+    parser.add_argument("dirs", nargs="*", default=DEFAULT_DIRS,
+                        help=f"directories to scan (default: {DEFAULT_DIRS})")
+    args = parser.parse_args()
+
+    root = pathlib.Path(args.root)
+    findings: list[str] = []
+    n_files = 0
+    for rel in (args.dirs or DEFAULT_DIRS):
+        directory = root / rel
+        if not directory.is_dir():
+            print(f"lint_logging: no such directory: {directory}",
+                  file=sys.stderr)
+            return 2
+        for source in sorted(directory.rglob("*")):
+            if source.suffix not in (".hpp", ".cpp"):
+                continue
+            rel_path = source.relative_to(root).as_posix()
+            if any(rel_path.startswith(ex) for ex in EXCLUDED):
+                continue
+            n_files += 1
+            findings.extend(lint_file(source))
+
+    for finding in findings:
+        print(finding, file=sys.stderr)
+    status = "FAIL" if findings else "OK"
+    print(f"lint_logging: {status} — {n_files} source files, "
+          f"{len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
