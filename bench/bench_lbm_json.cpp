@@ -1,0 +1,236 @@
+// Machine-readable LBM kernel benchmark: MFLUPS per kernel variant x
+// precision x path on a benchmark geometry, written as BENCH_lbm.json.
+//
+// This is the hot-path performance baseline of the repository: CI's
+// perf-smoke job runs it on the cylinder and gates merges with
+// tools/check_bench_regression.py against the committed baseline (soft
+// gate — only large regressions fail, since shared CI runners are noisy).
+//
+// Usage:
+//   bench_lbm_json [--geometry=cylinder] [--out=BENCH_lbm.json]
+//                  [--repetitions=3] [--min-time=0.2] [--small]
+//
+// --small shrinks the geometry (and is recorded in the JSON, so the
+// regression checker refuses to compare baselines of different shapes).
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "geometry/generators.hpp"
+#include "lbm/mesh.hpp"
+#include "lbm/mesh_segments.hpp"
+#include "lbm/solver.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace {
+
+using namespace hemo;
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  std::string geometry = "cylinder";
+  std::string out = "BENCH_lbm.json";
+  index_t repetitions = 3;
+  double min_time = 0.2;
+  bool small = false;
+};
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* prefix) {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg.rfind("--geometry=", 0) == 0) {
+      opt.geometry = value("--geometry=");
+    } else if (arg.rfind("--out=", 0) == 0) {
+      opt.out = value("--out=");
+    } else if (arg.rfind("--repetitions=", 0) == 0) {
+      opt.repetitions = std::stol(value("--repetitions="));
+    } else if (arg.rfind("--min-time=", 0) == 0) {
+      opt.min_time = std::stod(value("--min-time="));
+    } else if (arg == "--small") {
+      opt.small = true;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      std::exit(2);
+    }
+  }
+  HEMO_REQUIRE(opt.repetitions >= 1, "need at least one repetition");
+  HEMO_REQUIRE(opt.min_time > 0.0, "min-time must be positive");
+  return opt;
+}
+
+geometry::Geometry build_geometry(const Options& opt) {
+  if (!opt.small) return bench::make_geometry(opt.geometry);
+  if (opt.geometry == "cylinder") {
+    return geometry::make_cylinder({.radius = 6, .length = 40});
+  }
+  if (opt.geometry == "cerebral") {
+    return geometry::make_cerebral({.depth = 4});
+  }
+  return bench::make_geometry(opt.geometry);
+}
+
+struct VariantResult {
+  lbm::KernelConfig config;
+  real_t mflups = 0.0;   ///< best repetition
+  index_t steps = 0;     ///< steps of the best repetition
+  real_t seconds = 0.0;  ///< elapsed of the best repetition
+};
+
+/// Times one kernel variant: per repetition, step in pairs (keeping AA
+/// parity even) until min_time elapses; report the best repetition's
+/// MFLUPS, standard benchmark practice for noisy shared hosts.
+template <typename T>
+VariantResult time_variant(const lbm::FluidMesh& mesh,
+                           const geometry::Geometry& geo,
+                           const lbm::KernelConfig& config,
+                           const Options& opt) {
+  lbm::SolverParams params;
+  params.kernel = config;
+  lbm::Solver<T> solver(mesh, params, std::span(geo.inlets));
+  solver.run(4);  // warmup: touch every page, settle the branch predictors
+
+  VariantResult result;
+  result.config = config;
+  for (index_t rep = 0; rep < opt.repetitions; ++rep) {
+    index_t steps = 0;
+    const auto t0 = Clock::now();
+    real_t elapsed = 0.0;
+    do {
+      solver.run(2);
+      steps += 2;
+      elapsed = std::chrono::duration<real_t>(Clock::now() - t0).count();
+    } while (elapsed < opt.min_time);
+    const real_t rate = lbm::mflups(mesh.num_points(), steps, elapsed);
+    if (rate > result.mflups) {
+      result.mflups = rate;
+      result.steps = steps;
+      result.seconds = elapsed;
+    }
+  }
+  return result;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') out.push_back('\\');
+    out.push_back(ch);
+  }
+  return out;
+}
+
+void write_json(std::ostream& os, const Options& opt,
+                const lbm::FluidMesh& mesh, const lbm::SegmentedMesh& seg,
+                const std::vector<VariantResult>& results) {
+  const auto& c = seg.counts();
+  os << "{\n";
+  os << "  \"schema\": \"hemo-bench-lbm/1\",\n";
+  os << "  \"host\": {\n";
+  os << "    \"compiler\": \"" << json_escape(__VERSION__) << "\",\n";
+  os << "    \"hardware_concurrency\": "
+     << std::thread::hardware_concurrency() << ",\n";
+#ifdef _OPENMP
+  os << "    \"openmp\": true,\n";
+  os << "    \"omp_max_threads\": " << omp_get_max_threads() << "\n";
+#else
+  os << "    \"openmp\": false,\n";
+  os << "    \"omp_max_threads\": 1\n";
+#endif
+  os << "  },\n";
+  os << "  \"config\": {\n";
+  os << "    \"repetitions\": " << opt.repetitions << ",\n";
+  os << "    \"min_time_seconds\": " << opt.min_time << ",\n";
+  os << "    \"small\": " << (opt.small ? "true" : "false") << "\n";
+  os << "  },\n";
+  os << "  \"geometry\": {\n";
+  os << "    \"name\": \"" << json_escape(opt.geometry) << "\",\n";
+  os << "    \"points\": " << mesh.num_points() << ",\n";
+  os << "    \"segments\": {\n";
+  os << "      \"bulk_interior\": " << c.bulk_interior << ",\n";
+  os << "      \"bulk_edge\": " << c.bulk_edge << ",\n";
+  os << "      \"wall\": " << c.wall << ",\n";
+  os << "      \"inlet\": " << c.inlet << ",\n";
+  os << "      \"outlet\": " << c.outlet << ",\n";
+  os << "      \"spans\": " << seg.spans().size() << ",\n";
+  os << "      \"mean_span_length\": " << seg.mean_span_length() << ",\n";
+  os << "      \"max_span_length\": " << seg.max_span_length() << "\n";
+  os << "    }\n";
+  os << "  },\n";
+  os << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    os << "    {\"kernel\": \"" << lbm::kernel_name(r.config)
+       << "\", \"propagation\": \"" << to_string(r.config.propagation)
+       << "\", \"layout\": \"" << to_string(r.config.layout)
+       << "\", \"precision\": \"" << to_string(r.config.precision)
+       << "\", \"path\": \"" << to_string(r.config.path)
+       << "\", \"mflups\": " << r.mflups << ", \"steps\": " << r.steps
+       << ", \"seconds\": " << r.seconds << "}"
+       << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+  const geometry::Geometry geo = build_geometry(opt);
+  const lbm::FluidMesh mesh = lbm::FluidMesh::build(geo.grid);
+  const lbm::SegmentedMesh seg = lbm::SegmentedMesh::build(mesh);
+
+  std::cerr << "bench_lbm_json: " << opt.geometry << ", "
+            << mesh.num_points() << " points, "
+            << seg.bulk_count() << " bulk-interior across "
+            << seg.spans().size() << " spans (mean "
+            << seg.mean_span_length() << ")\n";
+
+  std::vector<VariantResult> results;
+  for (const auto path :
+       {lbm::KernelPath::kSegmented, lbm::KernelPath::kReference}) {
+    for (const auto prop : {lbm::Propagation::kAB, lbm::Propagation::kAA}) {
+      for (const auto layout : {lbm::Layout::kAoS, lbm::Layout::kSoA}) {
+        for (const auto precision :
+             {lbm::Precision::kDouble, lbm::Precision::kSingle}) {
+          lbm::KernelConfig config;
+          config.layout = layout;
+          config.propagation = prop;
+          config.precision = precision;
+          config.path = path;
+          const VariantResult r =
+              precision == lbm::Precision::kDouble
+                  ? time_variant<double>(mesh, geo, config, opt)
+                  : time_variant<float>(mesh, geo, config, opt);
+          std::cerr << "  " << lbm::kernel_name(config) << " "
+                    << to_string(precision) << ": " << r.mflups
+                    << " MFLUPS\n";
+          results.push_back(r);
+        }
+      }
+    }
+  }
+
+  std::ofstream os(opt.out);
+  if (!os) {
+    std::cerr << "cannot open " << opt.out << "\n";
+    return 1;
+  }
+  write_json(os, opt, mesh, seg, results);
+  std::cerr << "wrote " << opt.out << "\n";
+  return 0;
+}

@@ -1,11 +1,22 @@
 // google-benchmark microbenchmarks of the real LBM kernels on the host:
-// every propagation x layout x precision variant of the solver, plus the
-// mesh build. These are the kernels whose byte counts feed Eq. 9.
+// every propagation x layout x precision variant of the solver on both hot
+// paths (segmented default and fused reference, suffixed _ref), plus the
+// mesh build and segment classification. These are the kernels whose byte
+// counts feed Eq. 9.
+//
+// Before the benchmarks run, main() reports the benchmark mesh's segment
+// statistics (point census per class and the RLE span-length distribution)
+// through obs::MetricsRegistry to stderr — the segmentation quality numbers
+// that explain the segmented path's MFLUPS.
 #include <benchmark/benchmark.h>
+
+#include <iostream>
 
 #include "geometry/generators.hpp"
 #include "lbm/mesh.hpp"
+#include "lbm/mesh_segments.hpp"
 #include "lbm/solver.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
@@ -27,11 +38,13 @@ const geometry::Geometry& bench_geometry() {
 
 template <typename T>
 void run_solver_bench(benchmark::State& state, lbm::Layout layout,
-                      lbm::Propagation prop) {
+                      lbm::Propagation prop,
+                      lbm::KernelPath path = lbm::KernelPath::kSegmented) {
   const auto& mesh = bench_mesh();
   lbm::SolverParams params;
   params.kernel.layout = layout;
   params.kernel.propagation = prop;
+  params.kernel.path = path;
   lbm::Solver<T> solver(mesh, params, std::span(bench_geometry().inlets));
   for (auto _ : state) {
     solver.step();
@@ -61,6 +74,30 @@ void BM_Solver_AB_AoS_float(benchmark::State& state) {
 void BM_Solver_AA_AoS_float(benchmark::State& state) {
   run_solver_bench<float>(state, lbm::Layout::kAoS, lbm::Propagation::kAA);
 }
+void BM_Solver_AB_AoS_double_ref(benchmark::State& state) {
+  run_solver_bench<double>(state, lbm::Layout::kAoS, lbm::Propagation::kAB,
+                           lbm::KernelPath::kReference);
+}
+void BM_Solver_AB_SoA_double_ref(benchmark::State& state) {
+  run_solver_bench<double>(state, lbm::Layout::kSoA, lbm::Propagation::kAB,
+                           lbm::KernelPath::kReference);
+}
+void BM_Solver_AA_AoS_double_ref(benchmark::State& state) {
+  run_solver_bench<double>(state, lbm::Layout::kAoS, lbm::Propagation::kAA,
+                           lbm::KernelPath::kReference);
+}
+void BM_Solver_AA_SoA_double_ref(benchmark::State& state) {
+  run_solver_bench<double>(state, lbm::Layout::kSoA, lbm::Propagation::kAA,
+                           lbm::KernelPath::kReference);
+}
+void BM_Solver_AB_AoS_float_ref(benchmark::State& state) {
+  run_solver_bench<float>(state, lbm::Layout::kAoS, lbm::Propagation::kAB,
+                          lbm::KernelPath::kReference);
+}
+void BM_Solver_AA_AoS_float_ref(benchmark::State& state) {
+  run_solver_bench<float>(state, lbm::Layout::kAoS, lbm::Propagation::kAA,
+                          lbm::KernelPath::kReference);
+}
 
 BENCHMARK(BM_Solver_AB_AoS_double);
 BENCHMARK(BM_Solver_AB_SoA_double);
@@ -68,6 +105,12 @@ BENCHMARK(BM_Solver_AA_AoS_double);
 BENCHMARK(BM_Solver_AA_SoA_double);
 BENCHMARK(BM_Solver_AB_AoS_float);
 BENCHMARK(BM_Solver_AA_AoS_float);
+BENCHMARK(BM_Solver_AB_AoS_double_ref);
+BENCHMARK(BM_Solver_AB_SoA_double_ref);
+BENCHMARK(BM_Solver_AA_AoS_double_ref);
+BENCHMARK(BM_Solver_AA_SoA_double_ref);
+BENCHMARK(BM_Solver_AB_AoS_float_ref);
+BENCHMARK(BM_Solver_AA_AoS_float_ref);
 
 void BM_MeshBuild(benchmark::State& state) {
   const auto geo = geometry::make_cylinder({.radius = 8, .length = 48});
@@ -78,6 +121,52 @@ void BM_MeshBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_MeshBuild);
 
+void BM_SegmentBuild(benchmark::State& state) {
+  const auto& mesh = bench_mesh();
+  for (auto _ : state) {
+    auto seg = lbm::SegmentedMesh::build(mesh);
+    benchmark::DoNotOptimize(seg.bulk_count());
+  }
+}
+BENCHMARK(BM_SegmentBuild);
+
+/// Records the benchmark mesh's segment census and span-length histogram
+/// in the metrics registry and dumps it as JSONL to stderr.
+void report_segment_stats() {
+  const lbm::SegmentedMesh seg = lbm::SegmentedMesh::build(bench_mesh());
+  const auto& c = seg.counts();
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.enable(true);
+  const obs::Labels geom = {{"geometry", "cylinder"}};
+  metrics.set("lbm_segment_points", static_cast<real_t>(c.bulk_interior),
+              {{"geometry", "cylinder"}, {"class", "bulk_interior"}});
+  metrics.set("lbm_segment_points", static_cast<real_t>(c.bulk_edge),
+              {{"geometry", "cylinder"}, {"class", "bulk_edge"}});
+  metrics.set("lbm_segment_points", static_cast<real_t>(c.wall),
+              {{"geometry", "cylinder"}, {"class", "wall"}});
+  metrics.set("lbm_segment_points", static_cast<real_t>(c.inlet),
+              {{"geometry", "cylinder"}, {"class", "inlet"}});
+  metrics.set("lbm_segment_points", static_cast<real_t>(c.outlet),
+              {{"geometry", "cylinder"}, {"class", "outlet"}});
+  metrics.set("lbm_segment_spans", static_cast<real_t>(seg.spans().size()),
+              geom);
+  metrics.set("lbm_segment_mean_span_length", seg.mean_span_length(), geom);
+  metrics.set("lbm_segment_max_span_length",
+              static_cast<real_t>(seg.max_span_length()), geom);
+  for (const auto& span : seg.spans()) {
+    metrics.observe("lbm_segment_span_length",
+                    static_cast<real_t>(span.length), geom);
+  }
+  std::cerr << metrics.to_jsonl();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  report_segment_stats();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

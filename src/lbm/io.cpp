@@ -90,7 +90,7 @@ template <typename T>
 void save_checkpoint(const Solver<T>& solver, std::ostream& os) {
   const CheckpointHeader h = make_header(solver);
   os.write(reinterpret_cast<const char*>(&h), sizeof(h));
-  const auto state = solver.raw_state();
+  const auto state = solver.export_state();
   os.write(reinterpret_cast<const char*>(state.data()),
            static_cast<std::streamsize>(state.size() * sizeof(T)));
   if (!os) throw NumericError("save_checkpoint: stream write failed");

@@ -18,9 +18,16 @@ std::string to_string(Precision p) {
   return p == Precision::kSingle ? "single" : "double";
 }
 
+std::string to_string(KernelPath p) {
+  return p == KernelPath::kReference ? "reference" : "segmented";
+}
+
 std::string kernel_name(const KernelConfig& config) {
-  return to_string(config.propagation) + "-" + to_string(config.layout) +
-         "-" + to_string(config.unroll);
+  std::string name = to_string(config.propagation) + "-" +
+                     to_string(config.layout) + "-" +
+                     to_string(config.unroll);
+  if (config.path == KernelPath::kReference) name += "-ref";
+  return name;
 }
 
 }  // namespace hemo::lbm

@@ -37,12 +37,22 @@ enum class Precision {
   kDouble,  ///< 8-byte double
 };
 
+/// Hot-path implementation of the serial solver.
+enum class KernelPath {
+  kReference,  ///< one fused loop, per-point neighbor gather + type branch
+  kSegmented,  ///< segment-reordered mesh, branch-free RLE bulk kernel
+};
+
 /// Full kernel configuration.
 struct KernelConfig {
   Layout layout = Layout::kAoS;
   Propagation propagation = Propagation::kAB;
   Unroll unroll = Unroll::kYes;
   Precision precision = Precision::kDouble;
+  /// Both paths produce bit-identical distribution state (asserted by
+  /// tests/test_kernel_paths.cpp); kSegmented is the production default,
+  /// kReference is retained as the differential oracle and model anchor.
+  KernelPath path = KernelPath::kSegmented;
 
   friend bool operator==(const KernelConfig&, const KernelConfig&) = default;
 };
@@ -56,8 +66,11 @@ struct KernelConfig {
 [[nodiscard]] std::string to_string(Propagation p);
 [[nodiscard]] std::string to_string(Unroll u);
 [[nodiscard]] std::string to_string(Precision p);
+[[nodiscard]] std::string to_string(KernelPath p);
 
-/// Short display name, e.g. "AA-SoA-unrolled".
+/// Short display name, e.g. "AA-SoA-unrolled". The default (segmented)
+/// path is unsuffixed so model tables and golden files keep their names;
+/// the reference path reads "AB-AoS-unrolled-ref".
 [[nodiscard]] std::string kernel_name(const KernelConfig& config);
 
 }  // namespace hemo::lbm

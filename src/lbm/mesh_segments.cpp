@@ -1,0 +1,119 @@
+#include "lbm/mesh_segments.hpp"
+
+#include <algorithm>
+
+namespace hemo::lbm {
+
+namespace {
+
+/// Fast-path membership: interior bulk points have no boundary condition
+/// and no bounce-back link, so their update is pure gather + collide.
+[[nodiscard]] bool is_bulk_interior(const FluidMesh& mesh, index_t p) {
+  return mesh.type(p) == PointType::kBulk && mesh.solid_links(p) == 0;
+}
+
+}  // namespace
+
+SegmentedMesh SegmentedMesh::build(const FluidMesh& mesh) {
+  SegmentedMesh seg;
+  const index_t n = mesh.num_points();
+  seg.n_ = n;
+  seg.position_of_.assign(static_cast<std::size_t>(n), 0);
+  seg.point_at_.reserve(static_cast<std::size_t>(n));
+
+  // Stable partition: bulk-interior points first, boundary points after,
+  // each keeping the original relative order. Stability is what makes the
+  // original mesh's x-contiguous interior rows stay contiguous, which the
+  // RLE pass below turns into long constant-offset spans.
+  for (index_t p = 0; p < n; ++p) {
+    if (is_bulk_interior(mesh, p)) seg.point_at_.push_back(p);
+  }
+  seg.bulk_count_ = static_cast<index_t>(seg.point_at_.size());
+  for (index_t p = 0; p < n; ++p) {
+    if (!is_bulk_interior(mesh, p)) seg.point_at_.push_back(p);
+  }
+  for (index_t i = 0; i < n; ++i) {
+    seg.position_of_[static_cast<std::size_t>(
+        seg.point_at_[static_cast<std::size_t>(i)])] = i;
+  }
+
+  // Permuted neighbor table and types.
+  seg.neighbors_.assign(static_cast<std::size_t>(n * kQ), kSolidLink);
+  seg.types_.resize(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    const index_t p = seg.point_at_[static_cast<std::size_t>(i)];
+    seg.types_[static_cast<std::size_t>(i)] = mesh.type(p);
+    for (index_t q = 0; q < kQ; ++q) {
+      const std::int32_t nb = mesh.neighbor(p, q);
+      seg.neighbors_[static_cast<std::size_t>(i * kQ + q)] =
+          nb == kSolidLink
+              ? kSolidLink
+              : static_cast<std::int32_t>(
+                    seg.position_of_[static_cast<std::size_t>(nb)]);
+    }
+  }
+
+  // Segment-class census.
+  for (index_t p = 0; p < n; ++p) {
+    switch (mesh.type(p)) {
+      case PointType::kBulk:
+        if (mesh.solid_links(p) == 0) ++seg.counts_.bulk_interior;
+        else ++seg.counts_.bulk_edge;
+        break;
+      case PointType::kWall: ++seg.counts_.wall; break;
+      case PointType::kInlet: ++seg.counts_.inlet; break;
+      case PointType::kOutlet: ++seg.counts_.outlet; break;
+      case PointType::kSolid: break;  // never stored in a FluidMesh
+    }
+  }
+
+  // RLE pass: greedy maximal spans over the bulk-interior segment. A span
+  // extends while every direction's neighbor offset matches the span
+  // head's. Bulk-interior points have no solid links, so every offset is a
+  // real position delta.
+  index_t i = 0;
+  while (i < seg.bulk_count_) {
+    SegmentSpan span;
+    span.begin = i;
+    for (index_t q = 0; q < kQ; ++q) {
+      span.offsets[static_cast<std::size_t>(q)] = static_cast<std::int32_t>(
+          static_cast<index_t>(
+              seg.neighbors_[static_cast<std::size_t>(i * kQ + q)]) -
+          i);
+    }
+    index_t j = i + 1;
+    for (; j < seg.bulk_count_; ++j) {
+      bool constant = true;
+      for (index_t q = 0; q < kQ; ++q) {
+        const auto expected =
+            j + static_cast<index_t>(
+                    span.offsets[static_cast<std::size_t>(q)]);
+        if (static_cast<index_t>(
+                seg.neighbors_[static_cast<std::size_t>(j * kQ + q)]) !=
+            expected) {
+          constant = false;
+          break;
+        }
+      }
+      if (!constant) break;
+    }
+    span.length = j - i;
+    seg.spans_.push_back(span);
+    i = j;
+  }
+  return seg;
+}
+
+real_t SegmentedMesh::mean_span_length() const noexcept {
+  if (spans_.empty()) return 0.0;
+  return static_cast<real_t>(bulk_count_) /
+         static_cast<real_t>(spans_.size());
+}
+
+index_t SegmentedMesh::max_span_length() const noexcept {
+  index_t longest = 0;
+  for (const SegmentSpan& s : spans_) longest = std::max(longest, s.length);
+  return longest;
+}
+
+}  // namespace hemo::lbm

@@ -1,0 +1,118 @@
+// Segment-reordered view of a FluidMesh for branch-free streaming kernels.
+//
+// Sparse-geometry LBM pays two hot-path taxes the hardware does not
+// require: a 19-wide neighbor-table gather per point, and a per-point
+// type/pulse/LES branch. Following the HemeLB/Wittmann line of work, this
+// layer removes both for the dominant point class:
+//
+//  * Classification — points split into the *bulk-interior* segment
+//    (PointType::kBulk with zero solid links: every one of the 19
+//    neighbors is fluid, so no bounce-back and no boundary condition) and
+//    the *boundary* segment (wall/inlet/outlet points plus any point with
+//    a solid link).
+//  * Stable permutation — bulk-interior points first, boundary points
+//    after, each preserving the original relative order. Solvers keep
+//    their distribution arrays in this order; public point indices stay
+//    the original mesh order and are translated via position_of() /
+//    point_at(), so IO, observables, and the decomposition layer are
+//    unchanged.
+//  * Run-length encoding — maximal spans of consecutive bulk-interior
+//    positions whose 19 neighbor offsets (neighbor position minus own
+//    position) are constant. Inside a span the kernel streams with direct
+//    indexing (position + compile-time-hoisted offset) instead of
+//    per-link neighbor() gathers, which is what lets the inner loop
+//    vectorize.
+//
+// The segmentation is purely a reordering: kernels that process every
+// point with unchanged per-point arithmetic produce bit-identical state
+// (tests/test_kernel_paths.cpp asserts this against the reference path).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "lbm/mesh.hpp"
+#include "util/common.hpp"
+
+namespace hemo::lbm {
+
+/// A run of consecutive internal positions with constant neighbor offsets:
+/// for every position i in [begin, begin + length) and direction q, the
+/// neighbor of i in direction q sits at position i + offsets[q].
+struct SegmentSpan {
+  index_t begin = 0;
+  index_t length = 0;
+  std::array<std::int32_t, kQ> offsets{};
+};
+
+/// Point counts per segment class (bench/diagnostic output).
+struct SegmentCounts {
+  index_t bulk_interior = 0;  ///< kBulk, zero solid links (fast path)
+  index_t bulk_edge = 0;      ///< kBulk with solid links (boundary path)
+  index_t wall = 0;
+  index_t inlet = 0;
+  index_t outlet = 0;
+};
+
+/// Immutable segment-reordered companion of a FluidMesh.
+class SegmentedMesh {
+ public:
+  /// Classifies, permutes, and run-length-encodes `mesh`. The mesh must
+  /// outlive the result.
+  static SegmentedMesh build(const FluidMesh& mesh);
+
+  [[nodiscard]] index_t num_points() const noexcept { return n_; }
+
+  /// Positions [0, bulk_count()) are the bulk-interior segment; positions
+  /// [bulk_count(), num_points()) are the boundary segment.
+  [[nodiscard]] index_t bulk_count() const noexcept { return bulk_count_; }
+
+  /// Internal position of original mesh point p.
+  [[nodiscard]] index_t position_of(index_t p) const noexcept {
+    return position_of_[static_cast<std::size_t>(p)];
+  }
+
+  /// Original mesh point stored at internal position i.
+  [[nodiscard]] index_t point_at(index_t i) const noexcept {
+    return point_at_[static_cast<std::size_t>(i)];
+  }
+
+  /// Internal-space neighbor position of position i in direction q, or
+  /// kSolidLink.
+  [[nodiscard]] std::int32_t neighbor(index_t i, index_t q) const noexcept {
+    return neighbors_[static_cast<std::size_t>(i * kQ + q)];
+  }
+
+  /// Point type at internal position i.
+  [[nodiscard]] PointType type(index_t i) const noexcept {
+    return types_[static_cast<std::size_t>(i)];
+  }
+
+  /// RLE spans covering exactly [0, bulk_count()), ordered by begin.
+  [[nodiscard]] const std::vector<SegmentSpan>& spans() const noexcept {
+    return spans_;
+  }
+
+  [[nodiscard]] const SegmentCounts& counts() const noexcept {
+    return counts_;
+  }
+
+  /// Mean span length (0 when there is no bulk segment).
+  [[nodiscard]] real_t mean_span_length() const noexcept;
+
+  /// Longest span length (0 when there is no bulk segment).
+  [[nodiscard]] index_t max_span_length() const noexcept;
+
+ private:
+  index_t n_ = 0;
+  index_t bulk_count_ = 0;
+  std::vector<index_t> position_of_;
+  std::vector<index_t> point_at_;
+  std::vector<std::int32_t> neighbors_;  // n_ * kQ, internal positions
+  std::vector<PointType> types_;         // by internal position
+  std::vector<SegmentSpan> spans_;
+  SegmentCounts counts_;
+};
+
+}  // namespace hemo::lbm

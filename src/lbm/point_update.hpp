@@ -17,22 +17,17 @@
 
 namespace hemo::lbm {
 
-/// Computes the post-collision (or boundary) values for a point from its
-/// gathered arrivals g[0..18]; writes out[0..18].
-///  * kInlet: wet-node equilibrium at the reference density (rho = 1) and
-///    the imposed boundary velocity. Using the *arriving* density instead
-///    would self-cancel: with a solid wall behind the inlet, the local
-///    density relaxes to exactly the value that makes the emitted
-///    distributions match a quiescent fluid, and no flow develops.
-///  * kOutlet: equilibrium at rho = 1 (zero gauge pressure) and the
-///    arriving velocity.
-///  * otherwise: BGK relaxation toward local equilibrium.
-template <typename T>
-inline void update_point_values(
-    PointType type, const T* g, T* out, T omega,
-    const std::array<T, 3>& bc_velocity,
-    const std::array<T, 3>& force_shift = {T{0}, T{0}, T{0}},
-    T smagorinsky_cs2 = T{0}) {
+/// Branch-free interior update: the exact relax-toward-equilibrium
+/// arithmetic (body force + optional Smagorinsky LES) applied to every
+/// non-inlet/outlet point. The LES branch is resolved at compile time so
+/// the segmented bulk kernels instantiate a version with no runtime
+/// branch at all. This is the single definition of the bulk arithmetic —
+/// the reference path, the segmented path, and the distributed HARVEY
+/// solver all inline it, which is what keeps them bit-identical.
+template <typename T, bool WithLes>
+inline void update_interior_values(const T* g, T* out, T omega,
+                                   const std::array<T, 3>& force_shift,
+                                   T smagorinsky_cs2) {
   T rho = T{0}, jx = T{0}, jy = T{0}, jz = T{0};
   for (index_t q = 0; q < kQ; ++q) {
     const T fq = g[q];
@@ -45,19 +40,6 @@ inline void update_point_values(
   const T inv_rho = T{1} / rho;
   const T ux = jx * inv_rho, uy = jy * inv_rho, uz = jz * inv_rho;
 
-  if (type == PointType::kInlet) {
-    for (index_t q = 0; q < kQ; ++q) {
-      out[q] = equilibrium<T>(q, T{1}, bc_velocity[0], bc_velocity[1],
-                              bc_velocity[2]);
-    }
-    return;
-  }
-  if (type == PointType::kOutlet) {
-    for (index_t q = 0; q < kQ; ++q) {
-      out[q] = equilibrium<T>(q, T{1}, ux, uy, uz);
-    }
-    return;
-  }
   // Body force via the velocity-shift (Shan-Chen) forcing: the
   // equilibrium is evaluated at u + tau F / rho, which adds F per unit
   // volume per step to the momentum while conserving mass exactly.
@@ -71,7 +53,7 @@ inline void update_point_values(
   //   tau_eff = (tau + sqrt(tau^2 + 18 sqrt(2) Cs^2 |Pi| / rho)) / 2 .
   // Stabilizes high-Reynolds flows; reduces exactly to BGK at Cs = 0.
   T omega_eff = omega;
-  if (smagorinsky_cs2 > T{0}) {
+  if constexpr (WithLes) {
     T pxx = T{0}, pyy = T{0}, pzz = T{0}, pxy = T{0}, pxz = T{0},
       pyz = T{0};
     for (index_t q = 0; q < kQ; ++q) {
@@ -101,6 +83,56 @@ inline void update_point_values(
   for (index_t q = 0; q < kQ; ++q) {
     const T feq = equilibrium<T>(q, rho, fx, fy, fz);
     out[q] = bgk_collide(g[q], feq, omega_eff);
+  }
+}
+
+/// Computes the post-collision (or boundary) values for a point from its
+/// gathered arrivals g[0..18]; writes out[0..18].
+///  * kInlet: wet-node equilibrium at the reference density (rho = 1) and
+///    the imposed boundary velocity. Using the *arriving* density instead
+///    would self-cancel: with a solid wall behind the inlet, the local
+///    density relaxes to exactly the value that makes the emitted
+///    distributions match a quiescent fluid, and no flow develops.
+///  * kOutlet: equilibrium at rho = 1 (zero gauge pressure) and the
+///    arriving velocity.
+///  * otherwise: BGK relaxation toward local equilibrium
+///    (update_interior_values).
+template <typename T>
+inline void update_point_values(
+    PointType type, const T* g, T* out, T omega,
+    const std::array<T, 3>& bc_velocity,
+    const std::array<T, 3>& force_shift = {T{0}, T{0}, T{0}},
+    T smagorinsky_cs2 = T{0}) {
+  if (type == PointType::kInlet) {
+    for (index_t q = 0; q < kQ; ++q) {
+      out[q] = equilibrium<T>(q, T{1}, bc_velocity[0], bc_velocity[1],
+                              bc_velocity[2]);
+    }
+    return;
+  }
+  if (type == PointType::kOutlet) {
+    T rho = T{0}, jx = T{0}, jy = T{0}, jz = T{0};
+    for (index_t q = 0; q < kQ; ++q) {
+      const T fq = g[q];
+      const auto& c = kD3Q19[static_cast<std::size_t>(q)];
+      rho += fq;
+      jx += fq * static_cast<T>(c.dx);
+      jy += fq * static_cast<T>(c.dy);
+      jz += fq * static_cast<T>(c.dz);
+    }
+    const T inv_rho = T{1} / rho;
+    const T ux = jx * inv_rho, uy = jy * inv_rho, uz = jz * inv_rho;
+    for (index_t q = 0; q < kQ; ++q) {
+      out[q] = equilibrium<T>(q, T{1}, ux, uy, uz);
+    }
+    return;
+  }
+  if (smagorinsky_cs2 > T{0}) {
+    update_interior_values<T, true>(g, out, omega, force_shift,
+                                    smagorinsky_cs2);
+  } else {
+    update_interior_values<T, false>(g, out, omega, force_shift,
+                                     smagorinsky_cs2);
   }
 }
 

@@ -1,8 +1,14 @@
 #include "lbm/solver.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "lbm/point_update.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 #ifdef HEMO_OBS_DETAIL
 #include <chrono>
@@ -12,6 +18,94 @@
 
 namespace hemo::lbm {
 
+namespace {
+
+/// Calling thread's (id, team size); (0, 1) outside a parallel region or
+/// in a build without OpenMP.
+[[nodiscard]] inline std::pair<int, int> omp_ids() noexcept {
+#ifdef _OPENMP
+  return {omp_get_thread_num(), omp_get_num_threads()};
+#else
+  return {0, 1};
+#endif
+}
+
+/// Contiguous range of [0, n) owned by thread tid of nt — the same
+/// partition OpenMP's schedule(static) produces, shared by the first-touch
+/// initialization and the step kernels so pages stay local to the thread
+/// that streams them.
+[[nodiscard]] inline std::pair<index_t, index_t> static_chunk(
+    index_t n, int tid, int nt) noexcept {
+  const index_t threads = static_cast<index_t>(nt);
+  const index_t chunk = (n + threads - 1) / threads;
+  const index_t lo = std::min(n, chunk * static_cast<index_t>(tid));
+  return {lo, std::min(n, lo + chunk)};
+}
+
+/// Tile width of the SoA bulk micro-kernel: long enough to amortize the
+/// per-tile moment temporaries across SIMD lanes, small enough that the
+/// working set (19 direction rows + moments) stays in L1.
+constexpr index_t kTileWidth = 32;
+
+/// SIMD-friendly SoA bulk update: processes w <= kTileWidth consecutive
+/// bulk-interior points whose per-direction source/destination streams are
+/// contiguous (the RLE span property). The arithmetic is the exact
+/// per-point sequence of update_interior_values (moments accumulated in
+/// direction order, the same velocity-shift expressions, equilibria in
+/// direction order), only interleaved across the tile's points — every
+/// individual point sees identical IEEE operations, so the result is
+/// bit-identical to the scalar path while the inner i-loops vectorize.
+///
+/// Arrivals are buffered in gt before any store: for the in-place AA steps
+/// every location is read and written by the same point, so draining all
+/// tile reads first cannot observe another point's write.
+template <typename T>
+void bulk_tile_soa(const T* const* src, T* const* dst, index_t w, T omega,
+                   const std::array<T, 3>& force_shift) {
+  T gt[kQ][kTileWidth];
+  T rho[kTileWidth], jx[kTileWidth], jy[kTileWidth], jz[kTileWidth];
+  for (index_t i = 0; i < w; ++i) {
+    rho[i] = T{0};
+    jx[i] = T{0};
+    jy[i] = T{0};
+    jz[i] = T{0};
+  }
+  for (index_t q = 0; q < kQ; ++q) {
+    const T* s = src[q];
+    T* g = gt[q];
+    const auto& c = kD3Q19[static_cast<std::size_t>(q)];
+    const T cx = static_cast<T>(c.dx), cy = static_cast<T>(c.dy),
+            cz = static_cast<T>(c.dz);
+    for (index_t i = 0; i < w; ++i) {
+      const T fq = s[i];
+      g[i] = fq;
+      rho[i] += fq;
+      jx[i] += fq * cx;
+      jy[i] += fq * cy;
+      jz[i] += fq * cz;
+    }
+  }
+  T fx[kTileWidth], fy[kTileWidth], fz[kTileWidth];
+  for (index_t i = 0; i < w; ++i) {
+    const T inv_rho = T{1} / rho[i];
+    const T ux = jx[i] * inv_rho, uy = jy[i] * inv_rho,
+            uz = jz[i] * inv_rho;
+    fx[i] = ux + force_shift[0] * inv_rho;
+    fy[i] = uy + force_shift[1] * inv_rho;
+    fz[i] = uz + force_shift[2] * inv_rho;
+  }
+  for (index_t q = 0; q < kQ; ++q) {
+    const T* g = gt[q];
+    T* d = dst[q];
+    for (index_t i = 0; i < w; ++i) {
+      const T feq = equilibrium<T>(q, rho[i], fx[i], fy[i], fz[i]);
+      d[i] = bgk_collide(g[i], feq, omega);
+    }
+  }
+}
+
+}  // namespace
+
 template <typename T>
 Solver<T>::Solver(const FluidMesh& mesh, const SolverParams& params,
                   std::span<const geometry::InletSpec> inlets)
@@ -19,35 +113,74 @@ Solver<T>::Solver(const FluidMesh& mesh, const SolverParams& params,
   HEMO_REQUIRE(params.tau > 0.5, "tau must exceed 0.5 for stability");
   HEMO_REQUIRE(n_ > 0, "empty mesh");
   omega_ = static_cast<T>(1.0 / params.tau);
+  cs2_ = static_cast<T>(params_.smagorinsky_cs * params_.smagorinsky_cs);
 
-  f_.assign(static_cast<std::size_t>(n_ * kQ), T{0});
-  if (params_.kernel.propagation == Propagation::kAB) {
-    f2_.assign(static_cast<std::size_t>(n_ * kQ), T{0});
+  if (params_.kernel.path == KernelPath::kSegmented) {
+    seg_ = std::make_unique<SegmentedMesh>(SegmentedMesh::build(mesh));
   }
 
-  // Precompute inlet velocity targets from the Poiseuille profiles.
-  bc_velocity_ = inlet_velocities<T>(mesh, inlets);
-  bc_pulse_ = inlet_pulse_params<T>(mesh, inlets);
+  f_.resize(static_cast<std::size_t>(n_ * kQ));
+  if (params_.kernel.propagation == Propagation::kAB) {
+    f2_.resize(static_cast<std::size_t>(n_ * kQ));
+  }
+
+  // Precompute inlet velocity targets from the Poiseuille profiles, then
+  // permute them into internal point order so the boundary kernels index
+  // them directly.
+  auto bc_velocity = inlet_velocities<T>(mesh, inlets);
+  auto bc_pulse = inlet_pulse_params<T>(mesh, inlets);
+  if (seg_) {
+    bc_velocity_.resize(bc_velocity.size());
+    bc_pulse_.resize(bc_pulse.size());
+    for (index_t i = 0; i < n_; ++i) {
+      const auto p = static_cast<std::size_t>(seg_->point_at(i));
+      bc_velocity_[static_cast<std::size_t>(i)] = bc_velocity[p];
+      bc_pulse_[static_cast<std::size_t>(i)] = bc_pulse[p];
+    }
+  } else {
+    bc_velocity_ = std::move(bc_velocity);
+    bc_pulse_ = std::move(bc_pulse);
+  }
   for (std::size_t d = 0; d < 3; ++d) {
     force_shift_[d] = static_cast<T>(params.tau * params.body_force[d]);
   }
+  bind_kernels();
   initialize();
 }
 
 template <typename T>
 void Solver<T>::initialize() {
-  for (index_t p = 0; p < n_; ++p) {
+  const bool aos = params_.kernel.layout == Layout::kAoS;
+  // Rest equilibrium is point-independent, so the only thing the loop
+  // structure decides is which thread first-touches which pages; mirror
+  // the step kernels' partition (bulk region and boundary region each
+  // statically chunked on the segmented path, one static loop on the
+  // reference path).
+  const auto init_position = [&](index_t i) {
     for (index_t q = 0; q < kQ; ++q) {
       const T feq = equilibrium<T>(q, T{1}, T{0}, T{0}, T{0});
-      // Both layouts initialize identically since equilibrium at rest is
-      // direction-symmetric only for opposite pairs; write via the active
-      // layout to keep indexing consistent.
-      const index_t i = params_.kernel.layout == Layout::kAoS
-                            ? p * kQ + q
-                            : q * n_ + p;
-      f_[static_cast<std::size_t>(i)] = feq;
-      if (!f2_.empty()) f2_[static_cast<std::size_t>(i)] = feq;
+      const index_t slot = aos ? i * kQ + q : q * n_ + i;
+      f_[static_cast<std::size_t>(slot)] = feq;
+      if (!f2_.empty()) f2_[static_cast<std::size_t>(slot)] = feq;
     }
+  };
+  if (seg_) {
+    const index_t bulk = seg_->bulk_count();
+#ifdef _OPENMP
+#pragma omp parallel
+#endif
+    {
+      const auto [tid, nt] = omp_ids();
+      const auto [lo, hi] = static_chunk(bulk, tid, nt);
+      for (index_t i = lo; i < hi; ++i) init_position(i);
+      const auto [blo, bhi] = static_chunk(n_ - bulk, tid, nt);
+      for (index_t i = bulk + blo; i < bulk + bhi; ++i) init_position(i);
+    }
+  } else {
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+    for (index_t i = 0; i < n_; ++i) init_position(i);
   }
   timestep_ = 0;
 }
@@ -60,9 +193,20 @@ void Solver<T>::update_point(index_t p, const T* g, T* out) const {
     const T scale = pulse_scale<T>(pulse[0], pulse[1], timestep_);
     for (auto& component : bc) component *= scale;
   }
-  update_point_values<T>(
-      mesh_->type(p), g, out, omega_, bc, force_shift_,
-      static_cast<T>(params_.smagorinsky_cs * params_.smagorinsky_cs));
+  update_point_values<T>(mesh_->type(p), g, out, omega_, bc, force_shift_,
+                         cs2_);
+}
+
+template <typename T>
+void Solver<T>::update_boundary_point(index_t i, const T* g, T* out) const {
+  std::array<T, 3> bc = bc_velocity_[static_cast<std::size_t>(i)];
+  const auto& pulse = bc_pulse_[static_cast<std::size_t>(i)];
+  if (pulse[0] != T{0}) {
+    const T scale = pulse_scale<T>(pulse[0], pulse[1], timestep_);
+    for (auto& component : bc) component *= scale;
+  }
+  update_point_values<T>(seg_->type(i), g, out, omega_, bc, force_shift_,
+                         cs2_);
 }
 
 // Parallelization notes: in the AB pull kernel every point writes only its
@@ -70,7 +214,10 @@ void Solver<T>::update_point(index_t p, const T* g, T* out) const {
 // writes only its own row; in the AA odd kernel every array location is
 // read and written by exactly one point (the reader is the writer — see
 // the derivation in tests/test_solver.cpp and DESIGN.md), so all three
-// loops are race-free under OpenMP with per-iteration locals.
+// loops are race-free under OpenMP with per-iteration locals — and, for
+// the same reason, splitting a step into a bulk pass plus a boundary pass
+// (segmented path) cannot change the result: no point's gather reads a
+// location another point writes within the same step.
 
 template <typename T>
 template <Layout L>
@@ -138,31 +285,306 @@ void Solver<T>::step_aa_odd() {
   }
 }
 
+// ---- Segmented path ------------------------------------------------------
+//
+// Bulk loops iterate RLE spans: every neighbor is position + constant
+// offset, so the inner loop is a direct-indexed stream with no neighbor
+// table, no solid-link test, no boundary-type switch, and (via the WithLes
+// template parameter) no LES branch. Boundary loops run the general
+// gather over the internal-space neighbor table.
+
+template <typename T>
+template <Layout L, bool WithLes>
+void Solver<T>::seg_bulk_ab(index_t lo, index_t hi) {
+  const auto& spans = seg_->spans();
+  auto it = std::upper_bound(
+      spans.begin(), spans.end(), lo,
+      [](index_t v, const SegmentSpan& s) { return v < s.begin + s.length; });
+  const T* const f = f_.data();
+  T* const f2 = f2_.data();
+  for (; it != spans.end() && it->begin < hi; ++it) {
+    const index_t s0 = std::max(lo, it->begin);
+    const index_t s1 = std::min(hi, it->begin + it->length);
+    const auto& off = it->offsets;
+    if constexpr (L == Layout::kSoA && !WithLes) {
+      // Every per-direction stream is contiguous across the span, so the
+      // tiled micro-kernel's inner loops vectorize.
+      for (index_t t0 = s0; t0 < s1; t0 += kTileWidth) {
+        const index_t w = std::min(kTileWidth, s1 - t0);
+        const T* src[kQ];
+        T* dst[kQ];
+        for (index_t q = 0; q < kQ; ++q) {
+          const index_t from =
+              t0 + static_cast<index_t>(
+                       off[static_cast<std::size_t>(opposite(q))]);
+          src[q] = f + static_cast<std::size_t>(idx<L>(from, q));
+          dst[q] = f2 + static_cast<std::size_t>(idx<L>(t0, q));
+        }
+        bulk_tile_soa<T>(src, dst, w, omega_, force_shift_);
+      }
+      continue;
+    }
+#ifdef _OPENMP
+#pragma omp simd
+#endif
+    for (index_t i = s0; i < s1; ++i) {
+      T g[kQ], out[kQ];
+      for (index_t q = 0; q < kQ; ++q) {
+        const index_t src =
+            i + static_cast<index_t>(
+                    off[static_cast<std::size_t>(opposite(q))]);
+        g[q] = f[static_cast<std::size_t>(idx<L>(src, q))];
+      }
+      update_interior_values<T, WithLes>(g, out, omega_, force_shift_, cs2_);
+      for (index_t q = 0; q < kQ; ++q) {
+        f2[static_cast<std::size_t>(idx<L>(i, q))] = out[q];
+      }
+    }
+  }
+}
+
+template <typename T>
+template <Layout L, bool WithLes>
+void Solver<T>::seg_bulk_aa_even(index_t lo, index_t hi) {
+  // The even AA step touches only the point's own row — no neighbor
+  // indexing at all, so spans are irrelevant here.
+  T* const f = f_.data();
+  if constexpr (L == Layout::kSoA && !WithLes) {
+    for (index_t t0 = lo; t0 < hi; t0 += kTileWidth) {
+      const index_t w = std::min(kTileWidth, hi - t0);
+      const T* src[kQ];
+      T* dst[kQ];
+      for (index_t q = 0; q < kQ; ++q) {
+        src[q] = f + static_cast<std::size_t>(idx<L>(t0, q));
+        dst[q] = f + static_cast<std::size_t>(idx<L>(t0, opposite(q)));
+      }
+      bulk_tile_soa<T>(src, dst, w, omega_, force_shift_);
+    }
+    return;
+  }
+#ifdef _OPENMP
+#pragma omp simd
+#endif
+  for (index_t i = lo; i < hi; ++i) {
+    T g[kQ], out[kQ];
+    for (index_t q = 0; q < kQ; ++q) {
+      g[q] = f[static_cast<std::size_t>(idx<L>(i, q))];
+    }
+    update_interior_values<T, WithLes>(g, out, omega_, force_shift_, cs2_);
+    for (index_t q = 0; q < kQ; ++q) {
+      f[static_cast<std::size_t>(idx<L>(i, opposite(q)))] = out[q];
+    }
+  }
+}
+
+template <typename T>
+template <Layout L, bool WithLes>
+void Solver<T>::seg_bulk_aa_odd(index_t lo, index_t hi) {
+  const auto& spans = seg_->spans();
+  auto it = std::upper_bound(
+      spans.begin(), spans.end(), lo,
+      [](index_t v, const SegmentSpan& s) { return v < s.begin + s.length; });
+  T* const f = f_.data();
+  for (; it != spans.end() && it->begin < hi; ++it) {
+    const index_t s0 = std::max(lo, it->begin);
+    const index_t s1 = std::min(hi, it->begin + it->length);
+    const auto& off = it->offsets;
+    if constexpr (L == Layout::kSoA && !WithLes) {
+      // In-place safe: gt buffering in the tile plus the reader == writer
+      // property of the odd step (see the parallelization notes above).
+      for (index_t t0 = s0; t0 < s1; t0 += kTileWidth) {
+        const index_t w = std::min(kTileWidth, s1 - t0);
+        const T* src[kQ];
+        T* dst[kQ];
+        for (index_t q = 0; q < kQ; ++q) {
+          const index_t opp = opposite(q);
+          const index_t from =
+              t0 + static_cast<index_t>(off[static_cast<std::size_t>(opp)]);
+          const index_t to =
+              t0 + static_cast<index_t>(off[static_cast<std::size_t>(q)]);
+          src[q] = f + static_cast<std::size_t>(idx<L>(from, opp));
+          dst[q] = f + static_cast<std::size_t>(idx<L>(to, q));
+        }
+        bulk_tile_soa<T>(src, dst, w, omega_, force_shift_);
+      }
+      continue;
+    }
+#ifdef _OPENMP
+#pragma omp simd
+#endif
+    for (index_t i = s0; i < s1; ++i) {
+      T g[kQ], out[kQ];
+      for (index_t q = 0; q < kQ; ++q) {
+        const index_t opp = opposite(q);
+        const index_t m =
+            i + static_cast<index_t>(off[static_cast<std::size_t>(opp)]);
+        g[q] = f[static_cast<std::size_t>(idx<L>(m, opp))];
+      }
+      update_interior_values<T, WithLes>(g, out, omega_, force_shift_, cs2_);
+      for (index_t q = 0; q < kQ; ++q) {
+        const index_t nb =
+            i + static_cast<index_t>(off[static_cast<std::size_t>(q)]);
+        f[static_cast<std::size_t>(idx<L>(nb, q))] = out[q];
+      }
+    }
+  }
+}
+
+template <typename T>
+template <Layout L>
+void Solver<T>::seg_boundary_ab(index_t lo, index_t hi) {
+  for (index_t i = lo; i < hi; ++i) {
+    T g[kQ], out[kQ];
+    for (index_t q = 0; q < kQ; ++q) {
+      const std::int32_t nb = seg_->neighbor(i, opposite(q));
+      g[q] = nb != kSolidLink
+                 ? f_[static_cast<std::size_t>(idx<L>(nb, q))]
+                 : f_[static_cast<std::size_t>(idx<L>(i, opposite(q)))];
+    }
+    update_boundary_point(i, g, out);
+    for (index_t q = 0; q < kQ; ++q) {
+      f2_[static_cast<std::size_t>(idx<L>(i, q))] = out[q];
+    }
+  }
+}
+
+template <typename T>
+template <Layout L>
+void Solver<T>::seg_boundary_aa_even(index_t lo, index_t hi) {
+  for (index_t i = lo; i < hi; ++i) {
+    T g[kQ], out[kQ];
+    for (index_t q = 0; q < kQ; ++q) {
+      g[q] = f_[static_cast<std::size_t>(idx<L>(i, q))];
+    }
+    update_boundary_point(i, g, out);
+    for (index_t q = 0; q < kQ; ++q) {
+      f_[static_cast<std::size_t>(idx<L>(i, opposite(q)))] = out[q];
+    }
+  }
+}
+
+template <typename T>
+template <Layout L>
+void Solver<T>::seg_boundary_aa_odd(index_t lo, index_t hi) {
+  for (index_t i = lo; i < hi; ++i) {
+    T g[kQ], out[kQ];
+    for (index_t q = 0; q < kQ; ++q) {
+      const std::int32_t m = seg_->neighbor(i, opposite(q));
+      g[q] = m != kSolidLink
+                 ? f_[static_cast<std::size_t>(idx<L>(m, opposite(q)))]
+                 : f_[static_cast<std::size_t>(idx<L>(i, q))];
+    }
+    update_boundary_point(i, g, out);
+    for (index_t q = 0; q < kQ; ++q) {
+      const std::int32_t nb = seg_->neighbor(i, q);
+      if (nb != kSolidLink) {
+        f_[static_cast<std::size_t>(idx<L>(nb, q))] = out[q];
+      } else {
+        f_[static_cast<std::size_t>(idx<L>(i, opposite(q)))] = out[q];
+      }
+    }
+  }
+}
+
+template <typename T>
+template <Layout L, bool WithLes>
+void Solver<T>::seg_step_ab() {
+  const index_t bulk = seg_->bulk_count();
+#ifdef _OPENMP
+#pragma omp parallel
+#endif
+  {
+    const auto [tid, nt] = omp_ids();
+    const auto [lo, hi] = static_chunk(bulk, tid, nt);
+    seg_bulk_ab<L, WithLes>(lo, hi);
+    const auto [blo, bhi] = static_chunk(n_ - bulk, tid, nt);
+    seg_boundary_ab<L>(bulk + blo, bulk + bhi);
+  }
+  f_.swap(f2_);
+}
+
+template <typename T>
+template <Layout L, bool WithLes>
+void Solver<T>::seg_step_aa_even() {
+  const index_t bulk = seg_->bulk_count();
+#ifdef _OPENMP
+#pragma omp parallel
+#endif
+  {
+    const auto [tid, nt] = omp_ids();
+    const auto [lo, hi] = static_chunk(bulk, tid, nt);
+    seg_bulk_aa_even<L, WithLes>(lo, hi);
+    const auto [blo, bhi] = static_chunk(n_ - bulk, tid, nt);
+    seg_boundary_aa_even<L>(bulk + blo, bulk + bhi);
+  }
+}
+
+template <typename T>
+template <Layout L, bool WithLes>
+void Solver<T>::seg_step_aa_odd() {
+  const index_t bulk = seg_->bulk_count();
+#ifdef _OPENMP
+#pragma omp parallel
+#endif
+  {
+    const auto [tid, nt] = omp_ids();
+    const auto [lo, hi] = static_chunk(bulk, tid, nt);
+    seg_bulk_aa_odd<L, WithLes>(lo, hi);
+    const auto [blo, bhi] = static_chunk(n_ - bulk, tid, nt);
+    seg_boundary_aa_odd<L>(bulk + blo, bulk + bhi);
+  }
+}
+
+template <typename T>
+void Solver<T>::bind_kernels() {
+  const bool aos = params_.kernel.layout == Layout::kAoS;
+  const bool ab = params_.kernel.propagation == Propagation::kAB;
+  if (params_.kernel.path == KernelPath::kReference) {
+    if (ab) {
+      step_even_fn_ = aos ? &Solver::step_ab<Layout::kAoS>
+                          : &Solver::step_ab<Layout::kSoA>;
+      step_odd_fn_ = step_even_fn_;
+    } else {
+      step_even_fn_ = aos ? &Solver::step_aa_even<Layout::kAoS>
+                          : &Solver::step_aa_even<Layout::kSoA>;
+      step_odd_fn_ = aos ? &Solver::step_aa_odd<Layout::kAoS>
+                         : &Solver::step_aa_odd<Layout::kSoA>;
+    }
+    return;
+  }
+  const bool les = cs2_ > T{0};
+  const auto bind = [&]<Layout L, bool WithLes>() {
+    if (ab) {
+      step_even_fn_ = &Solver::seg_step_ab<L, WithLes>;
+      step_odd_fn_ = step_even_fn_;
+    } else {
+      step_even_fn_ = &Solver::seg_step_aa_even<L, WithLes>;
+      step_odd_fn_ = &Solver::seg_step_aa_odd<L, WithLes>;
+    }
+  };
+  if (aos) {
+    if (les) bind.template operator()<Layout::kAoS, true>();
+    else bind.template operator()<Layout::kAoS, false>();
+  } else {
+    if (les) bind.template operator()<Layout::kSoA, true>();
+    else bind.template operator()<Layout::kSoA, false>();
+  }
+}
+
 template <typename T>
 void Solver<T>::step() {
-  const bool aos = params_.kernel.layout == Layout::kAoS;
-  // The kernels fuse collide+stream, so the per-phase breakdown is by
-  // kernel variant; halo exchange is modeled in the cluster layer, not
-  // here. Timing is compile-time gated: the default build keeps step()
-  // allocation-free and branchless on the hot path.
+  // The layout/propagation/path dispatch is bound once at construction;
+  // a step is one indirect call through the parity-selected kernel.
 #ifdef HEMO_OBS_DETAIL
+  const bool aos = params_.kernel.layout == Layout::kAoS;
   const char* phase = params_.kernel.propagation == Propagation::kAB
                           ? "ab_pull"
                           : (timestep_ % 2 == 0 ? "aa_even" : "aa_odd");
   const auto t0 = std::chrono::steady_clock::now();
 #endif
-  if (params_.kernel.propagation == Propagation::kAB) {
-    if (aos) step_ab<Layout::kAoS>();
-    else step_ab<Layout::kSoA>();
-  } else {
-    if (timestep_ % 2 == 0) {
-      if (aos) step_aa_even<Layout::kAoS>();
-      else step_aa_even<Layout::kSoA>();
-    } else {
-      if (aos) step_aa_odd<Layout::kAoS>();
-      else step_aa_odd<Layout::kSoA>();
-    }
-  }
+  const bool even = params_.kernel.propagation == Propagation::kAB ||
+                    timestep_ % 2 == 0;
+  (this->*(even ? step_even_fn_ : step_odd_fn_))();
 #ifdef HEMO_OBS_DETAIL
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
   if (metrics.enabled()) {
@@ -171,6 +593,7 @@ void Solver<T>::step() {
     metrics.observe("lbm_step_seconds", dt.count(),
                     {{"phase", phase},
                      {"layout", aos ? "aos" : "soa"},
+                     {"path", to_string(params_.kernel.path)},
                      {"precision",
                       params_.kernel.precision == Precision::kSingle
                           ? "f32"
@@ -193,9 +616,10 @@ Moments<real_t> Solver<T>::moments_at(index_t p) const {
                "moments require natural distribution order (AA: even step)");
   std::array<T, kQ> g;
   const bool aos = params_.kernel.layout == Layout::kAoS;
+  const index_t i = internal_pos(p);
   for (index_t q = 0; q < kQ; ++q) {
-    const index_t i = aos ? p * kQ + q : q * n_ + p;
-    g[static_cast<std::size_t>(q)] = f_[static_cast<std::size_t>(i)];
+    const index_t slot = aos ? i * kQ + q : q * n_ + i;
+    g[static_cast<std::size_t>(q)] = f_[static_cast<std::size_t>(slot)];
   }
   const Moments<T> m = moments<T>(std::span<const T, kQ>(g));
   return Moments<real_t>{static_cast<real_t>(m.rho),
@@ -207,19 +631,73 @@ Moments<real_t> Solver<T>::moments_at(index_t p) const {
 template <typename T>
 real_t Solver<T>::total_mass() const {
   HEMO_REQUIRE(natural_order(), "total_mass requires natural order");
+  // Fixed-size blocks summed in parallel, combined serially in block
+  // order: the association is a function of the array length only, so the
+  // result is bit-stable across thread counts.
+  constexpr index_t kBlock = 1 << 14;
+  const auto total = static_cast<index_t>(f_.size());
+  const index_t n_blocks = (total + kBlock - 1) / kBlock;
+  std::vector<real_t> partial(static_cast<std::size_t>(n_blocks), 0.0);
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (index_t b = 0; b < n_blocks; ++b) {
+    const index_t lo = b * kBlock;
+    const index_t hi = std::min(total, lo + kBlock);
+    real_t acc = 0.0;
+    for (index_t k = lo; k < hi; ++k) {
+      acc += static_cast<real_t>(f_[static_cast<std::size_t>(k)]);
+    }
+    partial[static_cast<std::size_t>(b)] = acc;
+  }
   real_t mass = 0.0;
-  for (T v : f_) mass += static_cast<real_t>(v);
+  for (real_t v : partial) mass += v;
   return mass;
 }
 
 template <typename T>
 real_t Solver<T>::mean_speed() const {
-  real_t acc = 0.0;
-  for (index_t p = 0; p < n_; ++p) {
-    const auto m = moments_at(p);
-    acc += std::sqrt(m.ux * m.ux + m.uy * m.uy + m.uz * m.uz);
+  HEMO_REQUIRE(natural_order(), "mean_speed requires natural order");
+  // Same fixed-block ordered reduction as total_mass, over points.
+  constexpr index_t kBlock = 1 << 12;
+  const index_t n_blocks = (n_ + kBlock - 1) / kBlock;
+  std::vector<real_t> partial(static_cast<std::size_t>(n_blocks), 0.0);
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (index_t b = 0; b < n_blocks; ++b) {
+    const index_t lo = b * kBlock;
+    const index_t hi = std::min(n_, lo + kBlock);
+    real_t acc = 0.0;
+    for (index_t p = lo; p < hi; ++p) {
+      const auto m = moments_at(p);
+      acc += std::sqrt(m.ux * m.ux + m.uy * m.uy + m.uz * m.uz);
+    }
+    partial[static_cast<std::size_t>(b)] = acc;
   }
-  return acc / static_cast<real_t>(n_);
+  real_t sum = 0.0;
+  for (real_t v : partial) sum += v;
+  return sum / static_cast<real_t>(n_);
+}
+
+template <typename T>
+std::vector<T> Solver<T>::export_state() const {
+  std::vector<T> state(f_.size());
+  if (!seg_) {
+    std::copy(f_.begin(), f_.end(), state.begin());
+    return state;
+  }
+  const bool aos = params_.kernel.layout == Layout::kAoS;
+  for (index_t p = 0; p < n_; ++p) {
+    const index_t i = seg_->position_of(p);
+    for (index_t q = 0; q < kQ; ++q) {
+      const index_t dst = aos ? p * kQ + q : q * n_ + p;
+      const index_t src = aos ? i * kQ + q : q * n_ + i;
+      state[static_cast<std::size_t>(dst)] =
+          f_[static_cast<std::size_t>(src)];
+    }
+  }
+  return state;
 }
 
 template <typename T>
@@ -227,7 +705,20 @@ void Solver<T>::restore_state(std::span<const T> state, index_t timestep) {
   HEMO_REQUIRE(state.size() == f_.size(),
                "restore_state: state size mismatch");
   HEMO_REQUIRE(timestep >= 0, "restore_state: negative timestep");
-  std::copy(state.begin(), state.end(), f_.begin());
+  if (!seg_) {
+    std::copy(state.begin(), state.end(), f_.begin());
+  } else {
+    const bool aos = params_.kernel.layout == Layout::kAoS;
+    for (index_t p = 0; p < n_; ++p) {
+      const index_t i = seg_->position_of(p);
+      for (index_t q = 0; q < kQ; ++q) {
+        const index_t src = aos ? p * kQ + q : q * n_ + p;
+        const index_t dst = aos ? i * kQ + q : q * n_ + i;
+        f_[static_cast<std::size_t>(dst)] =
+            state[static_cast<std::size_t>(src)];
+      }
+    }
+  }
   timestep_ = timestep;
 }
 
@@ -235,9 +726,10 @@ template <typename T>
 real_t Solver<T>::f_value(index_t p, index_t q) const {
   HEMO_REQUIRE(p >= 0 && p < n_ && q >= 0 && q < kQ,
                "f_value index out of range");
-  const index_t i =
-      params_.kernel.layout == Layout::kAoS ? p * kQ + q : q * n_ + p;
-  return static_cast<real_t>(f_[static_cast<std::size_t>(i)]);
+  const index_t i = internal_pos(p);
+  const index_t slot =
+      params_.kernel.layout == Layout::kAoS ? i * kQ + q : q * n_ + i;
+  return static_cast<real_t>(f_[static_cast<std::size_t>(slot)]);
 }
 
 template class Solver<float>;

@@ -9,6 +9,22 @@
 //    gathers from neighbors' swapped slots and scatters to neighbors so the
 //    array returns to natural order. Bounce-back folds into both steps.
 //
+// Two hot-path implementations share every per-point arithmetic operation
+// (lbm/point_update.hpp) and therefore produce bit-identical state:
+//  * KernelPath::kReference — one fused loop per step: each point pays a
+//    19-wide neighbor-table gather and a type/pulse/LES branch.
+//  * KernelPath::kSegmented (default) — the distribution arrays are held
+//    in SegmentedMesh order (bulk-interior points first, boundary points
+//    after). The bulk segment streams span-by-span with constant neighbor
+//    offsets (direct indexing, no gather table) through a branch-free
+//    inner loop with the LES branch resolved at compile time; only the
+//    small boundary segment runs the general gather + type-switch path.
+//    Public point indices remain the original mesh order — moments_at,
+//    f_value, IO, observables, and the decomposition layer see no
+//    difference.
+// The layout/propagation/path dispatch is hoisted out of step() into
+// kernel function pointers bound at construction.
+//
 // Boundary conditions follow HARVEY's setup in the paper: a Poiseuille
 // velocity profile imposed at inlets (wet-node equilibrium with the locally
 // arriving density) and a zero-pressure (rho = 1) equilibrium outlet.
@@ -24,6 +40,7 @@
 #include "lbm/kernel_config.hpp"
 #include "lbm/lattice.hpp"
 #include "lbm/mesh.hpp"
+#include "lbm/mesh_segments.hpp"
 #include "util/common.hpp"
 
 namespace hemo::lbm {
@@ -50,7 +67,9 @@ class Solver {
   Solver(const FluidMesh& mesh, const SolverParams& params,
          std::span<const geometry::InletSpec> inlets);
 
-  /// Resets every point to rest equilibrium (rho = 1, u = 0).
+  /// Resets every point to rest equilibrium (rho = 1, u = 0). Pages of
+  /// the distribution arrays are first-touched under the same static
+  /// thread partition the step kernels use.
   void initialize();
 
   /// Advances one timestep. For AA the parity is tracked internally.
@@ -63,6 +82,12 @@ class Solver {
   [[nodiscard]] const FluidMesh& mesh() const noexcept { return *mesh_; }
   [[nodiscard]] const SolverParams& params() const noexcept { return params_; }
 
+  /// The segment-reordered view driving the kernels; null on the
+  /// reference path.
+  [[nodiscard]] const SegmentedMesh* segments() const noexcept {
+    return seg_.get();
+  }
+
   /// True when the distribution array is in natural (direction-aligned)
   /// order; moments are only meaningful then. AB is always natural; AA is
   /// natural at even timesteps.
@@ -74,20 +99,25 @@ class Solver {
   /// Macroscopic moments at point p. Requires natural_order().
   [[nodiscard]] Moments<real_t> moments_at(index_t p) const;
 
-  /// Total mass over the domain. Requires natural_order().
+  /// Total mass over the domain. Requires natural_order(). Parallel with
+  /// a fixed-block ordered reduction: the result is bit-stable across
+  /// thread counts.
   [[nodiscard]] real_t total_mass() const;
 
   /// Mean velocity magnitude over fluid points. Requires natural_order().
+  /// Same fixed-block ordered reduction as total_mass().
   [[nodiscard]] real_t mean_speed() const;
 
   /// Direct read of one distribution value (tests only).
   [[nodiscard]] real_t f_value(index_t p, index_t q) const;
 
-  /// Raw distribution array in the active layout (checkpointing).
-  [[nodiscard]] std::span<const T> raw_state() const noexcept { return f_; }
+  /// Distribution state in canonical order — original mesh point indices
+  /// under the active Layout — independent of the kernel path, so
+  /// checkpoints written by one path restore bit-exactly into the other.
+  [[nodiscard]] std::vector<T> export_state() const;
 
-  /// Restores a previously saved raw state and timestep. The span length
-  /// must equal num_points * kQ for the active layout.
+  /// Restores a state saved by export_state() (canonical order) and the
+  /// timestep. The span length must equal num_points * kQ.
   void restore_state(std::span<const T> state, index_t timestep);
 
  private:
@@ -100,6 +130,16 @@ class Solver {
     }
   }
 
+  /// Internal storage position of original mesh point p.
+  [[nodiscard]] index_t internal_pos(index_t p) const noexcept {
+    return seg_ ? seg_->position_of(p) : p;
+  }
+
+  /// Selects the kernel function pointers for the configured
+  /// path/layout/propagation (and, on the segmented path, LES mode).
+  void bind_kernels();
+
+  // Reference kernels: one fused loop over all points.
   template <Layout L>
   void step_ab();
   template <Layout L>
@@ -107,21 +147,57 @@ class Solver {
   template <Layout L>
   void step_aa_odd();
 
+  // Segmented kernels: branch-free RLE bulk segment + general boundary
+  // segment, both statically partitioned across threads.
+  template <Layout L, bool WithLes>
+  void seg_step_ab();
+  template <Layout L, bool WithLes>
+  void seg_step_aa_even();
+  template <Layout L, bool WithLes>
+  void seg_step_aa_odd();
+
+  template <Layout L, bool WithLes>
+  void seg_bulk_ab(index_t lo, index_t hi);
+  template <Layout L, bool WithLes>
+  void seg_bulk_aa_even(index_t lo, index_t hi);
+  template <Layout L, bool WithLes>
+  void seg_bulk_aa_odd(index_t lo, index_t hi);
+  template <Layout L>
+  void seg_boundary_ab(index_t lo, index_t hi);
+  template <Layout L>
+  void seg_boundary_aa_even(index_t lo, index_t hi);
+  template <Layout L>
+  void seg_boundary_aa_odd(index_t lo, index_t hi);
+
   /// Computes the post-collision (or boundary) values for point p given its
-  /// gathered arrivals g; writes them to out[0..18].
+  /// gathered arrivals g; writes them to out[0..18]. Reference path:
+  /// p is an original mesh index.
   void update_point(index_t p, const T* g, T* out) const;
+
+  /// Segmented-path boundary update: i is an internal position in
+  /// [bulk_count, n).
+  void update_boundary_point(index_t i, const T* g, T* out) const;
 
   const FluidMesh* mesh_;
   SolverParams params_;
   index_t n_ = 0;
   T omega_ = T{0};
+  T cs2_ = T{0};  ///< smagorinsky_cs^2 in storage precision
   index_t timestep_ = 0;
 
-  std::vector<T> f_;   // main array
+  /// Segment-reordered view (segmented path only).
+  std::unique_ptr<SegmentedMesh> seg_;
+
+  using StepFn = void (Solver::*)();
+  StepFn step_even_fn_ = nullptr;  ///< AB kernel, or AA even-parity kernel
+  StepFn step_odd_fn_ = nullptr;   ///< AA odd-parity kernel (AB: == even)
+
+  std::vector<T> f_;   // main array (internal point order)
   std::vector<T> f2_;  // second array (AB only)
 
-  // Per-point boundary targets: for kInlet the imposed velocity; unused
-  // otherwise. Stored densely for O(1) access in the kernels.
+  // Per-point boundary targets in internal point order: for kInlet the
+  // imposed velocity; unused otherwise. Stored densely for O(1) access in
+  // the kernels.
   std::vector<std::array<T, 3>> bc_velocity_;
   // Per-point pulsatile {amplitude, period}; zero for steady inlets.
   std::vector<std::array<T, 2>> bc_pulse_;

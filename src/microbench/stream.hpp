@@ -27,15 +27,27 @@ struct StreamResult {
 
 /// Runs STREAM on the host. `elements` is the per-array length (three
 /// arrays of doubles are allocated); `repetitions` timed sweeps are run and
-/// the best bandwidth is reported, as standard STREAM does.
+/// the best bandwidth is reported, as standard STREAM does. `threads`
+/// selects the OpenMP team size for the kernels (and for the first-touch
+/// initialization, so pages land on the threads that stream them); the
+/// default 1 keeps the historical serial measurement and is bit-identical
+/// to it. Values above 1 degrade to serial in a build without OpenMP.
 [[nodiscard]] StreamResult run_stream_local(index_t elements = 1 << 22,
-                                            index_t repetitions = 5);
+                                            index_t repetitions = 5,
+                                            index_t threads = 1);
 
 /// One point of a thread-count sweep.
 struct BandwidthSample {
   index_t threads = 0;
   real_t bandwidth_mbs = 0.0;
 };
+
+/// A real (executed, not simulated) COPY sweep over thread counts 1 to
+/// max_threads — the measured counterpart of simulated_stream_sweep(),
+/// giving the paper's Fig. 5 x-axis on the host itself.
+[[nodiscard]] std::vector<BandwidthSample> real_stream_sweep(
+    index_t max_threads, index_t elements = 1 << 22,
+    index_t repetitions = 3);
 
 /// A full sweep: one COPY measurement per thread count from 1 to
 /// max_threads (the paper's Fig. 5 x-axis). `sample` decorrelates repeats.

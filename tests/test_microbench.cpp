@@ -26,6 +26,28 @@ TEST(StreamLocal, RejectsTinyArrays) {
   EXPECT_THROW((void)run_stream_local(16, 1), PreconditionError);
 }
 
+TEST(StreamLocal, ThreadedModeReportsPositiveBandwidths) {
+  // threads > 1 exercises the OpenMP kernels (serial fallback in a build
+  // without OpenMP — either way the measurement must be sane).
+  const StreamResult r = run_stream_local(1 << 18, 2, 2);
+  EXPECT_GT(r.copy, 100.0);
+  EXPECT_GT(r.scale, 100.0);
+  EXPECT_GT(r.add, 100.0);
+  EXPECT_GT(r.triad, 100.0);
+}
+
+TEST(StreamLocal, RejectsZeroThreads) {
+  EXPECT_THROW((void)run_stream_local(1 << 18, 1, 0), PreconditionError);
+}
+
+TEST(StreamLocal, RealSweepCoversOneToMax) {
+  const auto sweep = real_stream_sweep(2, 1 << 16, 1);
+  ASSERT_EQ(sweep.size(), 2u);
+  EXPECT_EQ(sweep.front().threads, 1);
+  EXPECT_EQ(sweep.back().threads, 2);
+  for (const auto& s : sweep) EXPECT_GT(s.bandwidth_mbs, 0.0);
+}
+
 TEST(StreamSimulated, SweepCoversOneToMax) {
   const auto& p = cluster::instance_by_abbrev("CSP-2");
   const auto sweep = simulated_stream_sweep(p, 36);

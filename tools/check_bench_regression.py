@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Soft perf gate: compare a fresh BENCH_lbm.json against the committed baseline.
+
+Usage: check_bench_regression.py BASELINE CURRENT [--tolerance 0.40]
+
+For every kernel variant present in both files (keyed on propagation,
+layout, precision, path), fail if the current MFLUPS fell more than
+``tolerance`` below the baseline. The default 40% tolerance is deliberately
+loose: CI runners are shared and noisy, and the gate exists to catch
+order-of-magnitude hot-path regressions (a lost vectorization, an
+accidentally re-introduced branch), not small fluctuations. Speedups and
+variants missing from either file never fail the gate, but both are
+reported so baseline drift stays visible.
+
+Exit codes: 0 ok, 1 regression, 2 usage/format error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def variant_key(result):
+    return (
+        result["propagation"],
+        result["layout"],
+        result["precision"],
+        result["path"],
+    )
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"error: cannot read {path}: {exc}")
+    if doc.get("schema") != "hemo-bench-lbm/1":
+        sys.exit(f"error: {path}: unexpected schema {doc.get('schema')!r}")
+    return doc
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.40,
+                        help="allowed fractional MFLUPS drop (default 0.40)")
+    args = parser.parse_args()
+    if not 0.0 < args.tolerance < 1.0:
+        sys.exit("error: --tolerance must be in (0, 1)")
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    bgeo, cgeo = baseline["geometry"], current["geometry"]
+    if bgeo["name"] != cgeo["name"]:
+        sys.exit(
+            f"error: geometry mismatch: baseline={bgeo['name']} "
+            f"current={cgeo['name']}"
+        )
+    if baseline["config"].get("small") != current["config"].get("small"):
+        sys.exit("error: baseline and current use different geometry sizes")
+
+    base = {variant_key(r): r for r in baseline["results"]}
+    curr = {variant_key(r): r for r in current["results"]}
+
+    regressions = []
+    print(f"{'variant':<34} {'baseline':>10} {'current':>10} {'ratio':>7}")
+    for key in sorted(base):
+        name = "-".join(key)
+        if key not in curr:
+            print(f"{name:<34} {base[key]['mflups']:>10.2f} {'missing':>10}")
+            continue
+        b, c = base[key]["mflups"], curr[key]["mflups"]
+        ratio = c / b if b > 0 else float("inf")
+        flag = ""
+        if c < b * (1.0 - args.tolerance):
+            regressions.append((name, b, c))
+            flag = "  << REGRESSION"
+        print(f"{name:<34} {b:>10.2f} {c:>10.2f} {ratio:>7.2f}{flag}")
+    for key in sorted(set(curr) - set(base)):
+        print(f"{'-'.join(key):<34} {'missing':>10} "
+              f"{curr[key]['mflups']:>10.2f}   (new variant, not gated)")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} variant(s) regressed more than "
+              f"{args.tolerance:.0%} below the committed baseline:")
+        for name, b, c in regressions:
+            print(f"  {name}: {b:.2f} -> {c:.2f} MFLUPS")
+        return 1
+    print(f"\nOK: no variant regressed more than {args.tolerance:.0%}.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
