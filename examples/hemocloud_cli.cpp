@@ -10,6 +10,12 @@
 //       Evaluate all instances, print cost metrics and recommendations.
 //   hemocloud_cli simulate <geometry> <steps> [out.vtk]
 //       Run the real solver locally; optionally export the flow field.
+//   hemocloud_cli run <geometry> <steps> [--ranks N] [--rebalance]
+//       Run the threaded parallel runtime (src/runtime/) with real halo
+//       messaging, then characterize this host (STREAM + PingPong) and
+//       print the measured-vs-predicted per-rank table (Eq. 9 memory
+//       term, Eq. 12 communication term). --rebalance enables dynamic
+//       load rebalancing mid-run.
 //   hemocloud_cli schedule <geometry> <n_jobs> <timesteps> [seed] [--csv]
 //                          [--trace out.json] [--metrics out.jsonl]
 //       Run a model-driven campaign through the scheduler (src/sched/)
@@ -40,11 +46,14 @@
 #include "check/mutation.hpp"
 #include "check/oracles.hpp"
 #include "core/dashboard.hpp"
+#include "decomp/partition.hpp"
 #include "harvey/simulation.hpp"
 #include "lbm/io.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "runtime/parallel_solver.hpp"
+#include "runtime/validation.hpp"
 #include "sched/executor.hpp"
 #include "util/table.hpp"
 
@@ -198,6 +207,81 @@ int cmd_simulate(const std::string& geometry_name, index_t steps,
     lbm::write_vtk_file(solver, vtk_path);
     std::cout << "flow field written to " << vtk_path << "\n";
   }
+  return 0;
+}
+
+int cmd_run(const std::string& geometry_name, index_t steps, index_t ranks,
+            bool rebalance) {
+  HEMO_REQUIRE(steps > 0, "need at least one step");
+  HEMO_REQUIRE(ranks >= 1, "need at least one rank");
+  const auto geo = make_named_geometry(geometry_name);
+  const auto mesh = lbm::FluidMesh::build(geo.grid);
+  lbm::SolverParams params;
+  params.tau = 0.8;
+  const auto part =
+      decomp::make_partition(mesh, ranks, decomp::Strategy::kRcb);
+
+  runtime::RuntimeOptions options;
+  options.workload = geometry_name;
+  options.rebalance.enabled = rebalance;
+  runtime::ParallelSolver solver(mesh, part, params,
+                                 std::span(geo.inlets), options);
+  std::cout << geometry_name << ": " << mesh.num_points()
+            << " fluid points on " << ranks << " rank"
+            << (ranks == 1 ? "" : "s")
+            << (rebalance ? " (dynamic rebalancing on)" : "") << "\n";
+
+  const auto t0 = std::chrono::steady_clock::now();
+  solver.run(steps);
+  const real_t seconds =
+      std::chrono::duration<real_t>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::cout << steps << " steps in " << TextTable::num(seconds, 2)
+            << " s = "
+            << TextTable::num(lbm::mflups(mesh.num_points(), steps, seconds),
+                              2)
+            << " MFLUPS";
+  if (rebalance) {
+    std::cout << "; " << solver.rebalance_count() << " migration"
+              << (solver.rebalance_count() == 1 ? "" : "s");
+  }
+  std::cout << "\n";
+
+  // Close the measurement->model loop on this host: STREAM + PingPong
+  // characterization feeds the Eq. 9 / Eq. 12 predictions the per-rank
+  // wall-clock timings are compared against. Validate against the final
+  // partition — it is what the measured timings ran on last.
+  HEMO_LOG_INFO("characterizing host (STREAM + PingPong) ...");
+  const auto host = runtime::LocalHostModel::measure();
+  obs::MetricsRegistry registry;
+  registry.enable(true);
+  const auto report =
+      runtime::validate_run(mesh, solver.partition(), params.kernel, host,
+                            solver.timings(), geometry_name, registry);
+
+  TextTable t;
+  t.set_header({"rank", "points", "t_mem meas (us)", "t_mem model (us)",
+                "t_comm meas (us)", "t_comm model (us)", "step err"});
+  for (std::size_t r = 0; r < report.ranks.size(); ++r) {
+    const auto& v = report.ranks[r];
+    t.add_row(
+        {TextTable::num(static_cast<index_t>(r)),
+         TextTable::num(
+             static_cast<index_t>(solver.partition().points_of[r].size())),
+         TextTable::num(v.measured_mem_s * 1e6, 1),
+         TextTable::num(v.predicted.t_mem_s * 1e6, 1),
+         TextTable::num(v.measured_comm_s * 1e6, 1),
+         TextTable::num(v.predicted.t_comm_s * 1e6, 1),
+         TextTable::num(v.step_rel_error * 100.0, 1) + "%"});
+  }
+  t.print(std::cout);
+  std::cout << "step time: measured "
+            << TextTable::num(report.measured_step_s * 1e6, 1)
+            << " us, model "
+            << TextTable::num(report.predicted_step_s * 1e6, 1)
+            << " us; MFLUPS: measured "
+            << TextTable::num(report.measured_mflups, 2) << ", model "
+            << TextTable::num(report.predicted_mflups, 2) << "\n";
   return 0;
 }
 
@@ -388,6 +472,8 @@ int usage() {
             << "  hemocloud_cli predict <geometry> <instance> <ranks>\n"
             << "  hemocloud_cli dashboard <geometry> <timesteps>\n"
             << "  hemocloud_cli simulate <geometry> <steps> [out.vtk]\n"
+            << "  hemocloud_cli run <geometry> <steps> [--ranks N] "
+               "[--rebalance]\n"
             << "  hemocloud_cli schedule <geometry> <n_jobs> <timesteps> "
                "[seed] [--csv]\n"
             << "                         [--trace out.json] "
@@ -414,6 +500,21 @@ int main(int argc, char** argv) {
     if (cmd == "simulate" && (argc == 4 || argc == 5)) {
       return cmd_simulate(argv[2], std::atol(argv[3]),
                           argc == 5 ? argv[4] : "");
+    }
+    if (cmd == "run" && argc >= 4 && argc <= 7) {
+      hemo::index_t ranks = 4;
+      bool rebalance = false;
+      for (int i = 4; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--ranks" && i + 1 < argc) {
+          ranks = std::atol(argv[++i]);
+        } else if (arg == "--rebalance") {
+          rebalance = true;
+        } else {
+          return usage();
+        }
+      }
+      return cmd_run(argv[2], std::atol(argv[3]), ranks, rebalance);
     }
     if (cmd == "schedule" && argc >= 5 && argc <= 11) {
       bool csv = false;

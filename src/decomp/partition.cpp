@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <iterator>
 #include <numeric>
 
 #include "lbm/access_counts.hpp"
@@ -221,6 +222,46 @@ Partition make_partition(const lbm::FluidMesh& mesh, index_t n_tasks,
     case Strategy::kSlab: task_of = assign_slab(mesh, n_tasks); break;
   }
   return finalize(mesh, n_tasks, std::move(task_of));
+}
+
+Partition migrate_block(const Partition& partition, std::int32_t from,
+                        std::int32_t to, index_t count) {
+  HEMO_REQUIRE(from >= 0 && static_cast<index_t>(from) < partition.n_tasks,
+               "migrate_block: source task out of range");
+  HEMO_REQUIRE(to >= 0 && static_cast<index_t>(to) < partition.n_tasks,
+               "migrate_block: destination task out of range");
+  HEMO_REQUIRE(from != to, "migrate_block: source equals destination");
+  const auto& src = partition.points_of[static_cast<std::size_t>(from)];
+  HEMO_REQUIRE(count >= 1 && count < static_cast<index_t>(src.size()),
+               "migrate_block: count must leave the source task non-empty");
+
+  // Pick the end of `from`'s ascending range that faces `to`'s points:
+  // the top end when `to` sits above `from` in global-point order.
+  const auto& dst = partition.points_of[static_cast<std::size_t>(to)];
+  const bool to_is_above = dst.empty() || dst.front() > src.back() ||
+                           (dst.back() > src.back() && dst.front() > src.front());
+
+  Partition next = partition;
+  auto& next_src = next.points_of[static_cast<std::size_t>(from)];
+  auto& next_dst = next.points_of[static_cast<std::size_t>(to)];
+  std::vector<index_t> moved;
+  moved.reserve(static_cast<std::size_t>(count));
+  if (to_is_above) {
+    moved.assign(next_src.end() - count, next_src.end());
+    next_src.erase(next_src.end() - count, next_src.end());
+  } else {
+    moved.assign(next_src.begin(), next_src.begin() + count);
+    next_src.erase(next_src.begin(), next_src.begin() + count);
+  }
+  for (index_t p : moved) {
+    next.task_of[static_cast<std::size_t>(p)] = to;
+  }
+  std::vector<index_t> merged;
+  merged.reserve(next_dst.size() + moved.size());
+  std::merge(next_dst.begin(), next_dst.end(), moved.begin(), moved.end(),
+             std::back_inserter(merged));
+  next_dst = std::move(merged);
+  return next;
 }
 
 std::vector<real_t> task_bytes_per_step(const lbm::FluidMesh& mesh,

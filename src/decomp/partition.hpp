@@ -47,6 +47,19 @@ enum class Strategy {
 [[nodiscard]] Partition make_partition(const lbm::FluidMesh& mesh,
                                        index_t n_tasks, Strategy strategy);
 
+/// Moves a contiguous block of `count` points (contiguous in the
+/// canonical ascending global-point order that `points_of` maintains) from
+/// task `from` to task `to`: the end of `from`'s range that faces `to`'s
+/// points — the top end when `to`'s points lie above `from`'s, the bottom
+/// end otherwise. This is the dynamic-rebalancing primitive: the runtime
+/// migrates blocks between adjacent ranks when measured imbalance drifts,
+/// and because the edit only reassigns ownership the migrated state is
+/// bit-identical to an unmigrated run. Requires from != to and
+/// 1 <= count < points(from) (a migration never empties a task).
+[[nodiscard]] Partition migrate_block(const Partition& partition,
+                                      std::int32_t from, std::int32_t to,
+                                      index_t count);
+
 /// Measured load-imbalance factor z for a partition under a kernel config:
 /// max_j(bytes_j) / (serial_bytes / n_tasks) — the quantity Eq. 11 models.
 [[nodiscard]] real_t measured_imbalance(const lbm::FluidMesh& mesh,

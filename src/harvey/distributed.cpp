@@ -1,218 +1,80 @@
 #include "harvey/distributed.hpp"
 
-#include <algorithm>
-#include <map>
-
 #include "lbm/point_update.hpp"
 
 namespace hemo::harvey {
 
 using lbm::kQ;
-using lbm::kSolidLink;
-using lbm::opposite;
 
 DistributedSolver::DistributedSolver(
     const lbm::FluidMesh& mesh, const decomp::Partition& partition,
     const lbm::SolverParams& params,
     std::span<const geometry::InletSpec> inlets)
-    : mesh_(&mesh), partition_(&partition), params_(params) {
+    : mesh_(&mesh), params_(params) {
   HEMO_REQUIRE(params.kernel.propagation == lbm::Propagation::kAB &&
                    params.kernel.layout == lbm::Layout::kAoS,
                "DistributedSolver supports the AB + AoS configuration");
   HEMO_REQUIRE(params.tau > 0.5, "tau must exceed 0.5");
-  omega_ = 1.0 / params.tau;
   bc_velocity_ = lbm::inlet_velocities<double>(mesh, inlets);
   bc_pulse_ = lbm::inlet_pulse_params<double>(mesh, inlets);
+
+  ctx_.mesh = mesh_;
+  ctx_.omega = 1.0 / params.tau;
+  ctx_.smagorinsky_cs2 = params.smagorinsky_cs * params.smagorinsky_cs;
   for (std::size_t d = 0; d < 3; ++d) {
-    force_shift_[d] = params.tau * params.body_force[d];
+    ctx_.force_shift[d] = params.tau * params.body_force[d];
   }
+  ctx_.bc_velocity = &bc_velocity_;
+  ctx_.bc_pulse = &bc_pulse_;
+  ctx_.segmented = params.kernel.path == lbm::KernelPath::kSegmented;
 
-  const index_t n_points = mesh.num_points();
-  owner_task_.assign(static_cast<std::size_t>(n_points), 0);
-  owner_slot_.assign(static_cast<std::size_t>(n_points), 0);
-
-  tasks_.resize(static_cast<std::size_t>(partition.n_tasks));
-  for (index_t t = 0; t < partition.n_tasks; ++t) {
-    Task& task = tasks_[static_cast<std::size_t>(t)];
-    task.local_points = partition.points_of[static_cast<std::size_t>(t)];
-    for (index_t i = 0; i < static_cast<index_t>(task.local_points.size());
-         ++i) {
-      const index_t p = task.local_points[static_cast<std::size_t>(i)];
-      owner_task_[static_cast<std::size_t>(p)] = static_cast<std::int32_t>(t);
-      owner_slot_[static_cast<std::size_t>(p)] = static_cast<std::int32_t>(i);
-    }
-  }
-
-  // Ghost discovery + local neighbor tables.
-  for (index_t t = 0; t < partition.n_tasks; ++t) {
-    Task& task = tasks_[static_cast<std::size_t>(t)];
-    const index_t nl = static_cast<index_t>(task.local_points.size());
-
-    // Collect remote neighbors (any direction; the pull gather touches all
-    // 18 upstream neighbors, which is the same set).
-    std::vector<index_t> ghosts;
-    for (index_t p : task.local_points) {
-      for (index_t q = 1; q < kQ; ++q) {
-        const std::int32_t nb = mesh.neighbor(p, q);
-        if (nb == kSolidLink) continue;
-        if (partition.task_of[static_cast<std::size_t>(nb)] !=
-            static_cast<std::int32_t>(t)) {
-          ghosts.push_back(nb);
-        }
-      }
-    }
-    std::sort(ghosts.begin(), ghosts.end());
-    ghosts.erase(std::unique(ghosts.begin(), ghosts.end()), ghosts.end());
-    task.ghost_points = std::move(ghosts);
-    n_ghosts_ += static_cast<index_t>(task.ghost_points.size());
-
-    // Map: global id -> local slot for this task.
-    auto local_slot = [&](index_t global) -> std::int32_t {
-      if (owner_task_[static_cast<std::size_t>(global)] ==
-          static_cast<std::int32_t>(t)) {
-        return owner_slot_[static_cast<std::size_t>(global)];
-      }
-      const auto it = std::lower_bound(task.ghost_points.begin(),
-                                       task.ghost_points.end(), global);
-      return static_cast<std::int32_t>(
-          nl + (it - task.ghost_points.begin()));
-    };
-
-    task.neighbors.assign(static_cast<std::size_t>(nl * kQ), kSolidLink);
-    for (index_t i = 0; i < nl; ++i) {
-      const index_t p = task.local_points[static_cast<std::size_t>(i)];
-      for (index_t q = 0; q < kQ; ++q) {
-        const std::int32_t nb = mesh.neighbor(p, q);
-        if (nb != kSolidLink) {
-          task.neighbors[static_cast<std::size_t>(i * kQ + q)] =
-              local_slot(nb);
-        }
-      }
-    }
-
-    const index_t total =
-        nl + static_cast<index_t>(task.ghost_points.size());
-    task.f.assign(static_cast<std::size_t>(total * kQ), 0.0);
-    task.f2.assign(static_cast<std::size_t>(total * kQ), 0.0);
+  topo_ = build_halo_exchange(mesh, partition);
+  tasks_.resize(topo_.ranks.size());
+  for (std::size_t t = 0; t < topo_.ranks.size(); ++t) {
+    const index_t total = topo_.ranks[t].total_slots();
+    tasks_[t].f.assign(static_cast<std::size_t>(total * kQ), 0.0);
+    tasks_[t].f2.assign(static_cast<std::size_t>(total * kQ), 0.0);
     for (index_t s = 0; s < total; ++s) {
       for (index_t q = 0; q < kQ; ++q) {
-        task.f[static_cast<std::size_t>(s * kQ + q)] =
+        tasks_[t].f[static_cast<std::size_t>(s * kQ + q)] =
             lbm::equilibrium<double>(q, 1.0, 0.0, 0.0, 0.0);
       }
     }
   }
-
-  // Build the halo channels: one directed message per (owner, receiver)
-  // pair that shares ghosts, with pack/unpack slot lists in the
-  // receiver's deterministic ghost order.
-  std::map<std::pair<std::int32_t, std::int32_t>, index_t> channel_index;
-  for (index_t t = 0; t < partition.n_tasks; ++t) {
-    const Task& task = tasks_[static_cast<std::size_t>(t)];
-    const index_t nl = static_cast<index_t>(task.local_points.size());
-    for (index_t g = 0;
-         g < static_cast<index_t>(task.ghost_points.size()); ++g) {
-      const index_t global = task.ghost_points[static_cast<std::size_t>(g)];
-      const std::int32_t owner =
-          owner_task_[static_cast<std::size_t>(global)];
-      const auto key =
-          std::make_pair(owner, static_cast<std::int32_t>(t));
-      auto it = channel_index.find(key);
-      if (it == channel_index.end()) {
-        it = channel_index
-                 .emplace(key, static_cast<index_t>(channels_.size()))
-                 .first;
-        channels_.push_back(HaloChannel{owner,
-                                        static_cast<std::int32_t>(t),
-                                        {},
-                                        {},
-                                        {}});
-      }
-      HaloChannel& channel =
-          channels_[static_cast<std::size_t>(it->second)];
-      channel.src_slots.push_back(
-          owner_slot_[static_cast<std::size_t>(global)]);
-      channel.dst_slots.push_back(static_cast<std::int32_t>(nl + g));
-    }
+  buffers_.resize(topo_.channels.size());
+  for (std::size_t c = 0; c < topo_.channels.size(); ++c) {
+    buffers_[c].assign(
+        static_cast<std::size_t>(topo_.channels[c].payload_values()), 0.0);
   }
-  for (HaloChannel& channel : channels_) {
-    channel.buffer.assign(channel.src_slots.size() *
-                              static_cast<std::size_t>(kQ),
-                          0.0);
-  }
-}
-
-real_t DistributedSolver::bytes_per_exchange() const {
-  real_t bytes = 0.0;
-  for (const HaloChannel& channel : channels_) {
-    bytes += static_cast<real_t>(channel.buffer.size() * sizeof(double));
-  }
-  return bytes;
 }
 
 void DistributedSolver::exchange_ghosts() {
   // Phase 1 — every owner packs ("sends") its channels' payloads. All
   // packs complete before any unpack, exactly like posting MPI sends
   // before the matching receives complete.
-  for (HaloChannel& channel : channels_) {
-    const Task& owner = tasks_[static_cast<std::size_t>(channel.from)];
-    for (std::size_t i = 0; i < channel.src_slots.size(); ++i) {
-      const auto src = static_cast<std::size_t>(channel.src_slots[i]);
-      for (index_t q = 0; q < kQ; ++q) {
-        channel.buffer[i * static_cast<std::size_t>(kQ) +
-                       static_cast<std::size_t>(q)] =
-            owner.f[src * static_cast<std::size_t>(kQ) +
-                    static_cast<std::size_t>(q)];
-      }
-    }
+  for (std::size_t c = 0; c < topo_.channels.size(); ++c) {
+    const HaloChannel& channel = topo_.channels[c];
+    pack_channel(channel, tasks_[static_cast<std::size_t>(channel.from)].f,
+                 buffers_[c]);
   }
   // Phase 2 — every receiver unpacks into its ghost rows.
-  for (const HaloChannel& channel : channels_) {
-    Task& receiver = tasks_[static_cast<std::size_t>(channel.to)];
-    for (std::size_t i = 0; i < channel.dst_slots.size(); ++i) {
-      const auto dst = static_cast<std::size_t>(channel.dst_slots[i]);
-      for (index_t q = 0; q < kQ; ++q) {
-        receiver.f[dst * static_cast<std::size_t>(kQ) +
-                   static_cast<std::size_t>(q)] =
-            channel.buffer[i * static_cast<std::size_t>(kQ) +
-                           static_cast<std::size_t>(q)];
-      }
-    }
-  }
-}
-
-void DistributedSolver::local_update(Task& task) {
-  double g[kQ], out[kQ];
-  const index_t nl = static_cast<index_t>(task.local_points.size());
-  for (index_t i = 0; i < nl; ++i) {
-    const index_t p = task.local_points[static_cast<std::size_t>(i)];
-    for (index_t q = 0; q < kQ; ++q) {
-      const std::int32_t nb =
-          task.neighbors[static_cast<std::size_t>(i * kQ + opposite(q))];
-      g[q] = nb != kSolidLink
-                 ? task.f[static_cast<std::size_t>(
-                       static_cast<index_t>(nb) * kQ + q)]
-                 : task.f[static_cast<std::size_t>(i * kQ + opposite(q))];
-    }
-    std::array<double, 3> bc = bc_velocity_[static_cast<std::size_t>(p)];
-    const auto& pulse = bc_pulse_[static_cast<std::size_t>(p)];
-    if (pulse[0] != 0.0) {
-      const double scale =
-          lbm::pulse_scale<double>(pulse[0], pulse[1], timestep_);
-      for (auto& component : bc) component *= scale;
-    }
-    lbm::update_point_values<double>(
-        mesh_->type(p), g, out, omega_, bc, force_shift_,
-        params_.smagorinsky_cs * params_.smagorinsky_cs);
-    for (index_t q = 0; q < kQ; ++q) {
-      task.f2[static_cast<std::size_t>(i * kQ + q)] = out[q];
-    }
+  for (std::size_t c = 0; c < topo_.channels.size(); ++c) {
+    const HaloChannel& channel = topo_.channels[c];
+    unpack_channel(channel, buffers_[c],
+                   tasks_[static_cast<std::size_t>(channel.to)].f);
   }
 }
 
 void DistributedSolver::step() {
   exchange_ghosts();
-  for (Task& task : tasks_) local_update(task);
-  for (Task& task : tasks_) task.f.swap(task.f2);
+  for (std::size_t t = 0; t < topo_.ranks.size(); ++t) {
+    const RankLayout& layout = topo_.ranks[t];
+    update_rank_slots(ctx_, layout, layout.interior_slots, timestep_,
+                      tasks_[t].f.data(), tasks_[t].f2.data());
+    update_rank_slots(ctx_, layout, layout.frontier_slots, timestep_,
+                      tasks_[t].f.data(), tasks_[t].f2.data());
+  }
+  for (TaskState& task : tasks_) task.f.swap(task.f2);
   ++timestep_;
 }
 
@@ -224,10 +86,10 @@ void DistributedSolver::run(index_t n) {
 lbm::Moments<real_t> DistributedSolver::moments_at(index_t global_point) const {
   HEMO_REQUIRE(global_point >= 0 && global_point < mesh_->num_points(),
                "point index out of range");
-  const Task& task = tasks_[static_cast<std::size_t>(
-      owner_task_[static_cast<std::size_t>(global_point)])];
+  const TaskState& task = tasks_[static_cast<std::size_t>(
+      topo_.owner_task[static_cast<std::size_t>(global_point)])];
   const index_t s = static_cast<index_t>(
-      owner_slot_[static_cast<std::size_t>(global_point)]);
+      topo_.owner_slot[static_cast<std::size_t>(global_point)]);
   std::array<double, kQ> g;
   for (index_t q = 0; q < kQ; ++q) {
     g[static_cast<std::size_t>(q)] =
@@ -239,10 +101,10 @@ lbm::Moments<real_t> DistributedSolver::moments_at(index_t global_point) const {
 
 real_t DistributedSolver::total_mass() const {
   real_t mass = 0.0;
-  for (const Task& task : tasks_) {
-    const index_t nl = static_cast<index_t>(task.local_points.size());
+  for (std::size_t t = 0; t < topo_.ranks.size(); ++t) {
+    const index_t nl = topo_.ranks[t].num_local();
     for (index_t i = 0; i < nl * kQ; ++i) {
-      mass += task.f[static_cast<std::size_t>(i)];
+      mass += tasks_[t].f[static_cast<std::size_t>(i)];
     }
   }
   return mass;

@@ -2,17 +2,23 @@
 //
 // Each task owns its partition's fluid points and a private distribution
 // array covering local points plus ghost copies of remote upstream
-// neighbors. A step is: (1) halo exchange — every task copies its ghosts'
-// current post-collision values out of the owners' arrays (the stand-in
-// for MPI point-to-point messages); (2) local fused stream/collide into the
-// back buffer; (3) global swap. This mirrors how HARVEY runs under MPI and
-// must reproduce the serial solver bit-for-bit — the integration tests
-// assert exactly that, which validates the communication-graph counting
-// the performance models rely on.
+// neighbors. A step is: (1) halo exchange — every channel is packed out of
+// the owner's array into its message buffer, then every buffer is unpacked
+// into the receiver's ghost rows (the serial stand-in for MPI
+// point-to-point messages; the threaded runtime::ParallelSolver runs the
+// same channels through epoch-stamped mailboxes); (2) local fused
+// stream/collide into the back buffer; (3) global swap. This mirrors how
+// HARVEY runs under MPI and must reproduce the serial solver bit-for-bit —
+// the integration tests assert exactly that, which validates the
+// communication-graph counting the performance models rely on.
 //
-// Only the AB + AoS + double configuration is supported: it is the
-// production configuration, and one bitwise-verified path is enough to
-// validate the halo semantics used by the plans.
+// Supported configurations: AB + AoS + double on either kernel path.
+//  * KernelPath::kReference — every point takes the general gather +
+//    type-dispatch update.
+//  * KernelPath::kSegmented — bulk-interior points (kBulk, zero solid
+//    links) take the branch-free update_interior_values fast path, the
+//    same bulk/boundary split the serial segmented kernels and the
+//    parallel runtime's overlap scheme use. Both paths are bit-identical.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +26,7 @@
 
 #include "decomp/partition.hpp"
 #include "geometry/generators.hpp"
+#include "harvey/halo.hpp"
 #include "lbm/mesh.hpp"
 #include "lbm/solver.hpp"
 #include "util/common.hpp"
@@ -30,7 +37,7 @@ namespace hemo::harvey {
 class DistributedSolver {
  public:
   /// The mesh and partition must outlive the solver. `params.kernel` must
-  /// be AB + AoS + double.
+  /// be AB + AoS (either kernel path).
   DistributedSolver(const lbm::FluidMesh& mesh,
                     const decomp::Partition& partition,
                     const lbm::SolverParams& params,
@@ -51,58 +58,41 @@ class DistributedSolver {
 
   /// Total halo values copied per step (diagnostics; matches the comm
   /// graph's link totals when ghosts are stored per-direction).
-  [[nodiscard]] index_t ghost_count() const noexcept { return n_ghosts_; }
+  [[nodiscard]] index_t ghost_count() const noexcept {
+    return topo_.n_ghosts;
+  }
 
   /// Number of point-to-point halo channels (directed task pairs that
   /// exchange a message every step) — comparable to the communication
   /// graph's message count.
   [[nodiscard]] index_t channel_count() const noexcept {
-    return static_cast<index_t>(channels_.size());
+    return topo_.channel_count();
   }
 
   /// Total bytes moved through halo messages per step (whole-row ghosts:
   /// an upper bound on the comm graph's per-link byte count).
-  [[nodiscard]] real_t bytes_per_exchange() const;
+  [[nodiscard]] real_t bytes_per_exchange() const {
+    return topo_.bytes_per_exchange();
+  }
 
  private:
-  struct Task {
-    std::vector<index_t> local_points;   ///< global ids of owned points
-    std::vector<index_t> ghost_points;   ///< global ids of ghost points
-    // Local neighbor table: for each owned point and direction, the local
-    // slot (owned first, ghosts after) or kSolidLink.
-    std::vector<std::int32_t> neighbors;
-    std::vector<double> f, f2;  ///< (owned + ghosts) * kQ, AoS
-  };
-
-  /// One directed per-step halo message: the owner packs the listed local
-  /// rows into the buffer ("send"), the receiver unpacks them into its
-  /// ghost rows ("recv"). This mirrors MPI point-to-point halo exchange.
-  struct HaloChannel {
-    std::int32_t from = 0;  ///< owner task
-    std::int32_t to = 0;    ///< receiver task
-    std::vector<std::int32_t> src_slots;  ///< owner-local point slots
-    std::vector<std::int32_t> dst_slots;  ///< receiver-local ghost slots
-    std::vector<double> buffer;           ///< packed payload
-  };
-
   void exchange_ghosts();
-  void local_update(Task& task);
 
   const lbm::FluidMesh* mesh_;
-  const decomp::Partition* partition_;
   lbm::SolverParams params_;
-  double omega_ = 0.0;
   index_t timestep_ = 0;
-  index_t n_ghosts_ = 0;
 
-  std::vector<Task> tasks_;
-  std::vector<HaloChannel> channels_;
-  // Where each global point lives: (task, local slot).
-  std::vector<std::int32_t> owner_task_;
-  std::vector<std::int32_t> owner_slot_;
+  HaloExchange topo_;
+  /// Per-rank distribution arrays, (owned + ghosts) * kQ, AoS.
+  struct TaskState {
+    std::vector<double> f, f2;
+  };
+  std::vector<TaskState> tasks_;
+  std::vector<std::vector<double>> buffers_;  ///< per channel
+
+  RankStepContext ctx_;
   std::vector<std::array<double, 3>> bc_velocity_;
   std::vector<std::array<double, 2>> bc_pulse_;
-  std::array<double, 3> force_shift_ = {0.0, 0.0, 0.0};
 };
 
 }  // namespace hemo::harvey

@@ -1,0 +1,318 @@
+#include "runtime/parallel_solver.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "lbm/point_update.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace hemo::runtime {
+
+using lbm::kQ;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+real_t seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<real_t>(b - a).count();
+}
+
+}  // namespace
+
+/// noexcept callable the barrier runs on phase completion (while every
+/// rank thread is parked inside the barrier).
+struct EpochCallback {
+  ParallelSolver* solver;
+  void operator()() noexcept { solver->on_epoch(); }
+};
+
+ParallelSolver::ParallelSolver(const lbm::FluidMesh& mesh,
+                               const decomp::Partition& partition,
+                               const lbm::SolverParams& params,
+                               std::span<const geometry::InletSpec> inlets,
+                               RuntimeOptions options)
+    : mesh_(&mesh),
+      partition_(partition),
+      options_(std::move(options)),
+      controller_(options_.rebalance) {
+  HEMO_REQUIRE(params.kernel.propagation == lbm::Propagation::kAB &&
+                   params.kernel.layout == lbm::Layout::kAoS &&
+                   params.kernel.precision == lbm::Precision::kDouble,
+               "ParallelSolver supports the AB + AoS + double configuration");
+  HEMO_REQUIRE(params.tau > 0.5, "tau must exceed 0.5");
+  bc_velocity_ = lbm::inlet_velocities<double>(mesh, inlets);
+  bc_pulse_ = lbm::inlet_pulse_params<double>(mesh, inlets);
+
+  ctx_.mesh = mesh_;
+  ctx_.omega = 1.0 / params.tau;
+  ctx_.smagorinsky_cs2 = params.smagorinsky_cs * params.smagorinsky_cs;
+  for (std::size_t d = 0; d < 3; ++d) {
+    ctx_.force_shift[d] = params.tau * params.body_force[d];
+  }
+  ctx_.bc_velocity = &bc_velocity_;
+  ctx_.bc_pulse = &bc_pulse_;
+  ctx_.segmented = params.kernel.path == lbm::KernelPath::kSegmented;
+
+  build_runtime_structures();
+  for (std::size_t r = 0; r < states_.size(); ++r) {
+    const index_t total = topo_.ranks[r].total_slots();
+    for (index_t s = 0; s < total; ++s) {
+      for (index_t q = 0; q < kQ; ++q) {
+        states_[r].f[static_cast<std::size_t>(s * kQ + q)] =
+            lbm::equilibrium<double>(q, 1.0, 0.0, 0.0, 0.0);
+      }
+    }
+  }
+  timings_.assign(states_.size(), RankTimings{});
+  window_start_busy_.assign(states_.size(), 0.0);
+}
+
+ParallelSolver::~ParallelSolver() = default;
+
+void ParallelSolver::build_runtime_structures() {
+  topo_ = harvey::build_halo_exchange(*mesh_, partition_);
+  const std::size_t n_ranks = topo_.ranks.size();
+
+  states_.resize(n_ranks);
+  for (std::size_t r = 0; r < n_ranks; ++r) {
+    const auto total =
+        static_cast<std::size_t>(topo_.ranks[r].total_slots() * kQ);
+    states_[r].f.assign(total, 0.0);
+    states_[r].f2.assign(total, 0.0);
+  }
+
+  mailboxes_.clear();
+  out_channels_.assign(n_ranks, {});
+  in_channels_.assign(n_ranks, {});
+  neighbors_of_.assign(n_ranks, {});
+  for (std::size_t c = 0; c < topo_.channels.size(); ++c) {
+    const harvey::HaloChannel& channel = topo_.channels[c];
+    auto box = std::make_unique<Mailbox>();
+    box->channel = static_cast<index_t>(c);
+    box->buffer.assign(static_cast<std::size_t>(channel.payload_values()),
+                       0.0);
+    // A fresh mailbox carries the current epoch so the first await after a
+    // mid-run rebuild still sees seq < t + 1 until the owner publishes.
+    box->seq.store(timestep_, std::memory_order_relaxed);
+    mailboxes_.push_back(std::move(box));
+    out_channels_[static_cast<std::size_t>(channel.from)].push_back(
+        static_cast<index_t>(c));
+    in_channels_[static_cast<std::size_t>(channel.to)].push_back(
+        static_cast<index_t>(c));
+    neighbors_of_[static_cast<std::size_t>(channel.from)].push_back(
+        channel.to);
+  }
+}
+
+std::vector<double> ParallelSolver::gather_state() const {
+  std::vector<double> state(
+      static_cast<std::size_t>(mesh_->num_points() * kQ));
+  for (std::size_t r = 0; r < states_.size(); ++r) {
+    const harvey::RankLayout& layout = topo_.ranks[r];
+    for (index_t i = 0; i < layout.num_local(); ++i) {
+      const index_t p = layout.local_points[static_cast<std::size_t>(i)];
+      for (index_t q = 0; q < kQ; ++q) {
+        state[static_cast<std::size_t>(p * kQ + q)] =
+            states_[r].f[static_cast<std::size_t>(i * kQ + q)];
+      }
+    }
+  }
+  return state;
+}
+
+void ParallelSolver::scatter_state(std::span<const double> state) {
+  for (std::size_t r = 0; r < states_.size(); ++r) {
+    const harvey::RankLayout& layout = topo_.ranks[r];
+    for (index_t i = 0; i < layout.num_local(); ++i) {
+      const index_t p = layout.local_points[static_cast<std::size_t>(i)];
+      for (index_t q = 0; q < kQ; ++q) {
+        states_[r].f[static_cast<std::size_t>(i * kQ + q)] =
+            state[static_cast<std::size_t>(p * kQ + q)];
+      }
+    }
+  }
+}
+
+std::vector<double> ParallelSolver::export_state() const {
+  return gather_state();
+}
+
+void ParallelSolver::restore_state(std::span<const double> state,
+                                   index_t timestep) {
+  HEMO_REQUIRE(static_cast<index_t>(state.size()) ==
+                   mesh_->num_points() * kQ,
+               "restore_state: state size must be num_points * kQ");
+  HEMO_REQUIRE(timestep >= 0, "restore_state: negative timestep");
+  scatter_state(state);
+  timestep_ = timestep;
+  for (auto& box : mailboxes_) {
+    box->seq.store(timestep_, std::memory_order_relaxed);
+  }
+}
+
+void ParallelSolver::rank_step(std::size_t r, index_t t) {
+  RankState& rank = states_[r];
+  const harvey::RankLayout& layout = topo_.ranks[r];
+  RankTimings& timing = timings_[r];
+
+  const auto t0 = Clock::now();
+  for (const index_t c : out_channels_[r]) {
+    Mailbox& box = *mailboxes_[static_cast<std::size_t>(c)];
+    harvey::pack_channel(topo_.channels[static_cast<std::size_t>(box.channel)],
+                         rank.f, box.buffer);
+    box.seq.store(t + 1, std::memory_order_release);
+  }
+  const auto t1 = Clock::now();
+
+  // Interior overlap window: no slot here gathers from a ghost row, so
+  // this compute proceeds while neighbor ranks are still publishing.
+  harvey::update_rank_slots(ctx_, layout, layout.interior_slots, t,
+                            rank.f.data(), rank.f2.data());
+  const auto t2 = Clock::now();
+
+  real_t wait_s = 0.0, unpack_s = 0.0;
+  for (const index_t c : in_channels_[r]) {
+    Mailbox& box = *mailboxes_[static_cast<std::size_t>(c)];
+    const auto w0 = Clock::now();
+    while (box.seq.load(std::memory_order_acquire) < t + 1) {
+      std::this_thread::yield();
+    }
+    const auto w1 = Clock::now();
+    harvey::unpack_channel(
+        topo_.channels[static_cast<std::size_t>(box.channel)], box.buffer,
+        rank.f);
+    const auto w2 = Clock::now();
+    wait_s += seconds_between(w0, w1);
+    unpack_s += seconds_between(w1, w2);
+  }
+  const auto t3 = Clock::now();
+
+  harvey::update_rank_slots(ctx_, layout, layout.frontier_slots, t,
+                            rank.f.data(), rank.f2.data());
+  const auto t4 = Clock::now();
+
+  rank.f.swap(rank.f2);
+
+  ++timing.steps;
+  timing.pack_s += seconds_between(t0, t1);
+  timing.mem_s += seconds_between(t1, t2) + seconds_between(t3, t4);
+  timing.wait_s += wait_s;
+  timing.unpack_s += unpack_s;
+}
+
+void ParallelSolver::on_epoch() noexcept {
+  ++timestep_;
+  ++window_steps_;
+  if (window_steps_ < options_.rebalance.window) return;
+  window_steps_ = 0;
+
+  std::vector<real_t> window_busy(states_.size(), 0.0);
+  for (std::size_t r = 0; r < states_.size(); ++r) {
+    window_busy[r] = timings_[r].busy_s() - window_start_busy_[r];
+    window_start_busy_[r] = timings_[r].busy_s();
+  }
+
+  auto& registry = obs::MetricsRegistry::global();
+  real_t max_busy = 0.0, sum_busy = 0.0;
+  for (std::size_t r = 0; r < states_.size(); ++r) {
+    registry.observe("runtime_window_busy_seconds", window_busy[r],
+                     {{"workload", options_.workload},
+                      {"rank", std::to_string(r)}});
+    max_busy = std::max(max_busy, window_busy[r]);
+    sum_busy += window_busy[r];
+  }
+  const real_t mean_busy = sum_busy / static_cast<real_t>(states_.size());
+  registry.set("runtime_measured_imbalance",
+               mean_busy > 0.0 ? max_busy / mean_busy : 1.0,
+               {{"workload", options_.workload}});
+  registry.add("runtime_windows_total", 1.0,
+               {{"workload", options_.workload}});
+
+  const auto plan =
+      controller_.observe_window(window_busy, partition_, neighbors_of_);
+  if (plan) {
+    apply_migration(*plan);
+    registry.add("runtime_migrations_total", 1.0,
+                 {{"workload", options_.workload}});
+    HEMO_LOG_INFO("runtime rebalance: moved %td points from rank %d to "
+                  "rank %d at step %td",
+                  plan->count, plan->from, plan->to, timestep_);
+  }
+}
+
+void ParallelSolver::apply_migration(const MigrationPlan& plan) {
+  const std::vector<double> state = gather_state();
+  partition_ = decomp::migrate_block(partition_, plan.from, plan.to,
+                                     plan.count);
+  build_runtime_structures();
+  scatter_state(state);
+  ++rebalance_count_;
+}
+
+void ParallelSolver::request_migration(std::int32_t from, std::int32_t to,
+                                       index_t count) {
+  apply_migration(MigrationPlan{from, to, count});
+}
+
+void ParallelSolver::run(index_t n) {
+  HEMO_REQUIRE(n >= 0, "negative step count");
+  if (n == 0) return;
+  const auto n_ranks = static_cast<std::ptrdiff_t>(states_.size());
+  std::barrier<EpochCallback> sync(n_ranks, EpochCallback{this});
+
+  auto trace_span = obs::TraceRecorder::global().wall_span(
+      "parallel_run", "runtime",
+      {{"ranks", obs::trace_num(static_cast<real_t>(n_ranks))},
+       {"steps", obs::trace_num(static_cast<real_t>(n))}});
+
+  const index_t t0 = timestep_;
+  std::vector<std::jthread> threads;
+  threads.reserve(states_.size());
+  for (std::size_t r = 0; r < states_.size(); ++r) {
+    threads.emplace_back([this, r, t0, n, &sync] {
+      for (index_t s = 0; s < n; ++s) {
+        // timestep_ is written only by the barrier completion step, which
+        // happens-before every thread's release from the wait — reading it
+        // here is race-free and always equals t0 + s.
+        rank_step(r, t0 + s);
+        sync.arrive_and_wait();
+      }
+    });
+  }
+  threads.clear();  // join all ranks
+}
+
+lbm::Moments<real_t> ParallelSolver::moments_at(index_t global_point) const {
+  HEMO_REQUIRE(global_point >= 0 && global_point < mesh_->num_points(),
+               "point index out of range");
+  const RankState& rank = states_[static_cast<std::size_t>(
+      topo_.owner_task[static_cast<std::size_t>(global_point)])];
+  const index_t s = static_cast<index_t>(
+      topo_.owner_slot[static_cast<std::size_t>(global_point)]);
+  std::array<double, kQ> g;
+  for (index_t q = 0; q < kQ; ++q) {
+    g[static_cast<std::size_t>(q)] =
+        rank.f[static_cast<std::size_t>(s * kQ + q)];
+  }
+  const auto m = lbm::moments<double>(std::span<const double, kQ>(g));
+  return lbm::Moments<real_t>{m.rho, m.ux, m.uy, m.uz};
+}
+
+real_t ParallelSolver::total_mass() const {
+  real_t mass = 0.0;
+  for (std::size_t r = 0; r < states_.size(); ++r) {
+    const index_t nl = topo_.ranks[r].num_local();
+    for (index_t i = 0; i < nl * kQ; ++i) {
+      mass += states_[r].f[static_cast<std::size_t>(i)];
+    }
+  }
+  return mass;
+}
+
+}  // namespace hemo::runtime

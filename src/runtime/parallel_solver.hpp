@@ -1,0 +1,210 @@
+// Threaded-rank parallel LBM execution with real halo messaging.
+//
+// Each partition task becomes a *rank*: a dedicated std::thread owning a
+// private distribution array (local points + ghost rows) that no other
+// thread ever writes. Ranks exchange halos through mailboxes — one per
+// directed halo channel, owned send buffer, epoch-stamped with an atomic
+// sequence number — so communication is real message passing: the owner
+// packs into the buffer and release-publishes the epoch, the receiver
+// acquire-spins until the stamp arrives and unpacks into its ghost rows.
+// No rank ever peeks into a neighbor's distribution array.
+//
+// A step overlaps bulk-interior compute with boundary communication
+// (HARVEY's overlap scheme, Sec. II of the paper):
+//   1. pack + publish all outgoing channels        (t_comm: pack)
+//   2. update interior slots — no ghosts needed    (t_mem)
+//   3. await + unpack all incoming channels        (t_comm: wait + unpack)
+//   4. update frontier slots — ghosts now fresh    (t_mem)
+//   5. swap front/back arrays, barrier arrive
+// Ranks run in lockstep: a std::barrier ends every step, and its
+// completion step (running while every rank thread is quiescent) advances
+// the shared timestep, flushes per-window timings into obs::, and applies
+// dynamic rebalancing migrations — the only place shared topology is
+// mutated, with the barrier providing the happens-before edges.
+//
+// Per-rank wall-clock t_mem / t_comm (pack, wait, unpack) are measured
+// every step and exported through the obs layer; runtime::validation
+// compares them against the paper's direct model (Eq. 9 byte counts over
+// measured STREAM bandwidth, Eq. 12 per-message times).
+//
+// Dynamic rebalancing: when measured busy-time imbalance (max/mean) stays
+// above threshold for `patience` windows, a contiguous canonical-order
+// block migrates from the hottest rank to its coolest channel neighbor
+// (decomp::migrate_block). Migration gathers the canonical state, rebuilds
+// partition/topology/mailboxes, and scatters the state back — bit-identical
+// to a run that never migrated, which the tier-1 tests assert exactly.
+//
+// Supported configuration: AB + AoS + double, reference or segmented
+// kernel path (the segmented path takes the branch-free bulk fast path on
+// local partitions). All arithmetic goes through lbm/point_update.hpp, so
+// the result is bit-identical to the serial lbm::Solver for every rank
+// count.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "decomp/partition.hpp"
+#include "geometry/generators.hpp"
+#include "harvey/halo.hpp"
+#include "lbm/mesh.hpp"
+#include "lbm/solver.hpp"
+#include "runtime/rebalance.hpp"
+#include "util/common.hpp"
+
+namespace hemo::runtime {
+
+/// Cumulative wall-clock phase timings of one rank (seconds). Written only
+/// by the owning rank thread; read from the barrier completion step and
+/// after run() returns.
+struct RankTimings {
+  index_t steps = 0;
+  real_t pack_s = 0.0;
+  real_t wait_s = 0.0;
+  real_t unpack_s = 0.0;
+  real_t mem_s = 0.0;
+
+  [[nodiscard]] real_t comm_s() const noexcept {
+    return pack_s + wait_s + unpack_s;
+  }
+  [[nodiscard]] real_t busy_s() const noexcept { return mem_s + comm_s(); }
+};
+
+/// Runtime configuration.
+struct RuntimeOptions {
+  RebalanceOptions rebalance;
+  /// Label attached to exported metrics series (geometry name etc.).
+  std::string workload = "run";
+};
+
+/// Threaded-rank solver over an explicit partition (one thread per task).
+class ParallelSolver {
+ public:
+  /// The mesh must outlive the solver; the partition is copied (it evolves
+  /// under dynamic rebalancing). `params.kernel` must be AB + AoS + double
+  /// (either kernel path).
+  ParallelSolver(const lbm::FluidMesh& mesh,
+                 const decomp::Partition& partition,
+                 const lbm::SolverParams& params,
+                 std::span<const geometry::InletSpec> inlets,
+                 RuntimeOptions options = {});
+  ~ParallelSolver();
+
+  ParallelSolver(const ParallelSolver&) = delete;
+  ParallelSolver& operator=(const ParallelSolver&) = delete;
+
+  /// Runs n lockstep timesteps on n_ranks() concurrent threads; returns
+  /// when every rank has finished (threads are joined per call).
+  void run(index_t n);
+
+  [[nodiscard]] index_t timestep() const noexcept { return timestep_; }
+  [[nodiscard]] index_t n_ranks() const noexcept {
+    return static_cast<index_t>(states_.size());
+  }
+
+  /// Moments at a *global* point index, for comparison with lbm::Solver.
+  [[nodiscard]] lbm::Moments<real_t> moments_at(index_t global_point) const;
+
+  /// Total mass across all ranks.
+  [[nodiscard]] real_t total_mass() const;
+
+  /// Distribution state in canonical order (original mesh point indices,
+  /// AoS) — directly comparable to lbm::Solver<double>::export_state().
+  [[nodiscard]] std::vector<double> export_state() const;
+
+  /// Restores a canonical-order state and timestep.
+  void restore_state(std::span<const double> state, index_t timestep);
+
+  /// The current partition (reflects applied migrations).
+  [[nodiscard]] const decomp::Partition& partition() const noexcept {
+    return partition_;
+  }
+
+  /// Migrations applied so far (dynamic + requested).
+  [[nodiscard]] index_t rebalance_count() const noexcept {
+    return rebalance_count_;
+  }
+
+  /// Applies one migration immediately (between run() calls — the solver
+  /// must be idle). Deterministic handle for tests and tooling; the same
+  /// gather/rebuild/scatter path the dynamic trigger uses.
+  void request_migration(std::int32_t from, std::int32_t to, index_t count);
+
+  /// Cumulative per-rank phase timings (valid while idle).
+  [[nodiscard]] std::span<const RankTimings> timings() const noexcept {
+    return timings_;
+  }
+
+  [[nodiscard]] index_t channel_count() const noexcept {
+    return topo_.channel_count();
+  }
+  [[nodiscard]] index_t ghost_count() const noexcept { return topo_.n_ghosts; }
+  [[nodiscard]] real_t bytes_per_exchange() const {
+    return topo_.bytes_per_exchange();
+  }
+
+ private:
+  friend struct EpochCallback;
+
+  /// One rank's private distribution arrays, (owned + ghosts) * kQ, AoS.
+  struct RankState {
+    std::vector<double> f, f2;
+  };
+
+  /// One directed halo message: owner-packed buffer plus the epoch stamp
+  /// the receiver spins on. Heap-allocated (atomics are immovable).
+  struct Mailbox {
+    index_t channel = 0;  ///< index into topo_.channels
+    std::vector<double> buffer;
+    std::atomic<index_t> seq{0};
+  };
+
+  /// (Re)builds topology, mailboxes, channel maps, and rank arrays from
+  /// partition_; distribution values are left uninitialized.
+  void build_runtime_structures();
+
+  /// Canonical-order gather / scatter of all ranks' owned rows.
+  [[nodiscard]] std::vector<double> gather_state() const;
+  void scatter_state(std::span<const double> state);
+
+  /// One rank's step t (phases 1-5 above, minus the barrier).
+  void rank_step(std::size_t r, index_t t);
+
+  /// Barrier completion body: advance the epoch, flush window metrics,
+  /// run the rebalance controller. Runs while all rank threads are
+  /// quiescent inside the barrier.
+  void on_epoch() noexcept;
+
+  /// Gather + migrate_block + rebuild + scatter. Caller must hold
+  /// quiescence (completion step or idle).
+  void apply_migration(const MigrationPlan& plan);
+
+  const lbm::FluidMesh* mesh_;
+  decomp::Partition partition_;
+  index_t timestep_ = 0;
+
+  harvey::HaloExchange topo_;
+  std::vector<RankState> states_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::vector<index_t>> out_channels_;  ///< per rank
+  std::vector<std::vector<index_t>> in_channels_;   ///< per rank
+  std::vector<std::vector<std::int32_t>> neighbors_of_;  ///< per rank
+
+  harvey::RankStepContext ctx_;
+  std::vector<std::array<double, 3>> bc_velocity_;
+  std::vector<std::array<double, 2>> bc_pulse_;
+
+  RuntimeOptions options_;
+  RebalanceController controller_;
+  std::vector<RankTimings> timings_;
+  std::vector<real_t> window_start_busy_;  ///< busy_s() at window start
+  index_t window_steps_ = 0;
+  index_t rebalance_count_ = 0;
+};
+
+}  // namespace hemo::runtime

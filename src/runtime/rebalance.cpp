@@ -1,0 +1,61 @@
+#include "runtime/rebalance.hpp"
+
+#include <algorithm>
+
+namespace hemo::runtime {
+
+std::optional<MigrationPlan> RebalanceController::observe_window(
+    std::span<const real_t> busy_s, const decomp::Partition& partition,
+    const std::vector<std::vector<std::int32_t>>& neighbors_of) {
+  HEMO_REQUIRE(static_cast<index_t>(busy_s.size()) == partition.n_tasks,
+               "observe_window: one busy time per rank required");
+  if (!options_.enabled || partition.n_tasks < 2) return std::nullopt;
+
+  real_t sum = 0.0;
+  std::size_t hottest = 0;
+  for (std::size_t r = 0; r < busy_s.size(); ++r) {
+    sum += busy_s[r];
+    if (busy_s[r] > busy_s[hottest]) hottest = r;
+  }
+  const real_t mean = sum / static_cast<real_t>(busy_s.size());
+  if (mean <= 0.0 || busy_s[hottest] / mean < options_.threshold) {
+    hot_windows_ = 0;
+    return std::nullopt;
+  }
+  ++hot_windows_;
+  if (hot_windows_ < options_.patience) return std::nullopt;
+
+  // Coolest channel neighbor of the hottest rank receives the block.
+  const auto& neighbors = neighbors_of[hottest];
+  if (neighbors.empty()) {
+    hot_windows_ = 0;
+    return std::nullopt;
+  }
+  std::int32_t coolest = neighbors.front();
+  for (std::int32_t n : neighbors) {
+    if (busy_s[static_cast<std::size_t>(n)] <
+        busy_s[static_cast<std::size_t>(coolest)]) {
+      coolest = n;
+    }
+  }
+
+  // Block size: move_fraction of the surplus, converted to points through
+  // the hot rank's measured per-point cost.
+  const auto hot_points =
+      static_cast<index_t>(partition.points_of[hottest].size());
+  if (hot_points < 2) {
+    hot_windows_ = 0;
+    return std::nullopt;
+  }
+  const real_t per_point = busy_s[hottest] / static_cast<real_t>(hot_points);
+  const real_t surplus = busy_s[hottest] - mean;
+  auto count = static_cast<index_t>(options_.move_fraction * surplus /
+                                    per_point);
+  // min() after max(): when min_block itself exceeds the movable range the
+  // cap wins (std::clamp would require lo <= hi).
+  count = std::min(std::max(count, options_.min_block), hot_points - 1);
+  hot_windows_ = 0;
+  return MigrationPlan{static_cast<std::int32_t>(hottest), coolest, count};
+}
+
+}  // namespace hemo::runtime

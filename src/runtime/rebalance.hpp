@@ -1,0 +1,72 @@
+// Dynamic load-rebalancing policy for the threaded parallel runtime.
+//
+// The paper's load-imbalance factor z (Eqs. 10-11) is a *static* property
+// of the decomposition; at run time the measured imbalance drifts away
+// from it (cache effects, neighbor interference, preemption). The
+// controller watches measured per-rank busy time over fixed step windows
+// and, when max/mean exceeds a threshold for `patience` consecutive
+// windows, plans one contiguous-block migration from the hottest rank to
+// its least-loaded channel neighbor. The runtime applies the plan at an
+// epoch boundary through decomp::migrate_block, so the numerical state is
+// bit-identical to an unmigrated run — only ownership moves.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "decomp/partition.hpp"
+#include "util/common.hpp"
+
+namespace hemo::runtime {
+
+/// Policy knobs; defaults are conservative (trigger only on sustained,
+/// clearly-visible imbalance).
+struct RebalanceOptions {
+  bool enabled = false;
+  index_t window = 32;        ///< steps per observation window
+  real_t threshold = 1.25;    ///< max/mean busy-time trigger
+  index_t patience = 2;       ///< consecutive hot windows before migrating
+  real_t move_fraction = 0.5; ///< fraction of the surplus points to move
+  index_t min_block = 16;     ///< smallest block worth migrating
+};
+
+/// One planned migration: move `count` canonical-order contiguous points
+/// from rank `from` to rank `to`.
+struct MigrationPlan {
+  std::int32_t from = -1;
+  std::int32_t to = -1;
+  index_t count = 0;
+};
+
+/// Windowed imbalance detector + migration planner. Not thread-safe: the
+/// runtime calls observe_window() from the barrier completion step, where
+/// every rank thread is quiescent.
+class RebalanceController {
+ public:
+  explicit RebalanceController(const RebalanceOptions& options)
+      : options_(options) {}
+
+  [[nodiscard]] const RebalanceOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Feeds one window of per-rank busy seconds. `neighbors_of[r]` lists the
+  /// ranks r shares a halo channel with (migration stays between adjacent
+  /// ranks). Returns a plan when the imbalance has been above threshold for
+  /// `patience` consecutive windows and a useful block can move; the hot
+  /// streak resets after a plan is issued.
+  [[nodiscard]] std::optional<MigrationPlan> observe_window(
+      std::span<const real_t> busy_s, const decomp::Partition& partition,
+      const std::vector<std::vector<std::int32_t>>& neighbors_of);
+
+  /// Consecutive windows above threshold so far (diagnostics).
+  [[nodiscard]] index_t hot_windows() const noexcept { return hot_windows_; }
+
+ private:
+  RebalanceOptions options_;
+  index_t hot_windows_ = 0;
+};
+
+}  // namespace hemo::runtime

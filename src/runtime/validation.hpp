@@ -1,0 +1,91 @@
+// Measured-vs-model validation of the parallel runtime.
+//
+// The paper's direct model predicts a task's step time from byte counts
+// over measured bandwidths: t_mem from Eq. 9 memory traffic over STREAM
+// COPY bandwidth, t_comm from the communication graph's per-message sizes
+// through the Eq. 12 linear model (latency + bytes/bandwidth), composed as
+// Eq. 6. The threaded runtime measures the same quantities for real —
+// per-rank wall-clock t_mem and t_comm — so this layer closes the loop on
+// one host: characterize the machine (STREAM + PingPong), predict every
+// rank, compare with measurement, and emit the error distributions through
+// obs/drift.hpp so a metrics snapshot shows where the model drifts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "decomp/partition.hpp"
+#include "fit/linear.hpp"
+#include "lbm/kernel_config.hpp"
+#include "lbm/mesh.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/parallel_solver.hpp"
+#include "util/common.hpp"
+
+namespace hemo::runtime {
+
+/// Bandwidth/latency characterization of the host the runtime runs on:
+/// the measured inputs of the direct model.
+struct LocalHostModel {
+  real_t copy_mbs = 0.0;  ///< STREAM COPY bandwidth, MB/s
+  fit::CommModel comm;    ///< Eq. 12 fit: bytes/s bandwidth, seconds latency
+
+  /// Runs STREAM and a threaded PingPong on this host and fits Eq. 12.
+  /// Sizes are kept small (default ~8 MiB arrays, 64 KiB max message) so a
+  /// characterization costs well under a second.
+  [[nodiscard]] static LocalHostModel measure(index_t stream_elements = 1
+                                                  << 20,
+                                              index_t stream_repetitions = 2,
+                                              index_t pingpong_iterations =
+                                                  50);
+};
+
+/// Direct-model prediction for one rank.
+struct RankPrediction {
+  real_t t_mem_s = 0.0;   ///< Eq. 9 bytes / STREAM COPY bandwidth
+  real_t t_comm_s = 0.0;  ///< sum of Eq. 12 times over sent messages
+  [[nodiscard]] real_t step_s() const noexcept { return t_mem_s + t_comm_s; }
+};
+
+/// Per-rank predictions for a partition on a characterized host.
+[[nodiscard]] std::vector<RankPrediction> predict_per_rank(
+    const lbm::FluidMesh& mesh, const decomp::Partition& partition,
+    const lbm::KernelConfig& config, const LocalHostModel& host);
+
+/// One rank's measured-vs-predicted comparison.
+struct RankValidation {
+  RankPrediction predicted;
+  real_t measured_mem_s = 0.0;   ///< per-step average
+  real_t measured_comm_s = 0.0;  ///< per-step average (pack + wait + unpack)
+  /// Signed relative errors, (predicted - measured) / measured: positive
+  /// means the model underpredicted time spent.
+  real_t mem_rel_error = 0.0;
+  real_t comm_rel_error = 0.0;
+  real_t step_rel_error = 0.0;
+};
+
+/// Whole-run validation report.
+struct ValidationReport {
+  std::vector<RankValidation> ranks;
+  real_t predicted_step_s = 0.0;  ///< slowest predicted rank (Eq. 6 shape)
+  real_t measured_step_s = 0.0;   ///< slowest measured rank
+  real_t predicted_mflups = 0.0;
+  real_t measured_mflups = 0.0;
+};
+
+/// Compares the runtime's cumulative per-rank timings against the direct
+/// model and records the drift through obs:
+///   model_drift_* (obs/drift.hpp)                        whole-run sample
+///   runtime_model_mem_rel_error{workload,rank}           histogram
+///   runtime_model_comm_rel_error{workload,rank}          histogram
+/// Ranks that measured zero time in a phase are reported with zero error
+/// (nothing to compare). Requires at least one completed step per rank.
+ValidationReport validate_run(const lbm::FluidMesh& mesh,
+                              const decomp::Partition& partition,
+                              const lbm::KernelConfig& config,
+                              const LocalHostModel& host,
+                              std::span<const RankTimings> timings,
+                              const std::string& workload,
+                              obs::MetricsRegistry& registry);
+
+}  // namespace hemo::runtime

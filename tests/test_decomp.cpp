@@ -104,6 +104,78 @@ TEST(Partition, RejectsInvalidTaskCounts) {
                PreconditionError);
 }
 
+TEST(MigrateBlock, MovesContiguousBlockAndPreservesInvariants) {
+  const auto mesh = cylinder_mesh();
+  const Partition part = make_partition(mesh, 4, Strategy::kSlab);
+  const index_t before_from = static_cast<index_t>(part.points_of[1].size());
+  const index_t before_to = static_cast<index_t>(part.points_of[2].size());
+  const Partition next = migrate_block(part, 1, 2, 10);
+
+  EXPECT_EQ(static_cast<index_t>(next.points_of[1].size()), before_from - 10);
+  EXPECT_EQ(static_cast<index_t>(next.points_of[2].size()), before_to + 10);
+  // Untouched tasks are untouched.
+  EXPECT_EQ(next.points_of[0], part.points_of[0]);
+  EXPECT_EQ(next.points_of[3], part.points_of[3]);
+  // All per-task lists stay ascending and task_of stays consistent.
+  index_t total = 0;
+  for (index_t t = 0; t < next.n_tasks; ++t) {
+    const auto& pts = next.points_of[static_cast<std::size_t>(t)];
+    EXPECT_TRUE(std::is_sorted(pts.begin(), pts.end()));
+    total += static_cast<index_t>(pts.size());
+    for (index_t p : pts) {
+      EXPECT_EQ(next.task_of[static_cast<std::size_t>(p)],
+                static_cast<std::int32_t>(t));
+    }
+  }
+  EXPECT_EQ(total, mesh.num_points());
+  // The moved block is contiguous in the source's canonical order: the
+  // block facing task 2 is the top end of task 1's range.
+  for (index_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(next.points_of[2][static_cast<std::size_t>(i)],
+              part.points_of[1]
+                  [part.points_of[1].size() - 10 + static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(MigrateBlock, MovesBottomEndWhenDestinationIsBelow) {
+  const auto mesh = cylinder_mesh();
+  const Partition part = make_partition(mesh, 4, Strategy::kSlab);
+  const Partition next = migrate_block(part, 2, 1, 7);
+  // Task 1 sits below task 2 in slab order, so the bottom end moves.
+  for (index_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(next.points_of[1][next.points_of[1].size() - 7 +
+                                static_cast<std::size_t>(i)],
+              part.points_of[2][static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(next.points_of[2][0], part.points_of[2][7]);
+}
+
+TEST(MigrateBlock, RoundTripRestoresOriginalPartition) {
+  const auto mesh = cylinder_mesh();
+  const Partition part = make_partition(mesh, 3, Strategy::kSlab);
+  const Partition there = migrate_block(part, 0, 1, 25);
+  const Partition back = migrate_block(there, 1, 0, 25);
+  EXPECT_EQ(back.task_of, part.task_of);
+  for (index_t t = 0; t < part.n_tasks; ++t) {
+    EXPECT_EQ(back.points_of[static_cast<std::size_t>(t)],
+              part.points_of[static_cast<std::size_t>(t)]);
+  }
+}
+
+TEST(MigrateBlock, RejectsInvalidArguments) {
+  const auto mesh = cylinder_mesh();
+  const Partition part = make_partition(mesh, 2, Strategy::kRcb);
+  EXPECT_THROW(migrate_block(part, 0, 0, 1), PreconditionError);
+  EXPECT_THROW(migrate_block(part, 0, 2, 1), PreconditionError);
+  EXPECT_THROW(migrate_block(part, -1, 1, 1), PreconditionError);
+  EXPECT_THROW(migrate_block(part, 0, 1, 0), PreconditionError);
+  // Moving everything would empty the source.
+  EXPECT_THROW(
+      migrate_block(part, 0, 1,
+                    static_cast<index_t>(part.points_of[0].size())),
+      PreconditionError);
+}
+
 TEST(CommGraph, MessagesAreSymmetricInLinkCounts) {
   const auto mesh = cylinder_mesh();
   const Partition part = make_partition(mesh, 8, Strategy::kRcb);

@@ -1,13 +1,18 @@
 #!/usr/bin/env python3
-"""Soft perf gate: compare a fresh BENCH_lbm.json against the committed baseline.
+"""Soft perf gate: compare a fresh bench JSON against the committed baseline.
 
 Usage: check_bench_regression.py BASELINE CURRENT [--tolerance 0.40]
 
-For every kernel variant present in both files (keyed on propagation,
-layout, precision, path), fail if the current MFLUPS fell more than
-``tolerance`` below the baseline. The default 40% tolerance is deliberately
-loose: CI runners are shared and noisy, and the gate exists to catch
-order-of-magnitude hot-path regressions (a lost vectorization, an
+Supports both bench schemas; baseline and current must use the same one:
+  hemo-bench-lbm/1      kernel variants keyed on propagation, layout,
+                        precision, path (bench_lbm_json)
+  hemo-bench-runtime/1  strong-scaling results keyed on ranks
+                        (bench_runtime_json)
+
+For every variant present in both files, fail if the current MFLUPS fell
+more than ``tolerance`` below the baseline. The default 40% tolerance is
+deliberately loose: CI runners are shared and noisy, and the gate exists to
+catch order-of-magnitude hot-path regressions (a lost vectorization, an
 accidentally re-introduced branch), not small fluctuations. Speedups and
 variants missing from either file never fail the gate, but both are
 reported so baseline drift stays visible.
@@ -20,7 +25,7 @@ import json
 import sys
 
 
-def variant_key(result):
+def lbm_variant_key(result):
     return (
         result["propagation"],
         result["layout"],
@@ -29,13 +34,23 @@ def variant_key(result):
     )
 
 
+def runtime_variant_key(result):
+    return ("ranks%d" % result["ranks"],)
+
+
+SCHEMAS = {
+    "hemo-bench-lbm/1": lbm_variant_key,
+    "hemo-bench-runtime/1": runtime_variant_key,
+}
+
+
 def load(path):
     try:
         with open(path, encoding="utf-8") as fh:
             doc = json.load(fh)
     except (OSError, json.JSONDecodeError) as exc:
         sys.exit(f"error: cannot read {path}: {exc}")
-    if doc.get("schema") != "hemo-bench-lbm/1":
+    if doc.get("schema") not in SCHEMAS:
         sys.exit(f"error: {path}: unexpected schema {doc.get('schema')!r}")
     return doc
 
@@ -52,6 +67,12 @@ def main():
 
     baseline = load(args.baseline)
     current = load(args.current)
+    if baseline["schema"] != current["schema"]:
+        sys.exit(
+            f"error: schema mismatch: baseline={baseline['schema']} "
+            f"current={current['schema']}"
+        )
+    variant_key = SCHEMAS[baseline["schema"]]
 
     bgeo, cgeo = baseline["geometry"], current["geometry"]
     if bgeo["name"] != cgeo["name"]:
