@@ -34,6 +34,15 @@
 //   hemocloud_cli mutate [cases] [seed]
 //       Mutation self-test: perturb one fitted model coefficient at a
 //       time and verify the matching oracle catches it.
+//   hemocloud_cli nemesis [--seed S] [--cases N] [--storm name]
+//                         [--artifacts dir]
+//       Nemesis fault harness (src/nemesis/): prove the checker kills
+//       every seeded protocol mutant, then drive seeded fault storms
+//       through the engine and replay every recorded history through
+//       the invariant checker (specs/executor_protocol.md). Output is a
+//       pure function of the seed; exit 0 only when everything passes.
+//       --artifacts writes the shrunk failing schedule, its canonical
+//       history, report CSV and verdict under the given directory.
 //
 // Geometries: cylinder | aorta | cerebral.
 #include <algorithm>
@@ -45,6 +54,7 @@
 
 #include "check/mutation.hpp"
 #include "check/oracles.hpp"
+#include "nemesis/harness.hpp"
 #include "core/dashboard.hpp"
 #include "decomp/partition.hpp"
 #include "harvey/simulation.hpp"
@@ -465,6 +475,47 @@ int cmd_mutate(index_t cases, std::uint64_t seed) {
   return report.all_detected() ? 0 : 1;
 }
 
+int cmd_nemesis(index_t cases, std::uint64_t seed, const std::string& storm,
+                const std::string& artifacts_dir) {
+  check::PropertyConfig config;
+  config.seed = seed;
+  config.cases = cases;
+
+  // Teeth first: a harness whose checker cannot convict a known-buggy
+  // engine proves nothing about a passing storm sweep.
+  const nemesis::SelfTestReport self_test =
+      nemesis::run_protocol_self_test(seed);
+  std::cout << self_test.summary();
+  bool all_passed = self_test.all_detected();
+
+  std::vector<std::string> storms;
+  if (storm.empty()) {
+    storms = nemesis::storm_names();
+  } else {
+    storms.push_back(storm);
+  }
+  for (const std::string& name : storms) {
+    std::shared_ptr<nemesis::NemesisFailure> failure;
+    const check::PropertyResult result =
+        nemesis::nemesis_property(name, config, &failure);
+    std::cout << result.summary() << "\n";
+    all_passed = all_passed && result.passed;
+    if (failure != nullptr) {
+      std::cout << failure->verdict.check.summary();
+      if (!artifacts_dir.empty()) {
+        const std::string dir = artifacts_dir + "/" + name;
+        for (const std::string& path :
+             nemesis::write_failure_artifacts(*failure, dir)) {
+          std::cout << "artifact: " << path << "\n";
+        }
+      }
+    }
+  }
+  std::cout << (all_passed ? "nemesis: all storms passed\n"
+                           : "nemesis: FAILURES above\n");
+  return all_passed ? 0 : 1;
+}
+
 int usage() {
   std::cerr << "usage:\n"
             << "  hemocloud_cli instances\n"
@@ -480,7 +531,9 @@ int usage() {
                "[--metrics out.jsonl]\n"
             << "  hemocloud_cli metrics <file.jsonl>\n"
             << "  hemocloud_cli check [cases] [seed]\n"
-            << "  hemocloud_cli mutate [cases] [seed]\n";
+            << "  hemocloud_cli mutate [cases] [seed]\n"
+            << "  hemocloud_cli nemesis [--seed S] [--cases N] "
+               "[--storm name] [--artifacts dir]\n";
   return 2;
 }
 
@@ -545,6 +598,26 @@ int main(int argc, char** argv) {
       return cmd_mutate(argc > 2 ? std::atol(argv[2]) : 40,
                         argc > 3 ? hemo::parse_seed(argv[3], 42)
                                  : hemo::global_seed());
+    }
+    if (cmd == "nemesis") {
+      hemo::index_t cases = 6;
+      std::uint64_t seed = hemo::global_seed();
+      std::string storm, artifacts_dir;
+      for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--seed" && i + 1 < argc) {
+          seed = hemo::parse_seed(argv[++i], seed);
+        } else if (arg == "--cases" && i + 1 < argc) {
+          cases = std::atol(argv[++i]);
+        } else if (arg == "--storm" && i + 1 < argc) {
+          storm = argv[++i];
+        } else if (arg == "--artifacts" && i + 1 < argc) {
+          artifacts_dir = argv[++i];
+        } else {
+          return usage();
+        }
+      }
+      return cmd_nemesis(cases, seed, storm, artifacts_dir);
     }
     return usage();
   } catch (const std::exception& e) {

@@ -79,6 +79,21 @@ std::vector<sched::CampaignJobSpec> gen_job_specs(
   return jobs;
 }
 
+sched::FaultInjection gen_fault_injection(Xoshiro256& rng) {
+  sched::FaultInjection faults;
+  if (rng.uniform() < 0.5) faults.slowdown_factor = rng.uniform(1.4, 1.9);
+  if (rng.uniform() < 0.5) {
+    faults.extra_preemption_probability = rng.uniform(0.05, 0.35);
+  }
+  if (rng.uniform() < 0.5) {
+    faults.checkpoint_corruption_rate = rng.uniform(0.1, 0.5);
+  }
+  if (rng.uniform() < 0.5) {
+    faults.worker_crash_probability = rng.uniform(0.02, 0.1);
+  }
+  return faults;
+}
+
 fit::TwoLineModel gen_two_line_model(Xoshiro256& rng) {
   fit::TwoLineModel m;
   m.a1 = rng.uniform(4000.0, 16000.0);        // steep MB/s per thread

@@ -15,6 +15,7 @@
 #include "fit/log_models.hpp"
 #include "fit/two_line.hpp"
 #include "geometry/generators.hpp"
+#include "sched/guard.hpp"
 #include "sched/job.hpp"
 #include "util/rng.hpp"
 
@@ -47,6 +48,11 @@ template <typename T>
 /// counts, spot tenancy, and ids 1..count.
 [[nodiscard]] std::vector<sched::CampaignJobSpec> gen_job_specs(
     Xoshiro256& rng, index_t count, const std::string& workload);
+
+/// A randomized fault-injection mix (nemesis storms): each fault class is
+/// enabled with probability 1/2, rates drawn in ranges that reliably
+/// force requeues at test scale while still letting most jobs finish.
+[[nodiscard]] sched::FaultInjection gen_fault_injection(Xoshiro256& rng);
 
 /// Random model parameters in physically plausible ranges (used to test
 /// fit recovery and oracle tolerance logic against known ground truth).

@@ -1,0 +1,313 @@
+#include "nemesis/harness.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "check/mutation.hpp"
+#include "cluster/instance.hpp"
+#include "geometry/generators.hpp"
+#include "obs/trace.hpp"
+#include "sched/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace hemo::nemesis {
+
+namespace {
+
+/// A fresh check-scale scheduler (same two-pool cluster and workload as
+/// src/check/'s campaign oracles). Rebuilt per run: the refinement
+/// tracker is shared mutable campaign state and W1 replays need a cold
+/// start.
+std::unique_ptr<sched::CampaignScheduler> make_nemesis_scheduler(
+    const NemesisSchedule& schedule) {
+  sched::SchedulerConfig config;
+  config.core_counts = {8, 16, 32};
+  config.guard_tolerance = schedule.guard_tolerance;
+  config.pilot_steps = 120;
+  config.spot.preemptions_per_hour =
+      units::PerHour(schedule.spot_preemptions_per_hour);
+  auto scheduler = std::make_unique<sched::CampaignScheduler>(
+      std::vector<const cluster::InstanceProfile*>{
+          &cluster::instance_by_abbrev("CSP-1"),
+          &cluster::instance_by_abbrev("CSP-2 Small")},
+      config);
+  const std::vector<index_t> cal_counts = {2, 4, 8};
+  scheduler->register_workload(
+      "cylinder", geometry::make_cylinder({.radius = 6, .length = 40}),
+      cal_counts);
+  return scheduler;
+}
+
+}  // namespace
+
+RunArtifacts run_schedule(const NemesisSchedule& schedule, index_t n_workers,
+                          sched::SeededBug bug) {
+  RunArtifacts artifacts;
+  auto scheduler = make_nemesis_scheduler(schedule);
+  sched::EngineConfig config;
+  config.n_workers = n_workers;
+  config.seed = schedule.engine_seed;
+  config.faults = schedule.faults;
+  config.max_attempts = schedule.max_attempts;
+  config.chunks_per_attempt = schedule.chunks_per_attempt;
+  config.history = &artifacts.history;
+  config.seeded_bug = bug;
+  sched::CampaignEngine engine(*scheduler, config);
+  artifacts.report = engine.run(schedule.jobs);
+  artifacts.csv = artifacts.report.to_csv();
+  return artifacts;
+}
+
+const std::vector<index_t>& nemesis_worker_counts() {
+  static const std::vector<index_t> counts = {1, 2, 8};
+  return counts;
+}
+
+NemesisVerdict run_nemesis(const NemesisSchedule& schedule) {
+  NemesisVerdict verdict;
+
+  // The base run records the obs:: virtual trace for the H1 cross-check.
+  // The global recorder is borrowed and restored (prior events are
+  // dropped — the engine is the only virtual-track producer by contract).
+  obs::TraceRecorder& trace = obs::TraceRecorder::global();
+  const bool was_enabled = trace.enabled();
+  trace.reset();
+  trace.enable(true);
+  RunArtifacts base = run_schedule(schedule, nemesis_worker_counts().front());
+  trace.enable(false);
+
+  verdict.canonical_history = base.history.canonical();
+  verdict.csv = base.csv;
+
+  // W1: byte-identical history and report across worker counts.
+  for (std::size_t i = 1; i < nemesis_worker_counts().size(); ++i) {
+    const index_t workers = nemesis_worker_counts()[i];
+    const RunArtifacts other = run_schedule(schedule, workers);
+    if (other.history.canonical() != verdict.canonical_history) {
+      verdict.failure = "W1: history differs between 1 and " +
+                        std::to_string(workers) + " workers";
+    } else if (other.csv != verdict.csv) {
+      verdict.failure = "W1: report differs between 1 and " +
+                        std::to_string(workers) + " workers";
+    }
+    if (!verdict.failure.empty()) break;
+  }
+
+  // E1..R1 over the recorded history, against the final report.
+  CheckLimits limits;
+  limits.max_attempts = schedule.max_attempts;
+  verdict.check =
+      check_history(base.history, schedule.jobs, limits, &base.report);
+
+  // H1: the history and the virtual trace saw the same events.
+  CheckResult h1 = check_trace_consistency(base.history, trace);
+  for (Violation& v : h1.violations) {
+    verdict.check.violations.push_back(std::move(v));
+  }
+  trace.reset();
+  trace.enable(was_enabled);
+
+  if (verdict.failure.empty() && !verdict.check.passed()) {
+    verdict.failure = verdict.check.violations.front().str();
+  }
+  verdict.passed = verdict.failure.empty();
+  return verdict;
+}
+
+check::PropertyResult nemesis_property(
+    const std::string& storm, const check::PropertyConfig& config,
+    std::shared_ptr<NemesisFailure>* minimal) {
+  check::Property<NemesisSchedule> property;
+  property.name = "nemesis(" + storm + ")";
+  property.generate = [storm](Xoshiro256& rng) {
+    return gen_schedule(storm, rng);
+  };
+  property.describe = describe_schedule;
+  property.shrink = shrink_schedule;
+  // run_property adopts every failing shrink candidate, so the last
+  // failing check call is the minimal counterexample it reports — the
+  // capture below therefore always holds the shrunk schedule.
+  auto capture = std::make_shared<NemesisFailure>();
+  property.check =
+      [capture](const NemesisSchedule& s) -> std::optional<std::string> {
+    NemesisVerdict v = run_nemesis(s);
+    if (v.passed) return std::nullopt;
+    capture->schedule = s;
+    capture->verdict = std::move(v);
+    return capture->verdict.failure;
+  };
+  const check::PropertyResult result = check::run_property(property, config);
+  if (minimal != nullptr) {
+    *minimal = result.passed ? nullptr : capture;
+  }
+  return result;
+}
+
+std::vector<std::string> write_failure_artifacts(const NemesisFailure& failure,
+                                                 const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  std::vector<std::string> paths;
+  const auto write = [&dir, &paths](const std::string& name,
+                                    const std::string& content) {
+    const std::string path = dir + "/" + name;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out.good()) {
+      throw NumericError("cannot write nemesis artifact: " + path);
+    }
+    out << content;
+    paths.push_back(path);
+  };
+  std::ostringstream schedule;
+  schedule << "storm: " << failure.schedule.storm << '\n'
+           << "schedule: " << describe_schedule(failure.schedule) << '\n'
+           << "engine_seed: " << failure.schedule.engine_seed << '\n'
+           << "failure: " << failure.verdict.failure << '\n';
+  write("schedule.txt", schedule.str());
+  write("history.txt", failure.verdict.canonical_history);
+  write("report.csv", failure.verdict.csv);
+  write("verdict.txt", failure.verdict.check.summary());
+  return paths;
+}
+
+bool SelfTestReport::all_detected() const {
+  if (!baseline_passed) return false;
+  for (const SelfTestOutcome& o : outcomes) {
+    if (!o.detected) return false;
+  }
+  return !outcomes.empty();
+}
+
+std::string SelfTestReport::summary() const {
+  std::ostringstream os;
+  os << "protocol self-test: baseline "
+     << (baseline_passed ? "passed" : "FAILED") << '\n';
+  for (const SelfTestOutcome& o : outcomes) {
+    os << "  " << o.name << " -> " << o.invariant << ": "
+       << (o.detected ? "detected" : "NOT DETECTED") << " (" << o.detail
+       << ")\n";
+  }
+  return os.str();
+}
+
+SelfTestReport run_protocol_self_test(std::uint64_t seed) {
+  SelfTestReport report;
+
+  // Find a busy seeded run: the corruption burst exercises requeues,
+  // resumes and completions — every event shape the mutations need. A
+  // handful of sub-seeds is always enough at these fault rates.
+  std::optional<NemesisSchedule> schedule;
+  RunArtifacts base;
+  CheckLimits limits;
+  obs::TraceRecorder& trace = obs::TraceRecorder::global();
+  const bool was_enabled = trace.enabled();
+  for (std::uint64_t k = 0; k < 24 && !schedule; ++k) {
+    Xoshiro256 rng(hash_seed(seed, k));
+    NemesisSchedule candidate = gen_schedule("corruption_burst", rng);
+    trace.reset();
+    trace.enable(true);
+    RunArtifacts run = run_schedule(candidate, 2);
+    trace.enable(false);
+    limits.max_attempts = candidate.max_attempts;
+    if (!check_history(run.history, candidate.jobs, limits, &run.report)
+             .passed()) {
+      // A genuine protocol violation: surface it as a failed baseline
+      // rather than hunting for a quieter seed.
+      report.baseline_passed = false;
+      trace.reset();
+      trace.enable(was_enabled);
+      return report;
+    }
+    bool applicable = true;
+    for (const check::ProtocolMutation& mutation :
+         check::protocol_mutations()) {
+      sched::ProtocolHistory copy = run.history;
+      if (!mutation.apply(copy, limits.max_attempts)) {
+        applicable = false;
+        break;
+      }
+    }
+    if (applicable) {
+      schedule = std::move(candidate);
+      base = std::move(run);
+    }
+  }
+  if (!schedule) {
+    report.baseline_passed = false;
+    trace.reset();
+    trace.enable(was_enabled);
+    return report;
+  }
+  report.baseline_passed = true;
+
+  // Every history mutation must be flagged on its stated invariant.
+  for (const check::ProtocolMutation& mutation : check::protocol_mutations()) {
+    SelfTestOutcome outcome;
+    outcome.name = "mutation:" + mutation.name;
+    outcome.invariant = mutation.invariant;
+    sched::ProtocolHistory mutated = base.history;
+    mutation.apply(mutated, limits.max_attempts);
+    const CheckResult result =
+        mutation.invariant == "H1"
+            ? check_trace_consistency(mutated, trace)
+            : check_history(mutated, schedule->jobs, limits);
+    outcome.detected = result.violates(mutation.invariant);
+    if (outcome.detected) {
+      for (const Violation& v : result.violations) {
+        if (v.invariant == mutation.invariant) {
+          outcome.detail = v.str();
+          break;
+        }
+      }
+    } else {
+      outcome.detail = result.passed()
+                           ? "checker passed the mutated history"
+                           : "flagged only: " + result.violations.front().str();
+    }
+    report.outcomes.push_back(std::move(outcome));
+  }
+  trace.reset();
+  trace.enable(was_enabled);
+
+  // Every seeded live-engine bug must be caught end to end: the buggy
+  // engine records its own history, and the checker convicts it.
+  struct BugCase {
+    sched::SeededBug bug;
+    const char* name;
+    const char* invariant;
+  };
+  const BugCase bugs[] = {
+      {sched::SeededBug::kDoubleCharge, "bug:double_charge", "C1"},
+      {sched::SeededBug::kLostRequeue, "bug:lost_requeue", "E1"},
+      {sched::SeededBug::kDoubleRequeue, "bug:double_requeue", "S1"},
+      {sched::SeededBug::kSkipRestore, "bug:skip_restore", "K1"},
+  };
+  for (const BugCase& bug : bugs) {
+    SelfTestOutcome outcome;
+    outcome.name = bug.name;
+    outcome.invariant = bug.invariant;
+    const RunArtifacts buggy = run_schedule(*schedule, 2, bug.bug);
+    const CheckResult result =
+        check_history(buggy.history, schedule->jobs, limits);
+    outcome.detected = result.violates(bug.invariant);
+    if (outcome.detected) {
+      for (const Violation& v : result.violations) {
+        if (v.invariant == bug.invariant) {
+          outcome.detail = v.str();
+          break;
+        }
+      }
+    } else {
+      outcome.detail =
+          result.passed()
+              ? "checker passed the buggy engine's history"
+              : "flagged only: " + result.violations.front().str();
+    }
+    report.outcomes.push_back(std::move(outcome));
+  }
+  return report;
+}
+
+}  // namespace hemo::nemesis

@@ -1,0 +1,112 @@
+// The nemesis harness: drives seeded fault storms through the real
+// engine, records the protocol history, and replays it through the
+// invariant checker.
+//
+// Three layers of trust, each mechanically checkable:
+//
+//  1. run_nemesis drives one NemesisSchedule through sched::CampaignEngine
+//     at worker counts {1, 2, 8}, asserting the canonical history and the
+//     CSV report are byte-identical across them (invariant W1), then
+//     replays the base history through check_history (E1..R1 against the
+//     final report) and check_trace_consistency (H1 against the obs::
+//     virtual trace).
+//  2. nemesis_property wraps run_nemesis as a property over generated
+//     storm schedules, with greedy shrinking to a minimal failing
+//     schedule; the minimal schedule and its verdict are captured for CI
+//     artifact upload (write_failure_artifacts).
+//  3. run_protocol_self_test proves the checker has teeth: a clean run
+//     passes; every check::protocol_mutations() corruption of a real
+//     recorded history is flagged on its stated invariant; and every
+//     sched::SeededBug engine variant is caught end-to-end through the
+//     live engine → history → checker path.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/property.hpp"
+#include "nemesis/checker.hpp"
+#include "nemesis/nemesis.hpp"
+#include "sched/executor.hpp"
+#include "sched/history.hpp"
+#include "sched/report.hpp"
+
+namespace hemo::nemesis {
+
+/// Everything one engine run under a schedule produced.
+struct RunArtifacts {
+  sched::ProtocolHistory history;
+  sched::CampaignReport report;
+  std::string csv;  ///< report.to_csv() (the W1 report artifact)
+};
+
+/// Runs `schedule` once with `n_workers` workers on a fresh check-scale
+/// scheduler (the same two-pool cluster as src/check/'s campaign
+/// oracles). `bug` seeds a deliberate protocol violation (self-tests
+/// only). The obs:: global trace recorder is left untouched; enable it
+/// around this call to collect the H1 cross-check stream.
+[[nodiscard]] RunArtifacts run_schedule(
+    const NemesisSchedule& schedule, index_t n_workers,
+    sched::SeededBug bug = sched::SeededBug::kNone);
+
+/// Worker counts the W1 invariance sweep compares: {1, 2, 8}.
+[[nodiscard]] const std::vector<index_t>& nemesis_worker_counts();
+
+/// Verdict of one schedule.
+struct NemesisVerdict {
+  bool passed = false;
+  std::string failure;  ///< first failing property, empty when passed
+  CheckResult check;    ///< invariant check of the base (1-worker) run
+  std::string canonical_history;  ///< base run's canonical bytes
+  std::string csv;                ///< base run's report CSV
+};
+
+/// Full check of one schedule: W1 across worker counts, then E1..R1 and
+/// H1 over the base run's history.
+[[nodiscard]] NemesisVerdict run_nemesis(const NemesisSchedule& schedule);
+
+/// A failing schedule with its verdict (minimal after shrinking).
+struct NemesisFailure {
+  NemesisSchedule schedule;
+  NemesisVerdict verdict;
+};
+
+/// Property over generated `storm` schedules: every one must pass
+/// run_nemesis. On failure, `*minimal` (when non-null) receives the
+/// shrunk minimal schedule and its verdict for artifact writing.
+[[nodiscard]] check::PropertyResult nemesis_property(
+    const std::string& storm, const check::PropertyConfig& config,
+    std::shared_ptr<NemesisFailure>* minimal = nullptr);
+
+/// Writes `failure` under `dir` (created if missing): the shrunk
+/// schedule description, the recorded canonical history, the report CSV,
+/// and the checker verdict. Returns the paths written.
+std::vector<std::string> write_failure_artifacts(
+    const NemesisFailure& failure, const std::string& dir);
+
+/// One self-test outcome: a mutation or seeded engine bug, the invariant
+/// expected to flag it, and whether the checker did.
+struct SelfTestOutcome {
+  std::string name;       ///< "mutation:drop_requeue" / "bug:lost_requeue"
+  std::string invariant;  ///< expected stable id
+  bool detected = false;
+  std::string detail;  ///< evidence (flagged violation) or why not
+};
+
+/// Checker self-test verdict.
+struct SelfTestReport {
+  bool baseline_passed = false;  ///< the unmutated run checks clean
+  std::vector<SelfTestOutcome> outcomes;
+
+  [[nodiscard]] bool all_detected() const;
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Proves the checker kills every seeded protocol violation: replays a
+/// busy recorded history through every check::protocol_mutations() entry,
+/// and runs every sched::SeededBug through the live engine. `seed` keys
+/// the schedule generation; the same seed reproduces the same report.
+[[nodiscard]] SelfTestReport run_protocol_self_test(std::uint64_t seed);
+
+}  // namespace hemo::nemesis

@@ -120,6 +120,25 @@ std::size_t TraceRecorder::virtual_event_count() const {
   return n;
 }
 
+std::vector<TraceRecorder::VirtualEvent> TraceRecorder::virtual_events()
+    const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<VirtualEvent> out;
+  for (const Event& event : events_) {
+    if (event.wall) continue;
+    VirtualEvent v;
+    v.name = event.name;
+    v.category = event.category;
+    v.phase = event.phase;
+    v.track = event.track;
+    v.ts_us = event.ts_us;
+    v.dur_us = event.dur_us;
+    v.args = event.args;
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
 std::string TraceRecorder::to_chrome_json(bool include_wall) const {
   std::vector<Event> events;
   {

@@ -97,6 +97,24 @@ class TraceRecorder {
   /// Number of recorded virtual-clock events.
   [[nodiscard]] std::size_t virtual_event_count() const;
 
+  /// One virtual-track event, as recorded. This is the structured export
+  /// the nemesis harness (src/nemesis/) consumes to cross-check the
+  /// protocol history against the trace (invariant H1 of
+  /// specs/executor_protocol.md) without parsing the Chrome JSON.
+  struct VirtualEvent {
+    std::string name;
+    std::string category;
+    char phase = 'X';     ///< 'X' complete, 'i' instant
+    index_t track = 0;    ///< trace tid (the engine uses the job id)
+    real_t ts_us = 0.0;   ///< virtual microseconds
+    real_t dur_us = 0.0;  ///< complete events only
+    TraceArgs args;
+  };
+
+  /// Copies the virtual track (pid 1) in recording order; wall-clock
+  /// events are excluded. Thread-safe, like the JSON export.
+  [[nodiscard]] std::vector<VirtualEvent> virtual_events() const;
+
   /// Chrome trace-event JSON ({"traceEvents":[...]}). Events keep their
   /// recording order; `include_wall=false` exports only the virtual track,
   /// which is the byte-stable artifact the determinism tests compare.

@@ -82,8 +82,23 @@ const char* attempt_event_name(AttemptEvent::Kind kind) {
     case AttemptEvent::Kind::kPreemption: return "preemption";
     case AttemptEvent::Kind::kCorruptRestore: return "corrupt_restore";
     case AttemptEvent::Kind::kGuardStop: return "guard_stop";
+    case AttemptEvent::Kind::kWorkerCrash: return "worker_crash";
   }
   return "attempt_event";
+}
+
+ProtocolEventKind protocol_kind_of(AttemptEvent::Kind kind) {
+  switch (kind) {
+    case AttemptEvent::Kind::kPreemption:
+      return ProtocolEventKind::kPreemption;
+    case AttemptEvent::Kind::kCorruptRestore:
+      return ProtocolEventKind::kCorruptRestore;
+    case AttemptEvent::Kind::kGuardStop:
+      return ProtocolEventKind::kGuardStop;
+    case AttemptEvent::Kind::kWorkerCrash:
+      return ProtocolEventKind::kWorkerCrash;
+  }
+  return ProtocolEventKind::kPreemption;
 }
 
 }  // namespace
@@ -114,6 +129,7 @@ CampaignReport CampaignEngine::run(std::vector<CampaignJobSpec> jobs) {
   std::vector<InFlight> inflight;
   std::vector<ErrorSample> trajectory;
   units::Seconds clock;
+  bool bug_armed = false;  ///< one-shot latch for the seeded protocol bugs
 
   // All telemetry is emitted from this coordinator thread at deterministic
   // points of the virtual-event loop, so the recorded trace is a pure
@@ -122,10 +138,38 @@ CampaignReport CampaignEngine::run(std::vector<CampaignJobSpec> jobs) {
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
   std::vector<units::Seconds> queued_since(records.size());
 
-  const auto fail = [&](JobRecord& rec, const std::string& why) {
+  // Protocol history tap (specs/executor_protocol.md): recorded only here,
+  // on the coordinator thread, at deterministic virtual-time points — the
+  // history is a pure function of the seeded inputs, like the report.
+  const auto tap = [&](ProtocolEventKind kind, const JobRecord& rec,
+                       units::Seconds at, std::string detail = {},
+                       index_t delta_steps = 0,
+                       units::Dollars delta_usd = units::Dollars{}) {
+    if (config_.history == nullptr) return;
+    ProtocolEvent ev;
+    ev.kind = kind;
+    ev.job = rec.spec.id;
+    ev.attempt = rec.attempts;
+    ev.at_s = at;
+    ev.steps = rec.steps_done;
+    ev.usd = rec.dollars;
+    ev.delta_steps = delta_steps;
+    ev.delta_usd = delta_usd;
+    ev.detail = std::move(detail);
+    config_.history->record(std::move(ev));
+  };
+  for (const JobRecord& rec : records) {
+    tap(ProtocolEventKind::kSubmitted, rec, units::Seconds{},
+        rec.spec.geometry);
+  }
+
+  const auto fail = [&](JobRecord& rec, const std::string& why,
+                        index_t delta_steps = 0,
+                        units::Dollars delta_usd = units::Dollars{}) {
     rec.state = JobState::kFailed;
     rec.failure = why;
     rec.finish_s = clock;
+    tap(ProtocolEventKind::kFailed, rec, clock, why, delta_steps, delta_usd);
     trace.virtual_instant("failed", "sched", rec.spec.id, clock,
                           {{"reason", why}});
     metrics.add("campaign_jobs_total", 1.0, {{"outcome", "failed"}});
@@ -173,6 +217,8 @@ CampaignReport CampaignEngine::run(std::vector<CampaignJobSpec> jobs) {
       rec.state = JobState::kRunning;
       if (rec.start_s.value() < 0.0) rec.start_s = clock;
 
+      tap(ProtocolEventKind::kPlaced, rec, clock,
+          decision.placement.instance);
       trace.virtual_span("queued", "sched", spec.id, queued_since[idx],
                          clock,
                          {{"attempt", std::to_string(rec.attempts)}});
@@ -260,6 +306,20 @@ CampaignReport CampaignEngine::run(std::vector<CampaignJobSpec> jobs) {
          {"preemptions", std::to_string(res.preemptions)},
          {"mflups", obs::trace_num(res.measured_mflups.value())}});
     for (const AttemptEvent& ev : res.events) {
+      if (config_.history != nullptr) {
+        // Mid-attempt events carry the job's cumulative checkpointed
+        // progress (pre-attempt steps plus the attempt's own) and its
+        // pre-settlement spend: cost is charged at settlement, so the
+        // cumulative dollars move only on the closing event below.
+        ProtocolEvent pe;
+        pe.kind = protocol_kind_of(ev.kind);
+        pe.job = rec.spec.id;
+        pe.attempt = rec.attempts;
+        pe.at_s = event.start_s + ev.at_s;
+        pe.steps = rec.steps_done + ev.steps_done;
+        pe.usd = rec.dollars;
+        config_.history->record(std::move(pe));
+      }
       trace.virtual_instant(attempt_event_name(ev.kind), "fault",
                             rec.spec.id, event.start_s + ev.at_s,
                             {{"steps_done", std::to_string(ev.steps_done)}});
@@ -278,6 +338,10 @@ CampaignReport CampaignEngine::run(std::vector<CampaignJobSpec> jobs) {
       metrics.add("campaign_guard_stops_total", 1.0,
                   {{"instance", event.placement.instance}});
     }
+    if (res.worker_crashed) {
+      metrics.add("campaign_worker_crashes_total", 1.0,
+                  {{"instance", event.placement.instance}});
+    }
     metrics.observe("campaign_attempt_occupancy_seconds",
                     res.sim_seconds.value());
 
@@ -285,6 +349,7 @@ CampaignReport CampaignEngine::run(std::vector<CampaignJobSpec> jobs) {
     rec.compute_seconds += res.compute_seconds;
     rec.preemptions += res.preemptions;
     rec.checkpoint_corruptions += res.checkpoint_corruptions;
+    if (res.worker_crashed) ++rec.crashes;
     rec.steps_done += res.steps_done;
     rec.points = static_cast<real_t>(scheduler_->points_of(rec.spec.geometry)) *
                  rec.spec.resolution_factor;
@@ -334,48 +399,74 @@ CampaignReport CampaignEngine::run(std::vector<CampaignJobSpec> jobs) {
       trajectory.push_back(sample);
     }
 
+    // Requeue with refreshed parameters: the tracker already holds this
+    // attempt's measurement, so the next placement predicts from the
+    // corrected model and resumes at the checkpointed step. The seeded
+    // protocol bugs (EngineConfig::seeded_bug, checker self-tests only)
+    // land here because kill+requeue is the transition the protocol
+    // invariants guard hardest.
+    const auto requeue = [&](const char* reason) {
+      if (config_.seeded_bug == SeededBug::kDoubleCharge) {
+        rec.dollars += res.dollars;  // seeded C1 violation: charged twice
+      }
+      rec.state = JobState::kPending;
+      queued_since[event.job] = clock;
+      tap(ProtocolEventKind::kRequeued, rec, clock, reason, res.steps_done,
+          res.dollars);
+      trace.virtual_instant("requeued", "sched", rec.spec.id, clock,
+                            {{"reason", reason}});
+      metrics.add("campaign_requeues_total", 1.0, {{"reason", reason}});
+      if (config_.seeded_bug == SeededBug::kSkipRestore) {
+        rec.steps_done += 1;  // seeded K1a violation: resume past checkpoint
+      }
+      if (config_.seeded_bug == SeededBug::kLostRequeue && !bug_armed) {
+        bug_armed = true;
+        return;  // seeded E1 violation: the job is never queued again
+      }
+      pending.insert(std::upper_bound(pending.begin(), pending.end(),
+                                      event.job),
+                     event.job);
+      if (config_.seeded_bug == SeededBug::kDoubleRequeue && !bug_armed) {
+        bug_armed = true;  // seeded S1 violation: two live attempts race
+        pending.insert(std::upper_bound(pending.begin(), pending.end(),
+                                        event.job),
+                       event.job);
+      }
+    };
+
     if (rec.steps_done >= rec.spec.timesteps) {
       rec.state = JobState::kCompleted;
       rec.finish_s = clock;
+      tap(ProtocolEventKind::kCompleted, rec, clock, {}, res.steps_done,
+          res.dollars);
       trace.virtual_instant("completed", "sched", rec.spec.id, clock,
                             {{"attempts", std::to_string(rec.attempts)}});
       metrics.add("campaign_jobs_total", 1.0, {{"outcome", "completed"}});
     } else if (res.overrun_aborted) {
       ++rec.overruns;
       if (rec.attempts >= config_.max_attempts) {
-        fail(rec, "attempt limit reached after overrun stop");
+        fail(rec, "attempt limit reached after overrun stop", res.steps_done,
+             res.dollars);
       } else {
-        // Requeue with refreshed parameters: the tracker already holds
-        // this attempt's measurement, so the next placement predicts from
-        // the corrected model and resumes at the checkpointed step.
-        rec.state = JobState::kPending;
-        queued_since[event.job] = clock;
-        trace.virtual_instant("requeued", "sched", rec.spec.id, clock,
-                              {{"reason", "overrun"}});
-        metrics.add("campaign_requeues_total", 1.0,
-                    {{"reason", "overrun"}});
-        pending.insert(std::upper_bound(pending.begin(), pending.end(),
-                                        event.job),
-                       event.job);
+        requeue("overrun");
+      }
+    } else if (res.worker_crashed) {
+      if (rec.attempts >= config_.max_attempts) {
+        fail(rec, "attempt limit reached after worker crash", res.steps_done,
+             res.dollars);
+      } else {
+        requeue("crash");
       }
     } else if (res.retries_exhausted) {
       if (rec.attempts >= config_.max_attempts) {
-        fail(rec, "spot retries exhausted");
+        fail(rec, "spot retries exhausted", res.steps_done, res.dollars);
       } else {
         // Preempted past the retry bound: requeue on on-demand capacity.
         rec.spec.allow_spot = false;
-        rec.state = JobState::kPending;
-        queued_since[event.job] = clock;
-        trace.virtual_instant("requeued", "sched", rec.spec.id, clock,
-                              {{"reason", "retries"}});
-        metrics.add("campaign_requeues_total", 1.0,
-                    {{"reason", "retries"}});
-        pending.insert(std::upper_bound(pending.begin(), pending.end(),
-                                        event.job),
-                       event.job);
+        requeue("retries");
       }
     } else {
-      fail(rec, "attempt made no progress");
+      fail(rec, "attempt made no progress", res.steps_done, res.dollars);
     }
   }
 

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "sched/guard.hpp"
+#include "sched/history.hpp"
 #include "sched/report.hpp"
 #include "sched/scheduler.hpp"
 #include "util/common.hpp"
@@ -66,6 +67,27 @@ class WorkerPool {
   bool stop_ = false;
 };
 
+/// Deliberately-wrong executor variants for the nemesis self-test
+/// (specs/executor_protocol.md §4): each seeds exactly one protocol
+/// violation that the history checker (src/nemesis/checker.hpp) must
+/// flag, proving the engine→history→checker path detects real protocol
+/// regressions end to end. Never enabled outside tests.
+enum class SeededBug {
+  kNone,
+  /// A settled attempt's cost is applied to the job twice (violates C1:
+  /// kill+requeue must conserve the accounting).
+  kDoubleCharge,
+  /// An overrun/crash requeue is recorded but the job is never re-queued,
+  /// so it ends in a non-terminal state (violates E1).
+  kLostRequeue,
+  /// A requeued job is queued twice, racing two live attempts of the
+  /// same job (violates S1: placed while already running).
+  kDoubleRequeue,
+  /// A requeue resumes one chunk past the durable checkpoint, fabricating
+  /// progress that was never computed (violates K1a).
+  kSkipRestore,
+};
+
 /// Engine configuration.
 struct EngineConfig {
   index_t n_workers = 4;
@@ -80,6 +102,14 @@ struct EngineConfig {
   /// Deterministic fault injection applied to every attempt (all-off by
   /// default; see sched::FaultInjection and src/check/).
   FaultInjection faults;
+  /// Protocol history tap (specs/executor_protocol.md): when set, the
+  /// coordinator records every protocol event into it, in deterministic
+  /// virtual-time settlement order. Must outlive run(). Null (default)
+  /// records nothing and changes no behaviour.
+  ProtocolHistory* history = nullptr;
+  /// Seeded protocol violation for checker self-tests; kNone in
+  /// production and in every non-self-test path.
+  SeededBug seeded_bug = SeededBug::kNone;
 };
 
 /// The campaign execution engine.

@@ -46,6 +46,20 @@ AttemptResult simulate_attempt(const AttemptContext& ctx) {
         scaled_step_seconds(exec, ctx.resolution_factor) *
         static_cast<real_t>(this_steps) * ctx.faults.slowdown_factor;
 
+    // Injected worker crash: the process dies partway through the chunk
+    // regardless of tenancy. The allocation is paid up to the strike, the
+    // in-flight chunk is lost, and the attempt ends at the last durable
+    // checkpoint — kill+requeue recovery is the engine's job. Draws are
+    // gated on the rate so disabled injection leaves the stream intact.
+    if (ctx.faults.worker_crash_probability > 0.0 &&
+        rng.uniform() < ctx.faults.worker_crash_probability) {
+      occupied_s += chunk_s * rng.uniform();
+      res.worker_crashed = true;
+      res.events.push_back({AttemptEvent::Kind::kWorkerCrash,
+                            occupied_s + backoff_s, done});
+      break;
+    }
+
     if (ctx.placement.spot) {
       // Poisson interruption arrivals over the chunk's wall time, plus any
       // injected interruption storm.

@@ -56,9 +56,17 @@ struct FaultInjection {
   /// well (one extra restart overhead is paid for the deeper reload).
   real_t checkpoint_corruption_rate = 0.0;
 
+  /// Per-chunk probability that the worker process dies mid-chunk (any
+  /// tenancy, unlike spot preemption). The in-flight chunk is lost and
+  /// paid for up to the strike point, the attempt ends at its last
+  /// durable checkpoint with AttemptResult::worker_crashed set, and the
+  /// engine requeues the job. The draw is gated on the rate so disabled
+  /// injection leaves the RNG stream untouched.
+  real_t worker_crash_probability = 0.0;
+
   [[nodiscard]] bool any() const noexcept {
     return slowdown_factor != 1.0 || extra_preemption_probability > 0.0 ||
-           checkpoint_corruption_rate > 0.0;
+           checkpoint_corruption_rate > 0.0 || worker_crash_probability > 0.0;
   }
 };
 

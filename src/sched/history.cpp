@@ -1,0 +1,59 @@
+#include "sched/history.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace hemo::sched {
+
+const char* protocol_event_name(ProtocolEventKind kind) {
+  switch (kind) {
+    case ProtocolEventKind::kSubmitted: return "submitted";
+    case ProtocolEventKind::kPlaced: return "placed";
+    case ProtocolEventKind::kPreemption: return "preemption";
+    case ProtocolEventKind::kCorruptRestore: return "corrupt_restore";
+    case ProtocolEventKind::kGuardStop: return "guard_stop";
+    case ProtocolEventKind::kWorkerCrash: return "worker_crash";
+    case ProtocolEventKind::kRequeued: return "requeued";
+    case ProtocolEventKind::kCompleted: return "completed";
+    case ProtocolEventKind::kFailed: return "failed";
+  }
+  return "?";
+}
+
+void ProtocolHistory::record(ProtocolEvent event) {
+  event.seq = static_cast<index_t>(events.size());
+  events.push_back(std::move(event));
+}
+
+namespace {
+
+/// Deterministic numeric rendering for canonical bytes: %.9g is exact for
+/// the virtual clock / dollar values the engine produces and renders the
+/// same bytes for the same double on every run.
+std::string canon_num(real_t value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string ProtocolHistory::canonical() const {
+  std::ostringstream os;
+  for (const ProtocolEvent& e : events) {
+    os << e.seq << ' ' << protocol_event_name(e.kind) << " job=" << e.job
+       << " att=" << e.attempt << " t=" << canon_num(e.at_s.value())
+       << " steps=" << e.steps << " usd=" << canon_num(e.usd.value());
+    if (e.kind == ProtocolEventKind::kRequeued ||
+        e.kind == ProtocolEventKind::kCompleted ||
+        e.kind == ProtocolEventKind::kFailed) {
+      os << " d_steps=" << e.delta_steps
+         << " d_usd=" << canon_num(e.delta_usd.value());
+    }
+    if (!e.detail.empty()) os << ' ' << e.detail;
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace hemo::sched

@@ -84,6 +84,7 @@ struct AttemptEvent {
     kPreemption,     ///< spot capacity reclaimed; checkpoint/backoff/restart
     kCorruptRestore, ///< injected corrupted checkpoint forced a re-run
     kGuardStop,      ///< overrun guard hard-stopped the attempt
+    kWorkerCrash,    ///< worker died mid-attempt; ends at the checkpoint
   };
   Kind kind = Kind::kPreemption;
   units::Seconds at_s;      ///< offset from attempt start (virtual)
@@ -106,6 +107,10 @@ struct AttemptResult {
   index_t checkpoint_corruptions = 0;
   bool overrun_aborted = false;    ///< guard hard stop (>10 % over model)
   bool retries_exhausted = false;  ///< preempted beyond the retry bound
+  /// Worker died mid-attempt (FaultInjection::worker_crash_probability);
+  /// the attempt ends at its last durable checkpoint and the engine
+  /// requeues it (or fails the job when attempts are exhausted).
+  bool worker_crashed = false;
   /// Faults and guard stops in virtual order (offsets from attempt start).
   std::vector<AttemptEvent> events;
 };
@@ -124,6 +129,7 @@ struct JobRecord {
   index_t preemptions = 0;
   index_t checkpoint_corruptions = 0;  ///< injected-fault recoveries
   index_t overruns = 0;  ///< guard-triggered requeues
+  index_t crashes = 0;   ///< worker-crash requeues (injected faults only)
   std::vector<Placement> placements;  ///< one per attempt
   std::string failure;                ///< why the job failed, if it did
 };

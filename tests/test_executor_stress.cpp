@@ -185,7 +185,7 @@ TEST(ExecutorStress, AttemptEventsAreOrderedAndMatchCounters) {
   const AttemptResult res = simulate_attempt(ctx);
   ASSERT_FALSE(res.events.empty()) << "fault storm produced no events";
 
-  index_t preemptions = 0, corruptions = 0, guard_stops = 0;
+  index_t preemptions = 0, corruptions = 0, guard_stops = 0, crashes = 0;
   units::Seconds previous{0.0};
   for (const AttemptEvent& event : res.events) {
     EXPECT_GE(event.at_s.value(), previous.value())
@@ -201,11 +201,13 @@ TEST(ExecutorStress, AttemptEventsAreOrderedAndMatchCounters) {
       case AttemptEvent::Kind::kPreemption: ++preemptions; break;
       case AttemptEvent::Kind::kCorruptRestore: ++corruptions; break;
       case AttemptEvent::Kind::kGuardStop: ++guard_stops; break;
+      case AttemptEvent::Kind::kWorkerCrash: ++crashes; break;
     }
   }
   EXPECT_EQ(preemptions, res.preemptions);
   EXPECT_EQ(corruptions, res.checkpoint_corruptions);
   EXPECT_EQ(guard_stops, res.overrun_aborted ? 1 : 0);
+  EXPECT_EQ(crashes, res.worker_crashed ? 1 : 0);
   EXPECT_GT(res.preemptions, 0) << "storm must exercise spot preemption";
 }
 

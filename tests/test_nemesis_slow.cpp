@@ -1,0 +1,41 @@
+// Slow-tier nemesis sweeps (ctest label "slow"): the full seeded storm
+// properties at CI depth — every storm preset, many generated schedules
+// each, every one driven through worker counts {1,2,8} and replayed
+// through the invariant checker — plus the checker self-test across
+// several seeds. Tier-1 runs the same machinery at smoke depth
+// (test_nemesis.cpp); this is the coverage sweep.
+#include <gtest/gtest.h>
+
+#include "nemesis/harness.hpp"
+
+namespace hemo::nemesis {
+namespace {
+
+TEST(NemesisSweep, EveryStormPropertyHoldsAtDepth) {
+  check::PropertyConfig config;
+  config.seed = global_seed();
+  config.cases = 15;
+  for (const std::string& storm : storm_names()) {
+    std::shared_ptr<NemesisFailure> failure;
+    const check::PropertyResult result =
+        nemesis_property(storm, config, &failure);
+    std::string evidence = result.summary();
+    if (failure) {
+      evidence += '\n';
+      evidence += failure->verdict.check.summary();
+    }
+    EXPECT_TRUE(result.passed) << evidence;
+  }
+}
+
+TEST(NemesisSweep, SelfTestHoldsAcrossSeeds) {
+  for (const std::uint64_t seed : {42ull, 7ull, 1234ull, 99ull}) {
+    const SelfTestReport report = run_protocol_self_test(seed);
+    EXPECT_TRUE(report.all_detected())
+        << "seed " << seed << ":\n"
+        << report.summary();
+  }
+}
+
+}  // namespace
+}  // namespace hemo::nemesis
