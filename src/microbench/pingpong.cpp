@@ -36,8 +36,11 @@ std::vector<PingPongSample> simulated_pingpong(
 namespace {
 
 /// Single-producer single-consumer mailbox used by the threaded pingpong.
+/// `turn` is a two-party turnstile: each side release-stores the other's
+/// turn after touching the buffer and acquire-spins for its own, so the
+/// buffer handoff is ordered without a lock (DESIGN.md §13).
 struct Mailbox {
-  std::atomic<int> turn{0};  // 0: ping writes, 1: pong writes
+  std::atomic<int> turn{0};  // atomic-ok(release/acquire SPSC turnstile)
   std::vector<char> buffer;
 };
 

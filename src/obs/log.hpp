@@ -52,8 +52,10 @@ inline LogLevel parse_log_level(const char* text, LogLevel fallback) noexcept {
 /// The process log level: HEMO_LOG_LEVEL when set, else info. Read once and
 /// cached (matching the HEMO_SEED convention in util/rng.cpp).
 inline LogLevel log_level() noexcept {
-  static const LogLevel level =
-      parse_log_level(std::getenv("HEMO_LOG_LEVEL"), LogLevel::kInfo);
+  // Single getenv inside a once-initialised static, before any worker
+  // thread logs — the race concurrency-mt-unsafe flags cannot occur.
+  static const LogLevel level = parse_log_level(
+      std::getenv("HEMO_LOG_LEVEL"), LogLevel::kInfo);  // NOLINT(concurrency-mt-unsafe)
   return level;
 }
 

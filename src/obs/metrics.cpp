@@ -111,7 +111,7 @@ MetricsRegistry& MetricsRegistry::global() {
 }
 
 void MetricsRegistry::reset() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   metrics_.clear();
 }
 
@@ -135,14 +135,14 @@ MetricsRegistry::Metric& MetricsRegistry::series_locked(
 void MetricsRegistry::add(std::string_view name, real_t delta,
                           const Labels& labels) {
   if (!enabled()) return;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   series_locked(name, labels, MetricKind::kCounter).value += delta;
 }
 
 void MetricsRegistry::set(std::string_view name, real_t value,
                           const Labels& labels) {
   if (!enabled()) return;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   series_locked(name, labels, MetricKind::kGauge).value = value;
 }
 
@@ -150,7 +150,7 @@ void MetricsRegistry::observe(std::string_view name, real_t value,
                               const Labels& labels,
                               std::span<const real_t> edges) {
   if (!enabled()) return;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   Metric& metric = series_locked(name, labels, MetricKind::kHistogram);
   HistogramData& h = metric.histogram;
   if (h.edges.empty()) {
@@ -172,7 +172,7 @@ void MetricsRegistry::observe(std::string_view name, real_t value,
 }
 
 std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   std::vector<MetricSnapshot> out;
   out.reserve(metrics_.size());
   for (const auto& [key, metric] : metrics_) {
@@ -188,7 +188,7 @@ std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
 }
 
 std::size_t MetricsRegistry::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return metrics_.size();
 }
 

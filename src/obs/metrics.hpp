@@ -22,7 +22,6 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -30,6 +29,7 @@
 #include <vector>
 
 #include "util/common.hpp"
+#include "util/sync.hpp"
 
 namespace hemo::obs {
 
@@ -94,31 +94,33 @@ class MetricsRegistry {
   }
 
   /// Drops every series (the enabled flag is left untouched).
-  void reset();
+  void reset() HEMO_EXCLUDES(mutex_);
 
   /// Counter += delta (creates the series at zero on first use).
   void add(std::string_view name, real_t delta = 1.0,
-           const Labels& labels = {});
+           const Labels& labels = {}) HEMO_EXCLUDES(mutex_);
 
   /// Gauge = value.
-  void set(std::string_view name, real_t value, const Labels& labels = {});
+  void set(std::string_view name, real_t value, const Labels& labels = {})
+      HEMO_EXCLUDES(mutex_);
 
   /// Histogram observation. `edges` fixes the bucket ladder when the
   /// series is first observed (the default ladder otherwise) and is
   /// ignored on later calls.
   void observe(std::string_view name, real_t value, const Labels& labels = {},
-               std::span<const real_t> edges = {});
+               std::span<const real_t> edges = {}) HEMO_EXCLUDES(mutex_);
 
   /// All series, sorted by canonical key (deterministic given the same
   /// recorded values).
-  [[nodiscard]] std::vector<MetricSnapshot> snapshot() const;
+  [[nodiscard]] std::vector<MetricSnapshot> snapshot() const
+      HEMO_EXCLUDES(mutex_);
 
   /// One JSON object per line, in snapshot order; the `--metrics` file
   /// format (parsed back by `hemocloud_cli metrics`).
-  [[nodiscard]] std::string to_jsonl() const;
+  [[nodiscard]] std::string to_jsonl() const HEMO_EXCLUDES(mutex_);
 
   /// Number of live series (0 when disabled throughout).
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t size() const HEMO_EXCLUDES(mutex_);
 
  private:
   struct Metric {
@@ -130,11 +132,13 @@ class MetricsRegistry {
   };
 
   Metric& series_locked(std::string_view name, const Labels& labels,
-                        MetricKind kind);
+                        MetricKind kind) HEMO_REQUIRES(mutex_);
 
-  std::atomic<bool> enabled_{false};
-  mutable std::mutex mutex_;
-  std::map<std::string, Metric> metrics_;
+  // Flipped only between concurrent phases; the disabled fast path is one
+  // relaxed load (DESIGN.md §13 atomic protocol table).
+  std::atomic<bool> enabled_{false};  // atomic-ok(relaxed on/off latch)
+  mutable Mutex mutex_;  ///< guards the series map
+  std::map<std::string, Metric> metrics_ HEMO_GUARDED_BY(mutex_);
 };
 
 /// Writes `registry.to_jsonl()` to `path` (truncating). Throws

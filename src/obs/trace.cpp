@@ -43,12 +43,12 @@ TraceRecorder& TraceRecorder::global() {
 }
 
 void TraceRecorder::reset() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   events_.clear();
 }
 
 void TraceRecorder::record(Event event) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   events_.push_back(std::move(event));
 }
 
@@ -112,7 +112,7 @@ TraceRecorder::WallSpan::~WallSpan() {
 }
 
 std::size_t TraceRecorder::virtual_event_count() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   std::size_t n = 0;
   for (const Event& event : events_) {
     if (!event.wall) ++n;
@@ -122,7 +122,7 @@ std::size_t TraceRecorder::virtual_event_count() const {
 
 std::vector<TraceRecorder::VirtualEvent> TraceRecorder::virtual_events()
     const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   std::vector<VirtualEvent> out;
   for (const Event& event : events_) {
     if (event.wall) continue;
@@ -142,7 +142,7 @@ std::vector<TraceRecorder::VirtualEvent> TraceRecorder::virtual_events()
 std::string TraceRecorder::to_chrome_json(bool include_wall) const {
   std::vector<Event> events;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     events = events_;
   }
 

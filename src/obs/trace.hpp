@@ -22,13 +22,13 @@
 
 #include <atomic>
 #include <chrono>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "units/units.hpp"
 #include "util/common.hpp"
+#include "util/sync.hpp"
 
 namespace hemo::obs {
 
@@ -55,17 +55,18 @@ class TraceRecorder {
   }
 
   /// Drops every recorded event (the enabled flag is left untouched).
-  void reset();
+  void reset() HEMO_EXCLUDES(mutex_);
 
   /// Complete span on the virtual clock; `track` groups spans into one
   /// timeline row (the engine uses the job id). start <= end required.
   void virtual_span(std::string name, std::string category, index_t track,
                     units::Seconds start, units::Seconds end,
-                    TraceArgs args = {});
+                    TraceArgs args = {}) HEMO_EXCLUDES(mutex_);
 
   /// Instant event on the virtual clock (guard kills, preemptions, ...).
   void virtual_instant(std::string name, std::string category, index_t track,
-                       units::Seconds at, TraceArgs args = {});
+                       units::Seconds at, TraceArgs args = {})
+      HEMO_EXCLUDES(mutex_);
 
   /// RAII wall-clock span: stamps steady_clock on construction and records
   /// the complete event on destruction. A span from a disabled recorder is
@@ -95,7 +96,8 @@ class TraceRecorder {
   }
 
   /// Number of recorded virtual-clock events.
-  [[nodiscard]] std::size_t virtual_event_count() const;
+  [[nodiscard]] std::size_t virtual_event_count() const
+      HEMO_EXCLUDES(mutex_);
 
   /// One virtual-track event, as recorded. This is the structured export
   /// the nemesis harness (src/nemesis/) consumes to cross-check the
@@ -113,12 +115,14 @@ class TraceRecorder {
 
   /// Copies the virtual track (pid 1) in recording order; wall-clock
   /// events are excluded. Thread-safe, like the JSON export.
-  [[nodiscard]] std::vector<VirtualEvent> virtual_events() const;
+  [[nodiscard]] std::vector<VirtualEvent> virtual_events() const
+      HEMO_EXCLUDES(mutex_);
 
   /// Chrome trace-event JSON ({"traceEvents":[...]}). Events keep their
   /// recording order; `include_wall=false` exports only the virtual track,
   /// which is the byte-stable artifact the determinism tests compare.
-  [[nodiscard]] std::string to_chrome_json(bool include_wall = true) const;
+  [[nodiscard]] std::string to_chrome_json(bool include_wall = true) const
+      HEMO_EXCLUDES(mutex_);
 
   /// Writes to_chrome_json() to `path` (truncating). Throws NumericError
   /// when the file cannot be written.
@@ -137,11 +141,13 @@ class TraceRecorder {
     TraceArgs args;
   };
 
-  void record(Event event);
+  void record(Event event) HEMO_EXCLUDES(mutex_);
 
-  std::atomic<bool> enabled_{false};
-  mutable std::mutex mutex_;
-  std::vector<Event> events_;
+  // Flipped only between concurrent phases; the disabled fast path is one
+  // relaxed load (DESIGN.md §13 atomic protocol table).
+  std::atomic<bool> enabled_{false};  // atomic-ok(relaxed on/off latch)
+  mutable Mutex mutex_;  ///< guards the recorded event log
+  std::vector<Event> events_ HEMO_GUARDED_BY(mutex_);
 };
 
 }  // namespace hemo::obs

@@ -264,7 +264,11 @@ void ParallelSolver::run(index_t n) {
   HEMO_REQUIRE(n >= 0, "negative step count");
   if (n == 0) return;
   const auto n_ranks = static_cast<std::ptrdiff_t>(states_.size());
-  std::barrier<EpochCallback> sync(n_ranks, EpochCallback{this});
+  // The completion step runs while every rank thread is parked inside the
+  // barrier, which is the happens-before edge the shared-state writes in
+  // on_epoch() rely on (DESIGN.md §13).
+  std::barrier<EpochCallback> sync(  // sync-ok(lockstep epoch barrier)
+      n_ranks, EpochCallback{this});
 
   auto trace_span = obs::TraceRecorder::global().wall_span(
       "parallel_run", "runtime",

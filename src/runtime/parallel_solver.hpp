@@ -20,7 +20,10 @@
 // completion step (running while every rank thread is quiescent) advances
 // the shared timestep, flushes per-window timings into obs::, and applies
 // dynamic rebalancing migrations — the only place shared topology is
-// mutated, with the barrier providing the happens-before edges.
+// mutated, with the barrier providing the happens-before edges. Because
+// the protocol is quiescence (barrier completion), not a mutex, TSA
+// cannot check it; the control state below is deliberately lock-free and
+// the full protocol is written out in DESIGN.md §13.
 //
 // Per-rank wall-clock t_mem / t_comm (pack, wait, unpack) are measured
 // every step and exported through the obs layer; runtime::validation
@@ -158,10 +161,14 @@ class ParallelSolver {
 
   /// One directed halo message: owner-packed buffer plus the epoch stamp
   /// the receiver spins on. Heap-allocated (atomics are immovable).
+  /// The stamp is the runtime's one lock-free handshake: the owner packs
+  /// `buffer` and release-stores seq = t + 1; the receiver acquire-spins
+  /// until the stamp arrives, which makes the packed bytes visible
+  /// (DESIGN.md §13 atomic protocol table).
   struct Mailbox {
     index_t channel = 0;  ///< index into topo_.channels
     std::vector<double> buffer;
-    std::atomic<index_t> seq{0};
+    std::atomic<index_t> seq{0};  // atomic-ok(release-publish/acquire-spin)
   };
 
   /// (Re)builds topology, mailboxes, channel maps, and rank arrays from

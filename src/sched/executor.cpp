@@ -21,7 +21,7 @@ WorkerPool::WorkerPool(index_t n_threads) {
 
 WorkerPool::~WorkerPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -33,7 +33,7 @@ std::future<AttemptResult> WorkerPool::submit(
   std::packaged_task<AttemptResult()> packaged(std::move(task));
   std::future<AttemptResult> future = packaged.get_future();
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     HEMO_REQUIRE(!stop_, "submit on a stopped worker pool");
     queue_.push_back(std::move(packaged));
   }
@@ -45,8 +45,8 @@ void WorkerPool::worker_loop() {
   for (;;) {
     std::packaged_task<AttemptResult()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stop_ && queue_.empty()) cv_.wait(mutex_);
       if (queue_.empty()) return;  // stop_ set and nothing left to run
       task = std::move(queue_.front());
       queue_.pop_front();

@@ -23,12 +23,10 @@
 // any worker count, which tests/test_sched.cpp asserts.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -37,6 +35,7 @@
 #include "sched/report.hpp"
 #include "sched/scheduler.hpp"
 #include "util/common.hpp"
+#include "util/sync.hpp"
 
 namespace hemo::sched {
 
@@ -51,20 +50,21 @@ class WorkerPool {
 
   /// Enqueues one attempt; the future resolves when a worker finishes it.
   [[nodiscard]] std::future<AttemptResult> submit(
-      std::function<AttemptResult()> task);
+      std::function<AttemptResult()> task) HEMO_EXCLUDES(mutex_);
 
   [[nodiscard]] index_t size() const noexcept {
     return static_cast<index_t>(threads_.size());
   }
 
  private:
-  void worker_loop();
+  void worker_loop() HEMO_EXCLUDES(mutex_);
 
   std::vector<std::thread> threads_;
-  std::deque<std::packaged_task<AttemptResult()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mutex_;  ///< guards the work queue and the stop latch
+  CondVar cv_;   ///< signaled under mutex_ on push and on stop
+  std::deque<std::packaged_task<AttemptResult()>> queue_
+      HEMO_GUARDED_BY(mutex_);
+  bool stop_ HEMO_GUARDED_BY(mutex_) = false;
 };
 
 /// Deliberately-wrong executor variants for the nemesis self-test

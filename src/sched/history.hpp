@@ -60,7 +60,12 @@ struct ProtocolEvent {
 };
 
 /// Append-only total-ordered event log. Single-writer by contract (the
-/// engine coordinator); readers run after the campaign returns.
+/// engine coordinator); readers run after the campaign returns. That
+/// contract — not a lock — is the synchronization: record() must never be
+/// called concurrently, so the struct deliberately carries no Mutex and
+/// stays out of the thread-safety capability map (DESIGN.md §13). If a
+/// future multi-shard service ever shares one history across coordinator
+/// threads, it must grow a hemo::Mutex with events GUARDED_BY it.
 struct ProtocolHistory {
   std::vector<ProtocolEvent> events;
 

@@ -20,7 +20,10 @@ std::uint64_t parse_seed(const char* text, std::uint64_t fallback) noexcept {
 
 std::uint64_t global_seed() noexcept {
   static const std::uint64_t seed = [] {
-    const char* env = std::getenv("HEMO_SEED");
+    // Read exactly once, before any worker thread exists (function-local
+    // static init), so the getenv race concurrency-mt-unsafe guards
+    // against cannot occur.
+    const char* env = std::getenv("HEMO_SEED");  // NOLINT(concurrency-mt-unsafe)
     const std::uint64_t s = parse_seed(env, 42);
     HEMO_LOG_INFO("effective seed %" PRIu64 " (%s)", s,
                   env != nullptr ? "from HEMO_SEED"

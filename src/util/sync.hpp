@@ -1,0 +1,143 @@
+// Compile-time concurrency safety: annotated synchronization primitives.
+//
+// Every mutex in src/ goes through this header so Clang's Thread Safety
+// Analysis (-Wthread-safety, wired up in CMakeLists.txt and promoted to an
+// error under HEMO_WERROR) can prove the locking protocol at compile time:
+// which capability guards which member (HEMO_GUARDED_BY), which helpers may
+// only run with the lock held (HEMO_REQUIRES), and which public entry
+// points must be called without it (HEMO_EXCLUDES). On GCC the annotation
+// macros expand to nothing and the wrappers compile down to the plain
+// std primitives they hold — zero behavioural or layout surprises, which
+// is why the TSan jobs and the GCC tier-1 build keep running unchanged.
+//
+// The discipline is enforced two ways:
+//   * tools/lint_sync.py (ctest `lint_sync`) fails any raw std::mutex /
+//     std::lock_guard / std::unique_lock / std::condition_variable /
+//     std::barrier / bare std::atomic in src/ that is not either in this
+//     header or annotated `// sync-ok(reason)` / `// atomic-ok(protocol)`;
+//   * tests/compile_fail/thread_safety/ probes prove the analysis has
+//     teeth: unguarded reads, lock-free REQUIRES calls, double-acquires,
+//     and guarded-reference escapes all fail to compile under Clang.
+//
+// Lock-free surfaces TSA cannot see (mailbox epoch stamps, enabled flags,
+// barrier completion steps) carry `// atomic-ok(protocol)` tags and are
+// documented in DESIGN.md §13's atomic protocol table.
+#pragma once
+
+#include <condition_variable>  // sync-ok(wrapped by hemo::CondVar below)
+#include <mutex>               // sync-ok(wrapped by hemo::Mutex below)
+
+// ---------------------------------------------------------------------------
+// Thread Safety Analysis annotation macros (Clang-only; no-ops elsewhere).
+// Names follow the capability vocabulary of the Clang TSA documentation.
+// ---------------------------------------------------------------------------
+#if defined(__clang__)
+#define HEMO_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define HEMO_THREAD_ANNOTATION(x)  // expands to nothing: GCC, MSVC, ...
+#endif
+
+/// Declares a type to be a capability ("mutex", "role", ...).
+#define HEMO_CAPABILITY(x) HEMO_THREAD_ANNOTATION(capability(x))
+/// Declares an RAII type that acquires on construction, releases on
+/// destruction (std::lock_guard shape).
+#define HEMO_SCOPED_CAPABILITY HEMO_THREAD_ANNOTATION(scoped_lockable)
+/// Data member readable/writable only while holding the capability.
+#define HEMO_GUARDED_BY(x) HEMO_THREAD_ANNOTATION(guarded_by(x))
+/// Pointer member whose *pointee* is guarded by the capability.
+#define HEMO_PT_GUARDED_BY(x) HEMO_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Lock-ordering declarations (deadlock prevention).
+#define HEMO_ACQUIRED_BEFORE(...) \
+  HEMO_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define HEMO_ACQUIRED_AFTER(...) \
+  HEMO_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+/// Function may only be called while already holding the capability.
+#define HEMO_REQUIRES(...) \
+  HEMO_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define HEMO_REQUIRES_SHARED(...) \
+  HEMO_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+/// Function acquires the capability and holds it on return.
+#define HEMO_ACQUIRE(...) \
+  HEMO_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases a held capability.
+#define HEMO_RELEASE(...) \
+  HEMO_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function acquires the capability iff it returns the given value.
+#define HEMO_TRY_ACQUIRE(...) \
+  HEMO_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// Function must be called *without* the capability (it takes it itself).
+#define HEMO_EXCLUDES(...) HEMO_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Function returns a reference to the named capability.
+#define HEMO_RETURN_CAPABILITY(x) HEMO_THREAD_ANNOTATION(lock_returned(x))
+/// Escape hatch: disables the analysis for one function. Every use needs a
+/// comment explaining why the protocol is correct anyway.
+#define HEMO_NO_THREAD_SAFETY_ANALYSIS \
+  HEMO_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace hemo {
+
+class CondVar;
+
+/// A std::mutex declared as a TSA capability. Prefer scoped MutexLock over
+/// manual lock()/unlock() pairs; try_lock() exists for contention probes.
+class HEMO_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() HEMO_ACQUIRE() { mutex_.lock(); }
+  void unlock() HEMO_RELEASE() { mutex_.unlock(); }
+  [[nodiscard]] bool try_lock() HEMO_TRY_ACQUIRE(true) {
+    return mutex_.try_lock();
+  }
+
+ private:
+  friend class CondVar;  ///< wait() releases/reacquires the raw mutex
+  std::mutex mutex_;     // sync-ok(the capability this wrapper annotates)
+};
+
+/// RAII scoped acquisition of a Mutex (std::lock_guard shape, visible to
+/// the analysis as a scoped capability).
+class HEMO_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) HEMO_ACQUIRE(mutex) : mutex_(&mutex) {
+    mutex_->lock();
+  }
+  ~MutexLock() HEMO_RELEASE() { mutex_->unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mutex_;
+};
+
+/// Condition variable paired with hemo::Mutex. wait() must be called with
+/// the mutex held (it atomically releases while blocked and reacquires
+/// before returning, exactly like std::condition_variable); guard the
+/// predicate with the usual `while (!pred) cv.wait(mutex);` loop.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(Mutex& mutex) HEMO_REQUIRES(mutex) {
+    // Adopt the already-held raw mutex for the wait, then release the
+    // unique_lock's ownership claim without unlocking — the caller's
+    // MutexLock (and the analysis) still own the capability throughout.
+    std::unique_lock<std::mutex> lock(  // sync-ok(adopt/release wait shim)
+        mutex.mutex_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+ private:
+  std::condition_variable cv_;  // sync-ok(wrapped primitive)
+};
+
+}  // namespace hemo

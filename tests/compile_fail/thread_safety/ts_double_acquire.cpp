@@ -1,0 +1,35 @@
+// Thread-safety compile-fail probe: acquiring a mutex the caller already
+// holds (self-deadlock with std::mutex) is rejected. Clang-only; the
+// guarded build must die with
+//   "acquiring mutex 'mutex_' that is already held".
+#include "util/sync.hpp"
+
+namespace {
+
+class Tally {
+ public:
+  void bump() {
+    const hemo::MutexLock lock(mutex_);
+#ifdef HEMO_COMPILE_FAIL
+    const hemo::MutexLock again(mutex_);  // double-acquire: deadlock
+#endif
+    ++value_;
+  }
+
+  [[nodiscard]] int value() {
+    const hemo::MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  hemo::Mutex mutex_;
+  int value_ HEMO_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Tally tally;
+  tally.bump();
+  return tally.value() == 1 ? 0 : 1;
+}

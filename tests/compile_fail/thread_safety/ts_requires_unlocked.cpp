@@ -1,0 +1,40 @@
+// Thread-safety compile-fail probe: a REQUIRES(mutex) helper may not be
+// called without the lock. Clang-only; the guarded build must die with
+//   "calling function 'push_locked' requires holding mutex 'mutex_'".
+#include "util/sync.hpp"
+
+namespace {
+
+class BoundedQueue {
+ public:
+  void push(int v) {
+    const hemo::MutexLock lock(mutex_);
+    push_locked(v);
+  }
+
+  void push_without_lock(int v) {
+#ifdef HEMO_COMPILE_FAIL
+    push_locked(v);  // REQUIRES(mutex_) helper called lock-free
+#else
+    push(v);
+#endif
+  }
+
+ private:
+  void push_locked(int v) HEMO_REQUIRES(mutex_) {
+    items_[static_cast<unsigned>(count_++) % 4u] = v;
+  }
+
+  hemo::Mutex mutex_;
+  int items_[4] HEMO_GUARDED_BY(mutex_) = {};
+  int count_ HEMO_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  BoundedQueue queue;
+  queue.push(1);
+  queue.push_without_lock(2);
+  return 0;
+}

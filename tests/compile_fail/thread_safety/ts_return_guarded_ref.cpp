@@ -1,0 +1,35 @@
+// Thread-safety compile-fail probe: returning a reference to a GUARDED_BY
+// member from a function that does not require the lock lets callers
+// mutate it unguarded; TSA rejects the escape. Clang-only; the guarded
+// build must die with
+//   "returning variable 'value_' by reference requires holding mutex".
+#include "util/sync.hpp"
+
+namespace {
+
+class Cell {
+ public:
+#ifdef HEMO_COMPILE_FAIL
+  // Guarded reference escapes without any lock requirement.
+  [[nodiscard]] int& slot() { return value_; }
+#else
+  // The annotated accessor: callers must already hold the lock.
+  [[nodiscard]] int& slot() HEMO_REQUIRES(mutex_) { return value_; }
+#endif
+
+  [[nodiscard]] int bump() {
+    const hemo::MutexLock lock(mutex_);
+    return ++slot();
+  }
+
+ private:
+  hemo::Mutex mutex_;
+  int value_ HEMO_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Cell cell;
+  return cell.bump() == 1 ? 0 : 1;
+}

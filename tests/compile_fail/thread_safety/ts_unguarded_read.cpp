@@ -1,0 +1,36 @@
+// Thread-safety compile-fail probe: a GUARDED_BY member may not be read
+// without holding its mutex. Clang-only (registered in tests/CMakeLists.txt
+// when the compiler is Clang); the guarded build must die with
+//   "reading variable 'value_' requires holding mutex 'mutex_'".
+#include "util/sync.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void increment() {
+    const hemo::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  [[nodiscard]] int read() const {
+#ifdef HEMO_COMPILE_FAIL
+    return value_;  // unguarded read of a GUARDED_BY(mutex_) member
+#else
+    const hemo::MutexLock lock(mutex_);
+    return value_;
+#endif
+  }
+
+ private:
+  mutable hemo::Mutex mutex_;
+  int value_ HEMO_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.increment();
+  return counter.read() == 1 ? 0 : 1;
+}

@@ -1,0 +1,154 @@
+// Tests for the annotated synchronization layer (src/util/sync.hpp):
+// Mutex lock/unlock and try_lock on both paths, MutexLock RAII exclusion
+// under real contention, and CondVar wakeup semantics (single handoff and
+// notify_all broadcast). The same file doubles as GCC build coverage for
+// the annotation macros — they expand to nothing there, and everything
+// must still compile and pass. Under Clang the whole file additionally
+// goes through -Wthread-safety, so the guarded members below are analysed
+// for real.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "util/sync.hpp"
+
+namespace hemo {
+namespace {
+
+TEST(MutexTest, LockUnlockRoundTrip) {
+  Mutex mutex;
+  mutex.lock();
+  mutex.unlock();
+  mutex.lock();
+  mutex.unlock();
+}
+
+TEST(MutexTest, TryLockSucceedsWhenFree) {
+  Mutex mutex;
+  ASSERT_TRUE(mutex.try_lock());
+  mutex.unlock();
+  // Released: a second attempt must succeed again.
+  ASSERT_TRUE(mutex.try_lock());
+  mutex.unlock();
+}
+
+TEST(MutexTest, TryLockFailsWhileHeld) {
+  Mutex mutex;
+  mutex.lock();
+  bool contended_acquire = true;
+  // std::mutex::try_lock from the owning thread is UB, so probe from a
+  // second thread while this one holds the lock.
+  std::thread prober([&] {
+    contended_acquire = mutex.try_lock();
+    if (contended_acquire) mutex.unlock();
+  });
+  prober.join();
+  mutex.unlock();
+  EXPECT_FALSE(contended_acquire);
+}
+
+/// A counter whose annotations mirror production use: the total is
+/// GUARDED_BY the mutex and only touched under a MutexLock.
+class GuardedCounter {
+ public:
+  void bump() HEMO_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
+    ++total_;
+  }
+
+  [[nodiscard]] int total() HEMO_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
+    return total_;
+  }
+
+ private:
+  Mutex mutex_;
+  int total_ HEMO_GUARDED_BY(mutex_) = 0;
+};
+
+TEST(MutexLockTest, ScopedExclusionUnderContention) {
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 1000;
+  GuardedCounter counter;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIncrements; ++i) counter.bump();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // Any lost update (a data race MutexLock failed to exclude) breaks the
+  // exact total.
+  EXPECT_EQ(counter.total(), kThreads * kIncrements);
+}
+
+/// Single-slot mailbox exercising CondVar in both directions: the consumer
+/// waits for `full_`, the producer waits for the slot to drain.
+class HandoffSlot {
+ public:
+  void put(int value) HEMO_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
+    while (full_) cv_.wait(mutex_);
+    value_ = value;
+    full_ = true;
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] int take() HEMO_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
+    while (!full_) cv_.wait(mutex_);
+    full_ = false;
+    cv_.notify_all();
+    return value_;
+  }
+
+ private:
+  Mutex mutex_;
+  CondVar cv_;
+  bool full_ HEMO_GUARDED_BY(mutex_) = false;
+  int value_ HEMO_GUARDED_BY(mutex_) = 0;
+};
+
+TEST(CondVarTest, ProducerConsumerHandoff) {
+  constexpr int kMessages = 64;
+  HandoffSlot slot;
+  std::vector<int> received;
+  received.reserve(kMessages);
+  std::thread consumer([&] {
+    for (int i = 0; i < kMessages; ++i) received.push_back(slot.take());
+  });
+  for (int i = 0; i < kMessages; ++i) slot.put(i);
+  consumer.join();
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kMessages));
+  for (int i = 0; i < kMessages; ++i) EXPECT_EQ(received[i], i);
+}
+
+TEST(CondVarTest, NotifyAllWakesEveryWaiter) {
+  constexpr int kWaiters = 4;
+  Mutex mutex;
+  CondVar cv;
+  bool released = false;
+  int awake = 0;
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int t = 0; t < kWaiters; ++t) {
+    waiters.emplace_back([&] {
+      const MutexLock lock(mutex);
+      while (!released) cv.wait(mutex);
+      ++awake;
+    });
+  }
+  {
+    const MutexLock lock(mutex);
+    released = true;
+    cv.notify_all();
+  }
+  for (auto& waiter : waiters) waiter.join();
+  const MutexLock lock(mutex);
+  EXPECT_EQ(awake, kWaiters);
+}
+
+}  // namespace
+}  // namespace hemo

@@ -15,8 +15,17 @@ the guarded build unexpectedly succeeds, or if the guarded build's error
 output does not mention the expected diagnostic marker given via
 --expect-error (defaults to no marker check).
 
+Extra compiler flags for BOTH builds are passed with repeatable
+--flag=-Wfoo options (use the `=` form so argparse does not eat the
+leading dash). The thread-safety probes (tests/compile_fail/
+thread_safety/) use this to run under Clang's
+-Wthread-safety -Wthread-safety-beta -Werror: the control build proves
+the annotated code is analysis-clean, the guarded build proves the seeded
+lock misuse is rejected for its stated reason.
+
 Usage:
-  compile_fail.py --cxx g++ --std c++20 -I src [--expect-error TEXT] case.cpp
+  compile_fail.py --cxx g++ --std c++20 -I src [--flag=-Wx ...]
+                  [--expect-error TEXT] case.cpp
 """
 from __future__ import annotations
 
@@ -25,11 +34,12 @@ import subprocess
 import sys
 
 
-def compile_once(cxx: str, std: str, includes: list[str], extra: list[str],
-                 source: str) -> subprocess.CompletedProcess:
+def compile_once(cxx: str, std: str, includes: list[str], flags: list[str],
+                 extra: list[str], source: str) -> subprocess.CompletedProcess:
     cmd = [cxx, f"-std={std}", "-fsyntax-only", "-Wall", "-Wextra"]
     for inc in includes:
         cmd += ["-I", inc]
+    cmd += flags
     cmd += extra
     cmd.append(source)
     return subprocess.run(cmd, capture_output=True, text=True)
@@ -41,18 +51,22 @@ def main() -> int:
     parser.add_argument("--std", default="c++20")
     parser.add_argument("-I", "--include", action="append", default=[],
                         dest="includes")
+    parser.add_argument("--flag", action="append", default=[], dest="flags",
+                        help="extra compiler flag for both builds "
+                             "(repeatable; use --flag=-Wfoo)")
     parser.add_argument("--expect-error", default=None,
                         help="substring required in the failing diagnostics")
     parser.add_argument("source")
     args = parser.parse_args()
 
-    control = compile_once(args.cxx, args.std, args.includes, [], args.source)
+    control = compile_once(args.cxx, args.std, args.includes, args.flags, [],
+                           args.source)
     if control.returncode != 0:
         print(f"FAIL: control build of {args.source} should compile but "
               f"did not:\n{control.stderr}", file=sys.stderr)
         return 1
 
-    guarded = compile_once(args.cxx, args.std, args.includes,
+    guarded = compile_once(args.cxx, args.std, args.includes, args.flags,
                            ["-DHEMO_COMPILE_FAIL"], args.source)
     if guarded.returncode == 0:
         print(f"FAIL: {args.source} compiled with -DHEMO_COMPILE_FAIL; the "

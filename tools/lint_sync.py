@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Tree lint: library code synchronizes through src/util/sync.hpp.
+
+Scans src/ (excluding src/util/sync.hpp, which implements the wrappers)
+for raw synchronization primitives:
+
+  * std::mutex / std::recursive_mutex / std::shared_mutex /
+    std::timed_mutex, std::lock_guard / std::unique_lock /
+    std::scoped_lock / std::shared_lock, std::condition_variable(_any),
+    and std::barrier — these bypass the Clang Thread Safety Analysis
+    capability layer (hemo::Mutex / hemo::MutexLock / hemo::CondVar), so
+    the locking protocol they implement is invisible to -Wthread-safety.
+    Exempt a deliberate site with `// sync-ok(<reason>)` on the same line.
+
+  * bare std::atomic declarations — TSA cannot check lock-free protocols,
+    so every atomic must carry its release/acquire pairing as a checked
+    `// atomic-ok(<protocol>)` tag on the same line, with the full
+    protocol documented in DESIGN.md §13's atomic protocol table.
+
+The reason/protocol text is mandatory — a bare escape fails the lint,
+mirroring tools/lint_units.py and tools/lint_logging.py.
+
+Usage: lint_sync.py [--root REPO_ROOT] [DIR ...]
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+DEFAULT_DIRS = ["src"]
+# The wrapper layer itself holds the raw primitives it annotates.
+EXCLUDED_FILES = ("src/util/sync.hpp",)
+
+RAW_SYNC = re.compile(
+    r"std::(?:recursive_|shared_|timed_)?mutex\b"
+    r"|std::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+    r"|std::condition_variable(?:_any)?\b"
+    r"|std::barrier\b"
+)
+RAW_ATOMIC = re.compile(r"std::atomic(?:<|_\w+\b)")
+SYNC_OK = re.compile(r"//\s*sync-ok\(([^)]*)\)")
+ATOMIC_OK = re.compile(r"//\s*atomic-ok\(([^)]*)\)")
+
+
+def lint_file(path: pathlib.Path) -> list[str]:
+    findings = []
+    in_block_comment = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if in_block_comment:
+            if "*/" in line:
+                in_block_comment = False
+            continue
+        if line.lstrip().startswith("//"):
+            continue
+        if "/*" in line and "*/" not in line:
+            in_block_comment = True
+
+        sync_match = RAW_SYNC.search(line)
+        if sync_match:
+            escape = SYNC_OK.search(line)
+            if escape:
+                if not escape.group(1).strip():
+                    findings.append(
+                        f"{path}:{lineno}: sync-ok() needs a reason: "
+                        f"{line.strip()}")
+            else:
+                findings.append(
+                    f"{path}:{lineno}: raw synchronization primitive "
+                    f"`{sync_match.group(0)}` — use hemo::Mutex / MutexLock "
+                    f"/ CondVar from src/util/sync.hpp so Clang TSA sees "
+                    f"the lock (or annotate `// sync-ok(reason)`): "
+                    f"{line.strip()}")
+            continue
+
+        atomic_match = RAW_ATOMIC.search(line)
+        if not atomic_match:
+            continue
+        escape = ATOMIC_OK.search(line)
+        if escape:
+            if not escape.group(1).strip():
+                findings.append(
+                    f"{path}:{lineno}: atomic-ok() needs its protocol: "
+                    f"{line.strip()}")
+            continue
+        findings.append(
+            f"{path}:{lineno}: bare `{atomic_match.group(0)}…` — TSA cannot "
+            f"check lock-free code; tag the declaration with its ordering "
+            f"protocol `// atomic-ok(protocol)` and document it in "
+            f"DESIGN.md §13: {line.strip()}")
+    return findings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".", help="repository root")
+    parser.add_argument("dirs", nargs="*", default=DEFAULT_DIRS,
+                        help=f"directories to scan (default: {DEFAULT_DIRS})")
+    args = parser.parse_args()
+
+    root = pathlib.Path(args.root)
+    findings: list[str] = []
+    n_files = 0
+    for rel in (args.dirs or DEFAULT_DIRS):
+        directory = root / rel
+        if not directory.is_dir():
+            print(f"lint_sync: no such directory: {directory}",
+                  file=sys.stderr)
+            return 2
+        for source in sorted(directory.rglob("*")):
+            if source.suffix not in (".hpp", ".cpp"):
+                continue
+            rel_path = source.relative_to(root).as_posix()
+            if rel_path in EXCLUDED_FILES:
+                continue
+            n_files += 1
+            findings.extend(lint_file(source))
+
+    for finding in findings:
+        print(finding, file=sys.stderr)
+    status = "FAIL" if findings else "OK"
+    print(f"lint_sync: {status} — {n_files} source files, "
+          f"{len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
