@@ -11,21 +11,37 @@
 //   hemocloud_cli simulate <geometry> <steps> [out.vtk]
 //       Run the real solver locally; optionally export the flow field.
 //   hemocloud_cli run <geometry> <steps> [--ranks N] [--rebalance]
+//                     [--profile out.folded]
 //       Run the threaded parallel runtime (src/runtime/) with real halo
 //       messaging, then characterize this host (STREAM + PingPong) and
 //       print the measured-vs-predicted per-rank table (Eq. 9 memory
 //       term, Eq. 12 communication term). --rebalance enables dynamic
-//       load rebalancing mid-run.
+//       load rebalancing mid-run; --profile samples the rank phase
+//       stacks and writes a collapsed-stack flamegraph profile.
 //   hemocloud_cli schedule <geometry> <n_jobs> <timesteps> [seed] [--csv]
 //                          [--trace out.json] [--metrics out.jsonl]
+//                          [--listen PORT] [--hold SEC]
 //       Run a model-driven campaign through the scheduler (src/sched/)
 //       and print the campaign report (--csv: canonical CSV instead of
 //       the table; byte-identical for a fixed seed). --trace exports a
 //       Chrome-trace/Perfetto JSON of the campaign (virtual-time spans
 //       are byte-stable for a fixed seed); --metrics writes a JSONL
-//       snapshot of the telemetry registry.
-//   hemocloud_cli metrics <file.jsonl>
-//       Summarize a --metrics snapshot as a table.
+//       snapshot of the telemetry registry. --listen serves the live
+//       telemetry plane (/metrics, /metrics.json, /healthz, /status)
+//       during the campaign and for --hold seconds afterwards, with the
+//       SLO watchdog and fault flight recorder armed.
+//   hemocloud_cli serve [geometry] [--port P] [--jobs N] [--steps T]
+//                       [--seed S] [--hold SEC]
+//       Observability quick-start: run a seeded campaign with the live
+//       telemetry plane up and keep serving afterwards (--hold SEC, -1 =
+//       until killed). `curl localhost:P/metrics` while it runs.
+//   hemocloud_cli metrics <file.jsonl> [--filter 'name{label=...}']
+//                         [--sort] [--format table|prom|json]
+//       Summarize a --metrics snapshot. --filter selects series by glob
+//       (over the name, or the full name{k=v} key when the pattern has
+//       '{'); --sort orders slowest-first (histogram sum / value, the
+//       same ordering `check` prints); --format prom re-renders the
+//       snapshot as Prometheus text exposition, json as one document.
 //   hemocloud_cli check [cases] [seed]
 //       Run the differential validation oracles (src/check/). Exit 0
 //       only when every oracle passes; failures print the shrunk
@@ -50,7 +66,10 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <sstream>
 #include <string>
+#include <thread>
 
 #include "check/mutation.hpp"
 #include "check/oracles.hpp"
@@ -59,9 +78,14 @@
 #include "decomp/partition.hpp"
 #include "harvey/simulation.hpp"
 #include "lbm/io.hpp"
+#include "obs/export.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/recorder.hpp"
+#include "obs/server.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "runtime/parallel_solver.hpp"
 #include "runtime/validation.hpp"
 #include "sched/executor.hpp"
@@ -221,7 +245,7 @@ int cmd_simulate(const std::string& geometry_name, index_t steps,
 }
 
 int cmd_run(const std::string& geometry_name, index_t steps, index_t ranks,
-            bool rebalance) {
+            bool rebalance, const std::string& profile_path) {
   HEMO_REQUIRE(steps > 0, "need at least one step");
   HEMO_REQUIRE(ranks >= 1, "need at least one rank");
   const auto geo = make_named_geometry(geometry_name);
@@ -241,11 +265,28 @@ int cmd_run(const std::string& geometry_name, index_t steps, index_t ranks,
             << (ranks == 1 ? "" : "s")
             << (rebalance ? " (dynamic rebalancing on)" : "") << "\n";
 
+  obs::PhaseProfiler& profiler = obs::PhaseProfiler::global();
+  if (!profile_path.empty()) profiler.start();
+
   const auto t0 = std::chrono::steady_clock::now();
   solver.run(steps);
   const real_t seconds =
       std::chrono::duration<real_t>(std::chrono::steady_clock::now() - t0)
           .count();
+
+  if (!profile_path.empty()) {
+    profiler.stop();
+    profiler.write_folded(profile_path);
+    const real_t sampled_s =
+        static_cast<real_t>(profiler.sample_count()) *
+        profiler.period_seconds();
+    HEMO_LOG_INFO("profile written to %s (%llu samples over %.3f s; "
+                  "render with flamegraph.pl or speedscope)",
+                  profile_path.c_str(),
+                  static_cast<unsigned long long>(profiler.sample_count()),
+                  sampled_s);
+  }
+
   std::cout << steps << " steps in " << TextTable::num(seconds, 2)
             << " s = "
             << TextTable::num(lbm::mflups(mesh.num_points(), steps, seconds),
@@ -295,15 +336,74 @@ int cmd_run(const std::string& geometry_name, index_t steps, index_t ranks,
   return 0;
 }
 
+/// The live telemetry plane of one CLI invocation: metrics registry and
+/// fault flight recorder armed, SLO watchdog evaluating on a cadence, and
+/// the HTTP server up on 127.0.0.1. When the watchdog first turns
+/// unhealthy the flight recorder dumps to flight-recorder-dump.txt (the
+/// artifact CI uploads).
+class LivePlane {
+ public:
+  explicit LivePlane(std::uint16_t port)
+      : watchdog_(obs::MetricsRegistry::global()),
+        server_(obs::MetricsRegistry::global(),
+                obs::ServerOptions{.host = "127.0.0.1", .port = port}) {
+    obs::MetricsRegistry::global().enable(true);
+    obs::FlightRecorder::global().enable(true);
+    watchdog_.set_rules(obs::default_campaign_rules());
+    watchdog_.on_unhealthy([] {
+      obs::FlightRecorder& recorder = obs::FlightRecorder::global();
+      recorder.note("watchdog", "health entered unhealthy");
+      recorder.dump_to_file("flight-recorder-dump.txt");
+      HEMO_LOG_ERROR(
+          "watchdog unhealthy: flight recorder dumped to "
+          "flight-recorder-dump.txt");
+    });
+    server_.set_watchdog(&watchdog_);
+    server_.start();
+    watchdog_.start(0.5);
+  }
+
+  ~LivePlane() {
+    watchdog_.stop();
+    server_.stop();
+  }
+
+  /// Keeps serving: `seconds` < 0 means until the process is killed.
+  void hold(real_t seconds) const {
+    if (seconds < 0.0) {
+      HEMO_LOG_INFO("serving on port %u until killed (ctrl-c to stop)",
+                    static_cast<unsigned>(server_.port()));
+      for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+    }
+    std::this_thread::sleep_for(std::chrono::duration<real_t>(seconds));
+  }
+
+  [[nodiscard]] std::uint16_t port() const { return server_.port(); }
+
+ private:
+  obs::Watchdog watchdog_;
+  obs::TelemetryServer server_;
+};
+
 int cmd_schedule(const std::string& geometry_name, index_t n_jobs,
                  index_t timesteps, std::uint64_t seed, bool csv,
                  const std::string& trace_path,
-                 const std::string& metrics_path) {
+                 const std::string& metrics_path, int listen_port,
+                 real_t hold_s) {
   // Telemetry is opt-in per invocation: enabling costs locks and
   // allocations on every instrumented path, and the default run must
   // keep the golden --csv bytes and bench numbers untouched.
   if (!trace_path.empty()) obs::TraceRecorder::global().enable(true);
   if (!metrics_path.empty()) obs::MetricsRegistry::global().enable(true);
+  std::unique_ptr<LivePlane> plane;
+  if (listen_port >= 0) {
+    plane = std::make_unique<LivePlane>(
+        static_cast<std::uint16_t>(listen_port));
+    HEMO_LOG_INFO(
+        "telemetry plane on http://127.0.0.1:%u "
+        "(/metrics /metrics.json /healthz /status)",
+        static_cast<unsigned>(plane->port()));
+  }
 
   std::vector<const cluster::InstanceProfile*> profiles;
   for (const auto& p : cluster::default_catalog()) {
@@ -349,7 +449,19 @@ int cmd_schedule(const std::string& geometry_name, index_t n_jobs,
     obs::write_metrics_jsonl(obs::MetricsRegistry::global(), metrics_path);
     HEMO_LOG_INFO("metrics written to %s", metrics_path.c_str());
   }
+  if (plane != nullptr && hold_s != 0.0) plane->hold(hold_s);
   return 0;
+}
+
+/// Observability quick-start: a seeded campaign with the plane up, then
+/// keep serving (`hold_s` < 0 = until killed) so /metrics and /healthz
+/// can be curled at leisure.
+int cmd_serve(const std::string& geometry_name, index_t n_jobs,
+              index_t timesteps, std::uint64_t seed, int port,
+              real_t hold_s) {
+  return cmd_schedule(geometry_name, n_jobs, timesteps, seed,
+                      /*csv=*/false, /*trace_path=*/"", /*metrics_path=*/"",
+                      port, hold_s);
 }
 
 int cmd_check(index_t cases, std::uint64_t seed) {
@@ -392,74 +504,81 @@ int cmd_check(index_t cases, std::uint64_t seed) {
   return all_passed ? 0 : 1;
 }
 
-/// Value of a `"key":"string"` field in one JSONL line, or "" if absent.
-/// The snapshot format is our own (src/obs/metrics.cpp), so a targeted
-/// scan is enough — no general JSON parser needed.
-std::string jsonl_string(const std::string& line, const std::string& key) {
-  const std::string tag = "\"" + key + "\":\"";
-  const auto pos = line.find(tag);
-  if (pos == std::string::npos) return "";
-  std::string out;
-  for (std::size_t i = pos + tag.size(); i < line.size(); ++i) {
-    if (line[i] == '\\' && i + 1 < line.size()) {
-      out += line[++i];
-    } else if (line[i] == '"') {
-      break;
-    } else {
-      out += line[i];
-    }
-  }
-  return out;
+/// Sort weight of one series for `--sort`: histograms by total recorded
+/// time/amount, counters and gauges by value — the same slowest-first
+/// ordering the `check` command prints for oracle wall time.
+real_t series_weight(const obs::MetricSnapshot& snap) {
+  return snap.kind == obs::MetricKind::kHistogram ? snap.histogram.sum
+                                                  : snap.value;
 }
 
-/// Raw text of a `"key":<number>` field, or "-" if absent.
-std::string jsonl_number(const std::string& line, const std::string& key) {
-  const std::string tag = "\"" + key + "\":";
-  const auto pos = line.find(tag);
-  if (pos == std::string::npos) return "-";
-  const auto start = pos + tag.size();
-  auto end = start;
-  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
-  return line.substr(start, end - start);
-}
-
-int cmd_metrics(const std::string& path) {
+int cmd_metrics(const std::string& path, const std::string& filter,
+                bool slowest_first, const std::string& format) {
   std::ifstream in(path, std::ios::binary);
   if (!in.good()) {
     std::cerr << "error: cannot read metrics file: " << path << "\n";
     return 1;
   }
-  const std::string labels_open = "\"labels\":{";
-  TextTable t;
-  t.set_header({"metric", "labels", "type", "value/count", "p50", "p99"});
-  index_t rows = 0;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    const std::string name = jsonl_string(line, "name");
-    if (name.empty()) continue;
-    const std::string type = jsonl_string(line, "type");
-    std::string labels;
-    const auto lpos = line.find(labels_open);
-    if (lpos != std::string::npos) {
-      const auto lend = line.find('}', lpos);
-      labels = line.substr(lpos + labels_open.size(),
-                           lend - lpos - labels_open.size());
-    }
-    const bool histogram = type == "histogram";
-    t.add_row({name, labels.empty() ? "-" : labels, type,
-               histogram ? jsonl_number(line, "count")
-                         : jsonl_number(line, "value"),
-               histogram ? jsonl_number(line, "p50") : "-",
-               histogram ? jsonl_number(line, "p99") : "-"});
-    ++rows;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::vector<obs::MetricSnapshot> snapshots =
+      obs::parse_metrics_jsonl(buffer.str());
+  if (!filter.empty()) {
+    std::erase_if(snapshots, [&filter](const obs::MetricSnapshot& snap) {
+      return !obs::series_matches(filter, snap);
+    });
   }
-  if (rows == 0) {
-    std::cerr << "error: no metrics found in " << path << "\n";
+  if (snapshots.empty()) {
+    if (filter.empty()) {
+      std::cerr << "error: no metrics found in " << path << "\n";
+    } else {
+      std::cerr << "error: no series match --filter '" << filter << "' in "
+                << path << "\n";
+    }
     return 1;
   }
+  if (slowest_first) {
+    // Stable so ties keep the canonical key order of the snapshot.
+    std::stable_sort(snapshots.begin(), snapshots.end(),
+                     [](const auto& a, const auto& b) {
+                       return series_weight(a) > series_weight(b);
+                     });
+  }
+  if (format == "prom") {
+    std::cout << obs::to_prometheus(snapshots);
+    return 0;
+  }
+  if (format == "json") {
+    std::cout << obs::to_metrics_json(snapshots) << "\n";
+    return 0;
+  }
+  TextTable t;
+  t.set_header(
+      {"metric", "labels", "type", "value/count", "sum", "p50", "p99"});
+  for (const obs::MetricSnapshot& snap : snapshots) {
+    std::string labels;
+    for (const auto& [key, value] : snap.labels) {
+      if (!labels.empty()) labels += ',';
+      labels += key;
+      labels += '=';
+      labels += value;
+    }
+    const bool histogram = snap.kind == obs::MetricKind::kHistogram;
+    const char* type = snap.kind == obs::MetricKind::kCounter ? "counter"
+                       : snap.kind == obs::MetricKind::kGauge ? "gauge"
+                                                              : "histogram";
+    t.add_row({snap.name, labels.empty() ? "-" : labels, type,
+               histogram
+                   ? TextTable::num(static_cast<index_t>(snap.histogram.count))
+                   : TextTable::num(snap.value, 6),
+               histogram ? TextTable::num(snap.histogram.sum, 6) : "-",
+               histogram ? TextTable::num(snap.histogram.quantile(0.5), 6)
+                         : "-",
+               histogram ? TextTable::num(snap.histogram.quantile(0.99), 6)
+                         : "-"});
+  }
   t.print(std::cout);
-  std::cout << rows << " series\n";
+  std::cout << snapshots.size() << " series\n";
   return 0;
 }
 
@@ -525,11 +644,18 @@ int usage() {
             << "  hemocloud_cli simulate <geometry> <steps> [out.vtk]\n"
             << "  hemocloud_cli run <geometry> <steps> [--ranks N] "
                "[--rebalance]\n"
+            << "                    [--profile out.folded]\n"
             << "  hemocloud_cli schedule <geometry> <n_jobs> <timesteps> "
                "[seed] [--csv]\n"
             << "                         [--trace out.json] "
                "[--metrics out.jsonl]\n"
-            << "  hemocloud_cli metrics <file.jsonl>\n"
+            << "                         [--listen PORT] [--hold SEC]\n"
+            << "  hemocloud_cli serve [geometry] [--port P] [--jobs N] "
+               "[--steps T]\n"
+            << "                      [--seed S] [--hold SEC]\n"
+            << "  hemocloud_cli metrics <file.jsonl> "
+               "[--filter 'name{label=...}']\n"
+            << "                        [--sort] [--format table|prom|json]\n"
             << "  hemocloud_cli check [cases] [seed]\n"
             << "  hemocloud_cli mutate [cases] [seed]\n"
             << "  hemocloud_cli nemesis [--seed S] [--cases N] "
@@ -554,25 +680,31 @@ int main(int argc, char** argv) {
       return cmd_simulate(argv[2], std::atol(argv[3]),
                           argc == 5 ? argv[4] : "");
     }
-    if (cmd == "run" && argc >= 4 && argc <= 7) {
+    if (cmd == "run" && argc >= 4 && argc <= 9) {
       hemo::index_t ranks = 4;
       bool rebalance = false;
+      std::string profile_path;
       for (int i = 4; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--ranks" && i + 1 < argc) {
           ranks = std::atol(argv[++i]);
         } else if (arg == "--rebalance") {
           rebalance = true;
+        } else if (arg == "--profile" && i + 1 < argc) {
+          profile_path = argv[++i];
         } else {
           return usage();
         }
       }
-      return cmd_run(argv[2], std::atol(argv[3]), ranks, rebalance);
+      return cmd_run(argv[2], std::atol(argv[3]), ranks, rebalance,
+                     profile_path);
     }
-    if (cmd == "schedule" && argc >= 5 && argc <= 11) {
+    if (cmd == "schedule" && argc >= 5 && argc <= 15) {
       bool csv = false;
       std::uint64_t seed = 42;
       std::string trace_path, metrics_path;
+      int listen_port = -1;
+      hemo::real_t hold_s = 0.0;
       for (int i = 5; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--csv") {
@@ -581,14 +713,66 @@ int main(int argc, char** argv) {
           trace_path = argv[++i];
         } else if (arg == "--metrics" && i + 1 < argc) {
           metrics_path = argv[++i];
+        } else if (arg == "--listen" && i + 1 < argc) {
+          listen_port = std::atoi(argv[++i]);
+        } else if (arg == "--hold" && i + 1 < argc) {
+          hold_s = std::atof(argv[++i]);
         } else {
           seed = hemo::parse_seed(argv[i], seed);
         }
       }
       return cmd_schedule(argv[2], std::atol(argv[3]), std::atol(argv[4]),
-                          seed, csv, trace_path, metrics_path);
+                          seed, csv, trace_path, metrics_path, listen_port,
+                          hold_s);
     }
-    if (cmd == "metrics" && argc == 3) return cmd_metrics(argv[2]);
+    if (cmd == "serve") {
+      std::string geometry = "cylinder";
+      hemo::index_t jobs = 6;
+      hemo::index_t steps = 20000;
+      std::uint64_t seed = 42;
+      int port = 9100;
+      hemo::real_t hold_s = -1.0;
+      int i = 2;
+      if (i < argc && argv[i][0] != '-') geometry = argv[i++];
+      for (; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--port" && i + 1 < argc) {
+          port = std::atoi(argv[++i]);
+        } else if (arg == "--jobs" && i + 1 < argc) {
+          jobs = std::atol(argv[++i]);
+        } else if (arg == "--steps" && i + 1 < argc) {
+          steps = std::atol(argv[++i]);
+        } else if (arg == "--seed" && i + 1 < argc) {
+          seed = hemo::parse_seed(argv[++i], seed);
+        } else if (arg == "--hold" && i + 1 < argc) {
+          hold_s = std::atof(argv[++i]);
+        } else {
+          return usage();
+        }
+      }
+      return cmd_serve(geometry, jobs, steps, seed, port, hold_s);
+    }
+    if (cmd == "metrics" && argc >= 3) {
+      std::string filter;
+      std::string format = "table";
+      bool slowest_first = false;
+      for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--filter" && i + 1 < argc) {
+          filter = argv[++i];
+        } else if (arg == "--sort") {
+          slowest_first = true;
+        } else if (arg == "--format" && i + 1 < argc) {
+          format = argv[++i];
+        } else {
+          return usage();
+        }
+      }
+      if (format != "table" && format != "prom" && format != "json") {
+        return usage();
+      }
+      return cmd_metrics(argv[2], filter, slowest_first, format);
+    }
     if (cmd == "check" && argc >= 2 && argc <= 4) {
       return cmd_check(argc > 2 ? std::atol(argv[2]) : 40,
                        argc > 3 ? hemo::parse_seed(argv[3], 42)

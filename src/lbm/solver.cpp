@@ -14,6 +14,7 @@
 #include <chrono>
 
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #endif
 
 namespace hemo::lbm {
@@ -581,6 +582,9 @@ void Solver<T>::step() {
                           ? "ab_pull"
                           : (timestep_ % 2 == 0 ? "aa_even" : "aa_odd");
   const auto t0 = std::chrono::steady_clock::now();
+  // `phase` always points at one of the three literals above, so handing
+  // it to the profiler's pointer-keeping scope is safe.
+  const obs::PhaseScope profile_phase(phase);
 #endif
   const bool even = params_.kernel.propagation == Propagation::kAB ||
                     timestep_ % 2 == 0;

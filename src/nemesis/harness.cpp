@@ -9,6 +9,7 @@
 #include "check/mutation.hpp"
 #include "cluster/instance.hpp"
 #include "geometry/generators.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 #include "sched/scheduler.hpp"
 #include "util/rng.hpp"
@@ -169,6 +170,14 @@ std::vector<std::string> write_failure_artifacts(const NemesisFailure& failure,
   write("history.txt", failure.verdict.canonical_history);
   write("report.csv", failure.verdict.csv);
   write("verdict.txt", failure.verdict.check.summary());
+  // When the CLI armed the flight recorder for this sweep, its ring holds
+  // the last protocol events and metric snapshots before the violation —
+  // dump them next to the shrunk reproducer.
+  obs::FlightRecorder& recorder = obs::FlightRecorder::global();
+  if (recorder.enabled()) {
+    recorder.note("nemesis", "invariant failure: " + failure.verdict.failure);
+    write("flight_recorder.txt", recorder.dump());
+  }
   return paths;
 }
 

@@ -6,6 +6,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/export.hpp"
+
 namespace hemo::obs {
 
 namespace {
@@ -41,39 +43,6 @@ std::string series_key(std::string_view name, const Labels& sorted) {
   }
   key += '}';
   return key;
-}
-
-const char* kind_name(MetricKind kind) {
-  switch (kind) {
-    case MetricKind::kCounter: return "counter";
-    case MetricKind::kGauge: return "gauge";
-    case MetricKind::kHistogram: return "histogram";
-  }
-  return "?";
-}
-
-/// Shortest-roundtrip-ish fixed formatting: %.9g is stable for a given
-/// double, so identical recorded values render identical bytes.
-std::string num(real_t value) {
-  char buffer[40];
-  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
-  return buffer;
-}
-
-void append_json_escaped(std::string& out, std::string_view text) {
-  for (const char c : text) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buffer[8];
-      std::snprintf(buffer, sizeof(buffer), "\\u%04x",
-                    static_cast<unsigned>(static_cast<unsigned char>(c)));
-      out += buffer;
-    } else {
-      out += c;
-    }
-  }
 }
 
 }  // namespace
@@ -195,33 +164,8 @@ std::size_t MetricsRegistry::size() const {
 std::string MetricsRegistry::to_jsonl() const {
   std::string out;
   for (const MetricSnapshot& snap : snapshot()) {
-    out += "{\"name\":\"";
-    append_json_escaped(out, snap.name);
-    out += "\",\"labels\":{";
-    for (std::size_t i = 0; i < snap.labels.size(); ++i) {
-      if (i > 0) out += ',';
-      out += '"';
-      append_json_escaped(out, snap.labels[i].first);
-      out += "\":\"";
-      append_json_escaped(out, snap.labels[i].second);
-      out += '"';
-    }
-    out += "},\"type\":\"";
-    out += kind_name(snap.kind);
-    out += '"';
-    if (snap.kind == MetricKind::kHistogram) {
-      const HistogramData& h = snap.histogram;
-      out += ",\"count\":" + std::to_string(h.count);
-      out += ",\"sum\":" + num(h.sum);
-      out += ",\"min\":" + num(h.min);
-      out += ",\"max\":" + num(h.max);
-      out += ",\"p50\":" + num(h.quantile(0.50));
-      out += ",\"p90\":" + num(h.quantile(0.90));
-      out += ",\"p99\":" + num(h.quantile(0.99));
-    } else {
-      out += ",\"value\":" + num(snap.value);
-    }
-    out += "}\n";
+    out += metric_json_object(snap);
+    out += '\n';
   }
   return out;
 }

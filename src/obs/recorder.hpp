@@ -1,0 +1,102 @@
+// Fault flight recorder: a bounded ring of recent diagnostic events.
+//
+// While enabled, instrumented layers note() short free-form entries — the
+// executor mirrors every protocol-history event (sched::
+// protocol_event_line bytes), the watchdog notes health transitions, the
+// nemesis harness notes case boundaries — and snapshot_metrics() captures
+// whole registry snapshots as entries. The ring keeps the most recent
+// `capacity` entries (default 1024) and counts what it dropped, so when
+// something finally goes wrong — a nemesis invariant fails, the watchdog
+// turns unhealthy — dump() reconstructs the last moments without having
+// had to persist an unbounded log during the healthy hours before.
+//
+// Dump format (DESIGN.md §14), one entry per line:
+//
+//   # hemocloud flight recorder (dropped=N)
+//   <wall_s> <kind> <text>
+//
+// `wall_s` is seconds since the recorder was enabled (monotonic clock),
+// `kind` is a short category token (`protocol`, `watchdog`, `nemesis`,
+// `metrics`, ...), and `text` is the entry payload with newlines escaped
+// as `\n` so one entry is always one line.
+//
+// Like the registry and profiler, the recorder is OFF by default and the
+// disabled path is one relaxed atomic load — note() calls sit right next
+// to the executor's history taps without disturbing the byte-stability
+// contract of default runs.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/sync.hpp"
+
+namespace hemo::obs {
+
+/// One recorded entry. `wall_s` is seconds since enable(true).
+struct FlightEntry {
+  real_t wall_s = 0.0;
+  std::string kind;
+  std::string text;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1024;
+
+  FlightRecorder() = default;
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// The process-wide recorder the instrumented layers note into.
+  [[nodiscard]] static FlightRecorder& global();
+
+  /// Recording is opt-in; enable(true) also restarts the entry clock.
+  void enable(bool on) HEMO_EXCLUDES(mutex_);
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Resizes the ring (existing newest entries are kept).
+  void set_capacity(std::size_t capacity) HEMO_EXCLUDES(mutex_);
+
+  /// Appends one entry, evicting the oldest when full. No-op when
+  /// disabled.
+  void note(std::string_view kind, std::string_view text)
+      HEMO_EXCLUDES(mutex_);
+
+  /// Captures a registry snapshot as one `metrics` entry per series.
+  void snapshot_metrics(const MetricsRegistry& registry)
+      HEMO_EXCLUDES(mutex_);
+
+  /// Drops all entries (and the dropped counter).
+  void reset() HEMO_EXCLUDES(mutex_);
+
+  [[nodiscard]] std::vector<FlightEntry> entries() const
+      HEMO_EXCLUDES(mutex_);
+  [[nodiscard]] std::uint64_t dropped() const HEMO_EXCLUDES(mutex_);
+
+  /// The dump format described above.
+  [[nodiscard]] std::string dump() const HEMO_EXCLUDES(mutex_);
+
+  /// Writes dump() to `path`; throws NumericError on I/O failure.
+  void dump_to_file(const std::string& path) const HEMO_EXCLUDES(mutex_);
+
+ private:
+  std::atomic<bool> enabled_{false};  // atomic-ok(relaxed on/off latch)
+
+  mutable Mutex mutex_;
+  std::deque<FlightEntry> ring_ HEMO_GUARDED_BY(mutex_);
+  std::size_t capacity_ HEMO_GUARDED_BY(mutex_) = kDefaultCapacity;
+  std::uint64_t dropped_ HEMO_GUARDED_BY(mutex_) = 0;
+  /// steady_clock origin of wall_s, set by enable(true).
+  std::chrono::steady_clock::time_point epoch_ HEMO_GUARDED_BY(mutex_);
+};
+
+}  // namespace hemo::obs

@@ -1,0 +1,124 @@
+// Declarative SLO watchdog over MetricsRegistry snapshots.
+//
+// Rules are parsed from a one-line grammar (DESIGN.md §14):
+//
+//   rule     := name ':' expr op number '=>' severity
+//   expr     := agg '(' selector ')'
+//             | 'ratio' '(' selector ',' selector ')'
+//   agg      := 'value' | 'sum' | 'count' | 'min' | 'max' | 'mean'
+//             | 'p50' | 'p90' | 'p99'
+//   op       := '<' | '<=' | '>' | '>='
+//   severity := 'degraded' | 'unhealthy'
+//
+// A selector is a glob over series (obs::series_matches): a bare name
+// pattern like `model_drift_*` matches every labeled series of those
+// families; a pattern containing '{' matches the full canonical key.
+// Scalar aggregates (value/sum/count/min/max/mean) combine counter and
+// gauge values across all matched series; the quantile aggregates take
+// the *worst* (maximum) quantile across matched histogram series.
+// `ratio(a, b)` is sum(a)/sum(b) — the preemption-rate shape. A rule
+// whose selector matches nothing (or whose ratio denominator is zero) is
+// *inapplicable* and reports ok: SLOs only bind once there is data.
+//
+// evaluate() takes one snapshot, computes every rule, and folds the
+// breached severities into an overall Health (ok < degraded < unhealthy).
+// Transitions are logged (WARN on degradation, ERROR on unhealthy, INFO
+// on recovery), exported as `watchdog_*` gauges, and surfaced through
+// /healthz by obs::TelemetryServer. start() runs evaluate() on a cadence
+// thread (CondVar::wait_for so stop() interrupts the sleep immediately);
+// on_unhealthy() registers a hook the flight recorder uses to dump state
+// at the moment an SLO goes red.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <thread>  // sync-ok(cadence jthread; lifecycle guarded by mutex_)
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/sync.hpp"
+
+namespace hemo::obs {
+
+enum class Health { kOk = 0, kDegraded = 1, kUnhealthy = 2 };
+
+[[nodiscard]] std::string_view health_name(Health health) noexcept;
+
+/// One parsed SLO rule.
+struct SloRule {
+  std::string name;       ///< stable identifier ("drift_p99_band")
+  std::string aggregate;  ///< value|sum|count|min|max|mean|p50|p90|p99|ratio
+  std::string selector;       ///< series glob (ratio numerator)
+  std::string denominator;    ///< ratio denominator ("" otherwise)
+  std::string op;             ///< "<" "<=" ">" ">="
+  real_t threshold = 0.0;
+  Health severity = Health::kDegraded;  ///< reported when breached
+
+  /// Grammar line this rule round-trips to.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Parses one rule line; throws NumericError with the offending token on
+/// any grammar violation.
+[[nodiscard]] SloRule parse_slo_rule(std::string_view line);
+
+/// Outcome of one rule against one snapshot.
+struct RuleOutcome {
+  SloRule rule;
+  bool applicable = false;  ///< selector matched data (denominator nonzero)
+  bool breached = false;
+  real_t observed = 0.0;  ///< aggregated value (0 when inapplicable)
+};
+
+/// Baseline rule set for a campaign service: model-drift p99 band,
+/// runtime imbalance ceiling, preemption rate, guard-stop/failure floors.
+[[nodiscard]] std::vector<SloRule> default_campaign_rules();
+
+class Watchdog {
+ public:
+  explicit Watchdog(MetricsRegistry& registry) : registry_(&registry) {}
+  ~Watchdog();
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Replaces the rule set (parsed or from default_campaign_rules()).
+  void set_rules(std::vector<SloRule> rules) HEMO_EXCLUDES(mutex_);
+  [[nodiscard]] std::vector<SloRule> rules() const HEMO_EXCLUDES(mutex_);
+
+  /// Registers a hook invoked (on the evaluating thread) each time the
+  /// overall health *transitions into* kUnhealthy.
+  void on_unhealthy(std::function<void()> hook) HEMO_EXCLUDES(mutex_);
+
+  /// Evaluates every rule against a fresh registry snapshot, updates the
+  /// cached health + `watchdog_*` gauges, and logs transitions.
+  Health evaluate() HEMO_EXCLUDES(mutex_);
+
+  /// Health and per-rule outcomes of the most recent evaluate().
+  [[nodiscard]] Health health() const HEMO_EXCLUDES(mutex_);
+  [[nodiscard]] std::vector<RuleOutcome> outcomes() const
+      HEMO_EXCLUDES(mutex_);
+
+  /// JSON body served at /healthz: overall state + per-rule outcomes.
+  [[nodiscard]] std::string health_json() const HEMO_EXCLUDES(mutex_);
+
+  /// Runs evaluate() every `period_s` seconds on a cadence thread until
+  /// stop(). No-op if already running.
+  void start(real_t period_s = 1.0) HEMO_EXCLUDES(mutex_);
+  void stop() HEMO_EXCLUDES(mutex_);
+
+ private:
+  void cadence_loop(real_t period_s) HEMO_EXCLUDES(mutex_);
+
+  MetricsRegistry* registry_;
+  mutable Mutex mutex_;
+  CondVar wake_;  ///< signaled by stop() to cut the cadence sleep short
+  bool stopping_ HEMO_GUARDED_BY(mutex_) = false;
+  std::vector<SloRule> rules_ HEMO_GUARDED_BY(mutex_);
+  std::function<void()> unhealthy_hook_ HEMO_GUARDED_BY(mutex_);
+  Health health_ HEMO_GUARDED_BY(mutex_) = Health::kOk;
+  std::vector<RuleOutcome> outcomes_ HEMO_GUARDED_BY(mutex_);
+  std::jthread cadence_ HEMO_GUARDED_BY(mutex_);
+};
+
+}  // namespace hemo::obs

@@ -9,6 +9,7 @@
 #include "lbm/point_update.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 
 namespace hemo::runtime {
@@ -162,42 +163,61 @@ void ParallelSolver::rank_step(std::size_t r, index_t t) {
   RankTimings& timing = timings_[r];
 
   const auto t0 = Clock::now();
-  for (const index_t c : out_channels_[r]) {
-    Mailbox& box = *mailboxes_[static_cast<std::size_t>(c)];
-    harvey::pack_channel(topo_.channels[static_cast<std::size_t>(box.channel)],
-                         rank.f, box.buffer);
-    box.seq.store(t + 1, std::memory_order_release);
+  {
+    const obs::PhaseScope phase("pack");
+    for (const index_t c : out_channels_[r]) {
+      Mailbox& box = *mailboxes_[static_cast<std::size_t>(c)];
+      harvey::pack_channel(
+          topo_.channels[static_cast<std::size_t>(box.channel)], rank.f,
+          box.buffer);
+      box.seq.store(t + 1, std::memory_order_release);
+    }
   }
   const auto t1 = Clock::now();
 
   // Interior overlap window: no slot here gathers from a ghost row, so
   // this compute proceeds while neighbor ranks are still publishing.
-  harvey::update_rank_slots(ctx_, layout, layout.interior_slots, t,
-                            rank.f.data(), rank.f2.data());
+  {
+    const obs::PhaseScope phase("interior");
+    harvey::update_rank_slots(ctx_, layout, layout.interior_slots, t,
+                              rank.f.data(), rank.f2.data());
+  }
   const auto t2 = Clock::now();
 
   real_t wait_s = 0.0, unpack_s = 0.0;
   for (const index_t c : in_channels_[r]) {
     Mailbox& box = *mailboxes_[static_cast<std::size_t>(c)];
     const auto w0 = Clock::now();
-    while (box.seq.load(std::memory_order_acquire) < t + 1) {
-      std::this_thread::yield();
+    {
+      const obs::PhaseScope phase("await");
+      while (box.seq.load(std::memory_order_acquire) < t + 1) {
+        std::this_thread::yield();
+      }
     }
     const auto w1 = Clock::now();
-    harvey::unpack_channel(
-        topo_.channels[static_cast<std::size_t>(box.channel)], box.buffer,
-        rank.f);
+    {
+      const obs::PhaseScope phase("unpack");
+      harvey::unpack_channel(
+          topo_.channels[static_cast<std::size_t>(box.channel)], box.buffer,
+          rank.f);
+    }
     const auto w2 = Clock::now();
     wait_s += seconds_between(w0, w1);
     unpack_s += seconds_between(w1, w2);
   }
   const auto t3 = Clock::now();
 
-  harvey::update_rank_slots(ctx_, layout, layout.frontier_slots, t,
-                            rank.f.data(), rank.f2.data());
+  {
+    const obs::PhaseScope phase("frontier");
+    harvey::update_rank_slots(ctx_, layout, layout.frontier_slots, t,
+                              rank.f.data(), rank.f2.data());
+  }
   const auto t4 = Clock::now();
 
-  rank.f.swap(rank.f2);
+  {
+    const obs::PhaseScope phase("swap");
+    rank.f.swap(rank.f2);
+  }
 
   ++timing.steps;
   timing.pack_s += seconds_between(t0, t1);
@@ -280,6 +300,7 @@ void ParallelSolver::run(index_t n) {
   threads.reserve(states_.size());
   for (std::size_t r = 0; r < states_.size(); ++r) {
     threads.emplace_back([this, r, t0, n, &sync] {
+      obs::set_thread_label("rank" + std::to_string(r));
       for (index_t s = 0; s < n; ++s) {
         // timestep_ is written only by the barrier completion step, which
         // happens-before every thread's release from the wait — reading it

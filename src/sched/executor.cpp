@@ -6,6 +6,8 @@
 
 #include "obs/drift.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 #include "util/rng.hpp"
 
@@ -15,7 +17,10 @@ WorkerPool::WorkerPool(index_t n_threads) {
   HEMO_REQUIRE(n_threads >= 1, "worker pool needs at least one thread");
   threads_.reserve(static_cast<std::size_t>(n_threads));
   for (index_t i = 0; i < n_threads; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] {
+      obs::set_thread_label("worker" + std::to_string(i));
+      worker_loop();
+    });
   }
 }
 
@@ -51,6 +56,7 @@ void WorkerPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    const obs::PhaseScope phase("attempt");
     task();
   }
 }
@@ -136,16 +142,21 @@ CampaignReport CampaignEngine::run(std::vector<CampaignJobSpec> jobs) {
   // function of the seeded inputs regardless of n_workers.
   obs::TraceRecorder& trace = obs::TraceRecorder::global();
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
+  obs::FlightRecorder& recorder = obs::FlightRecorder::global();
+  obs::set_thread_label("coordinator");
   std::vector<units::Seconds> queued_since(records.size());
 
   // Protocol history tap (specs/executor_protocol.md): recorded only here,
   // on the coordinator thread, at deterministic virtual-time points — the
-  // history is a pure function of the seeded inputs, like the report.
+  // history is a pure function of the seeded inputs, like the report. The
+  // flight recorder mirrors the same canonical line into its ring (with
+  // the seq the history will assign), so a crash dump diffs against a
+  // recorded history one-to-one.
   const auto tap = [&](ProtocolEventKind kind, const JobRecord& rec,
                        units::Seconds at, std::string detail = {},
                        index_t delta_steps = 0,
                        units::Dollars delta_usd = units::Dollars{}) {
-    if (config_.history == nullptr) return;
+    if (config_.history == nullptr && !recorder.enabled()) return;
     ProtocolEvent ev;
     ev.kind = kind;
     ev.job = rec.spec.id;
@@ -156,7 +167,13 @@ CampaignReport CampaignEngine::run(std::vector<CampaignJobSpec> jobs) {
     ev.delta_steps = delta_steps;
     ev.delta_usd = delta_usd;
     ev.detail = std::move(detail);
-    config_.history->record(std::move(ev));
+    if (config_.history != nullptr) {
+      ev.seq = static_cast<index_t>(config_.history->events.size());
+    }
+    if (recorder.enabled()) {
+      recorder.note("protocol", protocol_event_line(ev));
+    }
+    if (config_.history != nullptr) config_.history->record(std::move(ev));
   };
   for (const JobRecord& rec : records) {
     tap(ProtocolEventKind::kSubmitted, rec, units::Seconds{},
@@ -175,9 +192,15 @@ CampaignReport CampaignEngine::run(std::vector<CampaignJobSpec> jobs) {
     metrics.add("campaign_jobs_total", 1.0, {{"outcome", "failed"}});
   };
 
+  // Coordinator phases for the sampling profiler: RAII scopes would span
+  // the whole loop body, so the three passes use explicit balanced
+  // push/pop pairs (push_phase returns false while profiling is off).
+  obs::PhaseProfiler& profiler = obs::PhaseProfiler::global();
+
   while (!pending.empty() || !inflight.empty()) {
     // Placement pass, in job-id order (pending stays id-sorted because
     // records are id-sorted and re-insertions keep the order).
+    const bool in_place = profiler.push_phase("place");
     std::vector<std::size_t> still_pending;
     for (const std::size_t idx : pending) {
       JobRecord& rec = records[idx];
@@ -260,6 +283,7 @@ CampaignReport CampaignEngine::run(std::vector<CampaignJobSpec> jobs) {
       inflight.push_back(std::move(f));
     }
     pending = std::move(still_pending);
+    if (in_place) profiler.pop_phase();
 
     if (inflight.empty()) {
       // Every pool is free when nothing is in flight, so place() cannot
@@ -272,12 +296,15 @@ CampaignReport CampaignEngine::run(std::vector<CampaignJobSpec> jobs) {
 
     // All in-flight attempts compute concurrently; their virtual finish
     // times are needed to pick the next event, so wait for the stragglers.
+    const bool in_await = profiler.push_phase("await");
     for (InFlight& f : inflight) {
       if (!f.ready) {
         f.result = f.future.get();
         f.ready = true;
       }
     }
+    if (in_await) profiler.pop_phase();
+    const bool in_settle = profiler.push_phase("settle");
 
     // Next event: earliest virtual finish, ties broken by job id.
     std::size_t best = 0;
@@ -306,7 +333,7 @@ CampaignReport CampaignEngine::run(std::vector<CampaignJobSpec> jobs) {
          {"preemptions", std::to_string(res.preemptions)},
          {"mflups", obs::trace_num(res.measured_mflups.value())}});
     for (const AttemptEvent& ev : res.events) {
-      if (config_.history != nullptr) {
+      if (config_.history != nullptr || recorder.enabled()) {
         // Mid-attempt events carry the job's cumulative checkpointed
         // progress (pre-attempt steps plus the attempt's own) and its
         // pre-settlement spend: cost is charged at settlement, so the
@@ -318,7 +345,15 @@ CampaignReport CampaignEngine::run(std::vector<CampaignJobSpec> jobs) {
         pe.at_s = event.start_s + ev.at_s;
         pe.steps = rec.steps_done + ev.steps_done;
         pe.usd = rec.dollars;
-        config_.history->record(std::move(pe));
+        if (config_.history != nullptr) {
+          pe.seq = static_cast<index_t>(config_.history->events.size());
+        }
+        if (recorder.enabled()) {
+          recorder.note("protocol", protocol_event_line(pe));
+        }
+        if (config_.history != nullptr) {
+          config_.history->record(std::move(pe));
+        }
       }
       trace.virtual_instant(attempt_event_name(ev.kind), "fault",
                             rec.spec.id, event.start_s + ev.at_s,
@@ -468,6 +503,7 @@ CampaignReport CampaignEngine::run(std::vector<CampaignJobSpec> jobs) {
     } else {
       fail(rec, "attempt made no progress", res.steps_done, res.dollars);
     }
+    if (in_settle) profiler.pop_phase();
   }
 
   return build_report(records, std::move(trajectory), clock);

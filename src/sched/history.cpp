@@ -38,22 +38,28 @@ std::string canon_num(real_t value) {
 
 }  // namespace
 
-std::string ProtocolHistory::canonical() const {
+std::string protocol_event_line(const ProtocolEvent& e) {
   std::ostringstream os;
-  for (const ProtocolEvent& e : events) {
-    os << e.seq << ' ' << protocol_event_name(e.kind) << " job=" << e.job
-       << " att=" << e.attempt << " t=" << canon_num(e.at_s.value())
-       << " steps=" << e.steps << " usd=" << canon_num(e.usd.value());
-    if (e.kind == ProtocolEventKind::kRequeued ||
-        e.kind == ProtocolEventKind::kCompleted ||
-        e.kind == ProtocolEventKind::kFailed) {
-      os << " d_steps=" << e.delta_steps
-         << " d_usd=" << canon_num(e.delta_usd.value());
-    }
-    if (!e.detail.empty()) os << ' ' << e.detail;
-    os << '\n';
+  os << e.seq << ' ' << protocol_event_name(e.kind) << " job=" << e.job
+     << " att=" << e.attempt << " t=" << canon_num(e.at_s.value())
+     << " steps=" << e.steps << " usd=" << canon_num(e.usd.value());
+  if (e.kind == ProtocolEventKind::kRequeued ||
+      e.kind == ProtocolEventKind::kCompleted ||
+      e.kind == ProtocolEventKind::kFailed) {
+    os << " d_steps=" << e.delta_steps
+       << " d_usd=" << canon_num(e.delta_usd.value());
   }
+  if (!e.detail.empty()) os << ' ' << e.detail;
   return os.str();
+}
+
+std::string ProtocolHistory::canonical() const {
+  std::string out;
+  for (const ProtocolEvent& e : events) {
+    out += protocol_event_line(e);
+    out += '\n';
+  }
+  return out;
 }
 
 }  // namespace hemo::sched

@@ -59,6 +59,12 @@ struct ProtocolEvent {
   std::string detail;  ///< instance / requeue reason / failure reason
 };
 
+/// One event rendered in the canonical line format (no trailing newline):
+/// `seq kind job=J att=A t=T steps=S usd=U [d_steps=DS d_usd=DU] [detail]`.
+/// ProtocolHistory::canonical() joins these lines; the obs flight recorder
+/// reuses the same rendering so a dump diffs cleanly against a history.
+[[nodiscard]] std::string protocol_event_line(const ProtocolEvent& event);
+
 /// Append-only total-ordered event log. Single-writer by contract (the
 /// engine coordinator); readers run after the campaign returns. That
 /// contract — not a lock — is the synchronization: record() must never be

@@ -24,6 +24,7 @@
 // documented in DESIGN.md §13's atomic protocol table.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>  // sync-ok(wrapped by hemo::CondVar below)
 #include <mutex>               // sync-ok(wrapped by hemo::Mutex below)
 
@@ -134,6 +135,20 @@ class CondVar {
         mutex.mutex_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();
+  }
+
+  /// Timed wait (same adopt/release shim as wait()). Returns false on
+  /// timeout, true when notified; either way the mutex is held again on
+  /// return. Spurious wakeups are possible — loop on the predicate.
+  template <class Rep, class Period>
+  bool wait_for(Mutex& mutex,
+                std::chrono::duration<Rep, Period> timeout)
+      HEMO_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> lock(  // sync-ok(adopt/release wait shim)
+        mutex.mutex_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(lock, timeout);
+    lock.release();
+    return status == std::cv_status::no_timeout;
   }
 
  private:

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition document (version 0.0.4).
+
+Reads the exposition from a file argument (or stdin) and checks the
+contract `src/obs/export.cpp` promises and the CI observability job
+curls from a live `/metrics` endpoint:
+
+  * every sample belongs to a family announced by `# TYPE` (and `# HELP`)
+    lines that precede it;
+  * family and label names are legal Prometheus identifiers;
+  * sample values parse as floats (`+Inf` / `-Inf` / `NaN` allowed);
+  * histogram families expose `_bucket` series with non-decreasing
+    cumulative counts per label set, closed by an `le="+Inf"` bucket
+    whose count equals the family's `_count` sample, plus a `_sum`;
+  * no duplicate `# TYPE` line per family.
+
+Usage: check_prom_exposition.py [FILE]
+Exit status: 0 valid, 1 findings, 2 usage/IO error.
+"""
+from __future__ import annotations
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})?\s+(\S+)(?:\s+\d+)?$")
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def family_of(sample_name: str, types: dict[str, str]) -> str:
+    """Metric family a sample belongs to (histogram samples use suffixes)."""
+    for suffix in SUFFIXES:
+        base = sample_name.removesuffix(suffix)
+        if base != sample_name and types.get(base) == "histogram":
+            return base
+    return sample_name
+
+
+def parse_value(text: str) -> float:
+    return float(text.replace("+Inf", "inf").replace("-Inf", "-inf"))
+
+
+def main() -> int:
+    if len(sys.argv) > 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        text = (open(sys.argv[1], encoding="utf-8").read()
+                if len(sys.argv) == 2 else sys.stdin.read())
+    except OSError as error:
+        print(f"check_prom_exposition: {error}", file=sys.stderr)
+        return 2
+
+    findings: list[str] = []
+    types: dict[str, str] = {}
+    helps: set[str] = set()
+    # (family, frozen label set without le) -> list of (le, count)
+    buckets: dict[tuple[str, frozenset], list[tuple[float, float]]] = {}
+    counts: dict[tuple[str, frozenset], float] = {}
+    sums: set[tuple[str, frozenset]] = set()
+    n_samples = 0
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(maxsplit=3)
+            if len(parts) >= 3:
+                helps.add(parts[2])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(maxsplit=3)
+            if len(parts) != 4 or parts[3] not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"):
+                findings.append(f"line {lineno}: malformed TYPE line: {line}")
+                continue
+            if parts[2] in types:
+                findings.append(
+                    f"line {lineno}: duplicate TYPE for `{parts[2]}`")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+
+        match = SAMPLE_RE.match(line)
+        if not match:
+            findings.append(f"line {lineno}: unparsable sample: {line}")
+            continue
+        n_samples += 1
+        name, label_block, value_text = match.groups()
+        family = family_of(name, types)
+        if family not in types:
+            findings.append(
+                f"line {lineno}: sample `{name}` has no preceding TYPE line")
+        elif family not in helps:
+            findings.append(
+                f"line {lineno}: family `{family}` has no HELP line")
+
+        labels = {}
+        if label_block:
+            body = label_block[1:-1]
+            consumed = "".join(m.group(0) for m in LABEL_RE.finditer(body))
+            if len(consumed.replace(",", "")) < len(body.replace(",", "")):
+                findings.append(
+                    f"line {lineno}: malformed label block: {label_block}")
+            for m in LABEL_RE.finditer(body):
+                labels[m.group(1)] = m.group(2)
+        try:
+            value = parse_value(value_text)
+        except ValueError:
+            findings.append(
+                f"line {lineno}: non-numeric value `{value_text}`")
+            continue
+
+        if types.get(family) == "histogram":
+            series = frozenset(
+                (k, v) for k, v in labels.items() if k != "le")
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    findings.append(
+                        f"line {lineno}: `_bucket` sample without `le`")
+                    continue
+                buckets.setdefault((family, series), []).append(
+                    (parse_value(labels["le"]), value))
+            elif name.endswith("_count"):
+                counts[(family, series)] = value
+            elif name.endswith("_sum"):
+                sums.add((family, series))
+
+    for (family, series), ladder in buckets.items():
+        last = -1.0
+        for le, count in ladder:
+            if count < last:
+                findings.append(
+                    f"{family}: cumulative bucket counts decrease at "
+                    f"le={le}")
+            last = count
+        if not ladder or ladder[-1][0] != float("inf"):
+            findings.append(f"{family}: missing le=\"+Inf\" bucket")
+        elif (family, series) in counts and \
+                ladder[-1][1] != counts[(family, series)]:
+            findings.append(
+                f"{family}: +Inf bucket ({ladder[-1][1]:g}) != _count "
+                f"({counts[(family, series)]:g})")
+        if (family, series) not in sums:
+            findings.append(f"{family}: missing _sum sample")
+        if (family, series) not in counts:
+            findings.append(f"{family}: missing _count sample")
+
+    for finding in findings:
+        print(finding, file=sys.stderr)
+    status = "FAIL" if findings else "OK"
+    print(f"check_prom_exposition: {status} — {len(types)} families, "
+          f"{n_samples} samples, {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

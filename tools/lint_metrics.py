@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Tree lint: metric names follow the telemetry naming contract.
+
+Scans src/, bench/ and examples/ for literal-name registration calls on a
+metrics receiver (`metrics.`, `registry.`, `MetricsRegistry::global().`)
+and enforces the conventions DESIGN.md §14 documents — Prometheus-style
+names, so the /metrics exposition stays idiomatic and the watchdog rule
+selectors stay predictable:
+
+  * names are snake_case: `^[a-z][a-z0-9_]*$`;
+  * counters (`.add(...)`) end in `_total`;
+  * histograms (`.observe(...)`) end in a unit / dimension suffix:
+    `_seconds`, `_bytes`, `_usd`, `_error`, `_ratio`, or `_length`;
+  * gauges (`.set(...)`) must NOT end in `_total` (a gauge named like a
+    counter reads as monotone when it is not);
+  * unit keywords are terminal: `seconds`/`bytes`/`usd` may only appear
+    as the final suffix (`lbm_seconds_step` hides the unit);
+  * one name, one kind: the same metric name registered through two
+    different call kinds anywhere in the tree is an error.
+
+Exempt a deliberate exception with `// metric-ok(<reason>)` on the same
+line; the reason text is mandatory, mirroring tools/lint_sync.py.
+
+Usage: lint_metrics.py [--root REPO_ROOT] [DIR ...]
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+DEFAULT_DIRS = ["src", "bench", "examples"]
+
+# A registration call with a literal name on a metrics-registry receiver.
+# The receiver gate keeps unrelated APIs (grid.set, table.add_row,
+# ctx.add) out of scope; dynamically-built names are invisible to a
+# lexical lint and must be covered by tests instead.
+METRIC_CALL = re.compile(
+    r"(?:\bmetrics_?|\bregistry_?|Registry::global\(\))"
+    r"\.(add|set|observe)\(\s*\"([^\"]+)\"")
+METRIC_OK = re.compile(r"//\s*metric-ok\(([^)]*)\)")
+
+NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+HISTOGRAM_SUFFIXES = ("_seconds", "_bytes", "_usd", "_error", "_ratio",
+                      "_length")
+UNIT_KEYWORDS = ("seconds", "bytes", "usd")
+KIND_OF_CALL = {"add": "counter", "set": "gauge", "observe": "histogram"}
+
+
+def name_findings(kind: str, name: str) -> list[str]:
+    """Naming-rule violations for one registration, as messages."""
+    problems = []
+    if not NAME_RE.match(name):
+        problems.append(f"`{name}` is not snake_case")
+        return problems
+    if kind == "counter" and not name.endswith("_total"):
+        problems.append(f"counter `{name}` must end in `_total`")
+    if kind == "histogram" and not name.endswith(HISTOGRAM_SUFFIXES):
+        problems.append(
+            f"histogram `{name}` must end in a unit/dimension suffix "
+            f"({', '.join(HISTOGRAM_SUFFIXES)})")
+    if kind == "gauge" and name.endswith("_total"):
+        problems.append(
+            f"gauge `{name}` must not end in `_total` (reads as a counter)")
+    for keyword in UNIT_KEYWORDS:
+        parts = name.split("_")
+        if keyword in parts[:-1]:
+            problems.append(
+                f"`{name}` buries the unit keyword `{keyword}`; units are "
+                f"terminal suffixes")
+    return problems
+
+
+def lint_file(path: pathlib.Path,
+              kinds_seen: dict[str, tuple[str, str]]) -> list[str]:
+    findings = []
+    in_block_comment = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if in_block_comment:
+            if "*/" in line:
+                in_block_comment = False
+            continue
+        if line.lstrip().startswith("//"):
+            continue
+        if "/*" in line and "*/" not in line:
+            in_block_comment = True
+
+        for match in METRIC_CALL.finditer(line):
+            kind = KIND_OF_CALL[match.group(1)]
+            name = match.group(2)
+            where = f"{path}:{lineno}"
+
+            escape = METRIC_OK.search(line)
+            if escape is not None:
+                if not escape.group(1).strip():
+                    findings.append(
+                        f"{where}: metric-ok() needs a reason: "
+                        f"{line.strip()}")
+                continue
+
+            for problem in name_findings(kind, name):
+                findings.append(f"{where}: {problem}: {line.strip()}")
+
+            previous = kinds_seen.get(name)
+            if previous is None:
+                kinds_seen[name] = (kind, where)
+            elif previous[0] != kind:
+                findings.append(
+                    f"{where}: `{name}` registered as {kind} but already "
+                    f"registered as {previous[0]} at {previous[1]}")
+    return findings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".", help="repository root")
+    parser.add_argument("dirs", nargs="*", default=DEFAULT_DIRS,
+                        help=f"directories to scan (default: {DEFAULT_DIRS})")
+    args = parser.parse_args()
+
+    root = pathlib.Path(args.root)
+    findings: list[str] = []
+    kinds_seen: dict[str, tuple[str, str]] = {}
+    n_files = 0
+    for rel in (args.dirs or DEFAULT_DIRS):
+        directory = root / rel
+        if not directory.is_dir():
+            print(f"lint_metrics: no such directory: {directory}",
+                  file=sys.stderr)
+            return 2
+        for source in sorted(directory.rglob("*")):
+            if source.suffix not in (".hpp", ".cpp"):
+                continue
+            n_files += 1
+            findings.extend(lint_file(source, kinds_seen))
+
+    for finding in findings:
+        print(finding, file=sys.stderr)
+    status = "FAIL" if findings else "OK"
+    print(f"lint_metrics: {status} — {n_files} source files, "
+          f"{len(kinds_seen)} metric name(s), {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
