@@ -42,6 +42,11 @@
 //       '{'); --sort orders slowest-first (histogram sum / value, the
 //       same ordering `check` prints); --format prom re-renders the
 //       snapshot as Prometheus text exposition, json as one document.
+//   hemocloud_cli kernels [geometry]
+//       SIMD backend inventory of this host (compiled / CPU-detected /
+//       selected, honoring HEMO_SIMD) plus the roofline inputs per kernel
+//       variant: bytes per fluid-point update from the paper's access
+//       counts and the resulting MFLUPS bound over a measured STREAM COPY.
 //   hemocloud_cli check [cases] [seed]
 //       Run the differential validation oracles (src/check/). Exit 0
 //       only when every oracle passes; failures print the shrunk
@@ -77,7 +82,10 @@
 #include "core/dashboard.hpp"
 #include "decomp/partition.hpp"
 #include "harvey/simulation.hpp"
+#include "lbm/access_counts.hpp"
 #include "lbm/io.hpp"
+#include "lbm/simd.hpp"
+#include "microbench/stream.hpp"
 #include "obs/export.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
@@ -244,6 +252,68 @@ int cmd_simulate(const std::string& geometry_name, index_t steps,
   return 0;
 }
 
+/// Records which SIMD backend this host resolves for the LBM hot path as
+/// a gauge (value = double-precision vector lanes, label = backend name),
+/// so exported metrics identify the kernel flavor behind every timing.
+void record_simd_backend_gauge(obs::MetricsRegistry& registry) {
+  const lbm::Backend backend =
+      lbm::simd::resolve_backend(lbm::Backend::kAuto);
+  registry.set("lbm_simd_lanes",
+               static_cast<real_t>(
+                   lbm::simd::lanes(backend, sizeof(double))),
+               {{"backend", lbm::to_string(backend)}});
+}
+
+int cmd_kernels(const std::string& geometry_name) {
+  const auto print_backends = [](const char* label,
+                                 const std::vector<lbm::Backend>& list) {
+    std::cout << label << ":";
+    for (const lbm::Backend b : list) std::cout << " " << lbm::to_string(b);
+    std::cout << "\n";
+  };
+  print_backends("compiled", lbm::simd::compiled_backends());
+  print_backends("detected", lbm::simd::detected_backends());
+  const lbm::Backend selected =
+      lbm::simd::resolve_backend(lbm::Backend::kAuto);
+  std::cout << "selected: " << lbm::to_string(selected) << " ("
+            << lbm::simd::lanes(selected, sizeof(float)) << "x float, "
+            << lbm::simd::lanes(selected, sizeof(double))
+            << "x double; override with HEMO_SIMD or "
+               "KernelConfig::backend)\n";
+
+  const auto geo = make_named_geometry(geometry_name);
+  const auto mesh = lbm::FluidMesh::build(geo.grid);
+  std::cout << "\n" << geometry_name << ": " << mesh.num_points()
+            << " fluid points; measuring STREAM COPY ...\n";
+  const real_t copy_mbs = microbench::run_stream_local(1 << 22, 3, 1).copy;
+  std::cout << "stream copy (1 thread): " << TextTable::num(copy_mbs, 0)
+            << " MB/s\n\n";
+
+  // Roofline inputs per kernel variant: Eq. 10 byte traffic per fluid
+  // point and the bandwidth-implied MFLUPS ceiling it buys.
+  TextTable t;
+  t.set_header({"kernel", "precision", "bytes/FLUP", "MFLUPS bound"});
+  for (const auto prop : {lbm::Propagation::kAB, lbm::Propagation::kAA}) {
+    for (const auto layout : {lbm::Layout::kAoS, lbm::Layout::kSoA}) {
+      for (const auto precision :
+           {lbm::Precision::kDouble, lbm::Precision::kSingle}) {
+        lbm::KernelConfig config;
+        config.layout = layout;
+        config.propagation = prop;
+        config.precision = precision;
+        const real_t bytes_per_flup =
+            lbm::serial_bytes_per_step(mesh, config) /
+            static_cast<real_t>(mesh.num_points());
+        t.add_row({lbm::kernel_name(config), lbm::to_string(precision),
+                   TextTable::num(bytes_per_flup, 1),
+                   TextTable::num(copy_mbs / bytes_per_flup, 1)});
+      }
+    }
+  }
+  t.print(std::cout);
+  return 0;
+}
+
 int cmd_run(const std::string& geometry_name, index_t steps, index_t ranks,
             bool rebalance, const std::string& profile_path) {
   HEMO_REQUIRE(steps > 0, "need at least one step");
@@ -306,6 +376,7 @@ int cmd_run(const std::string& geometry_name, index_t steps, index_t ranks,
   const auto host = runtime::LocalHostModel::measure();
   obs::MetricsRegistry registry;
   registry.enable(true);
+  record_simd_backend_gauge(registry);
   const auto report =
       runtime::validate_run(mesh, solver.partition(), params.kernel, host,
                             solver.timings(), geometry_name, registry);
@@ -395,6 +466,7 @@ int cmd_schedule(const std::string& geometry_name, index_t n_jobs,
   // keep the golden --csv bytes and bench numbers untouched.
   if (!trace_path.empty()) obs::TraceRecorder::global().enable(true);
   if (!metrics_path.empty()) obs::MetricsRegistry::global().enable(true);
+  record_simd_backend_gauge(obs::MetricsRegistry::global());
   std::unique_ptr<LivePlane> plane;
   if (listen_port >= 0) {
     plane = std::make_unique<LivePlane>(
@@ -656,6 +728,7 @@ int usage() {
             << "  hemocloud_cli metrics <file.jsonl> "
                "[--filter 'name{label=...}']\n"
             << "                        [--sort] [--format table|prom|json]\n"
+            << "  hemocloud_cli kernels [geometry]\n"
             << "  hemocloud_cli check [cases] [seed]\n"
             << "  hemocloud_cli mutate [cases] [seed]\n"
             << "  hemocloud_cli nemesis [--seed S] [--cases N] "
@@ -772,6 +845,9 @@ int main(int argc, char** argv) {
         return usage();
       }
       return cmd_metrics(argv[2], filter, slowest_first, format);
+    }
+    if (cmd == "kernels" && (argc == 2 || argc == 3)) {
+      return cmd_kernels(argc == 3 ? argv[2] : "cylinder");
     }
     if (cmd == "check" && argc >= 2 && argc <= 4) {
       return cmd_check(argc > 2 ? std::atol(argv[2]) : 40,

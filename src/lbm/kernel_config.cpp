@@ -22,6 +22,18 @@ std::string to_string(KernelPath p) {
   return p == KernelPath::kReference ? "reference" : "segmented";
 }
 
+std::string to_string(Backend b) {
+  switch (b) {
+    case Backend::kAuto: return "auto";
+    case Backend::kScalar: return "scalar";
+    case Backend::kSSE2: return "sse2";
+    case Backend::kAVX2: return "avx2";
+    case Backend::kAVX512: return "avx512";
+    case Backend::kNEON: return "neon";
+  }
+  return "scalar";
+}
+
 std::string kernel_name(const KernelConfig& config) {
   std::string name = to_string(config.propagation) + "-" +
                      to_string(config.layout) + "-" +

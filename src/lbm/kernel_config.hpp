@@ -43,6 +43,19 @@ enum class KernelPath {
   kSegmented,  ///< segment-reordered mesh, branch-free RLE bulk kernel
 };
 
+/// SIMD backend of the segmented SoA bulk kernels (lbm/simd.hpp). Every
+/// backend executes the identical per-point IEEE operation sequence, so
+/// all of them produce bit-identical state (asserted by
+/// tests/test_simd_backends.cpp); the choice only moves throughput.
+enum class Backend {
+  kAuto,    ///< resolve at bind time: HEMO_SIMD env, else best detected
+  kScalar,  ///< portable autovectorized tile (always compiled)
+  kSSE2,    ///< 128-bit x86 vectors (baseline on x86-64)
+  kAVX2,    ///< 256-bit x86 vectors, masked tails
+  kAVX512,  ///< 512-bit x86 vectors, native masked tails
+  kNEON,    ///< 128-bit AArch64 vectors
+};
+
 /// Full kernel configuration.
 struct KernelConfig {
   Layout layout = Layout::kAoS;
@@ -53,6 +66,10 @@ struct KernelConfig {
   /// tests/test_kernel_paths.cpp); kSegmented is the production default,
   /// kReference is retained as the differential oracle and model anchor.
   KernelPath path = KernelPath::kSegmented;
+  /// SIMD backend request; only the segmented SoA bulk kernels dispatch on
+  /// it (AoS and the reference path always run the portable code). An
+  /// explicit value must name a compiled-in, CPU-supported backend.
+  Backend backend = Backend::kAuto;
 
   friend bool operator==(const KernelConfig&, const KernelConfig&) = default;
 };
@@ -67,6 +84,7 @@ struct KernelConfig {
 [[nodiscard]] std::string to_string(Unroll u);
 [[nodiscard]] std::string to_string(Precision p);
 [[nodiscard]] std::string to_string(KernelPath p);
+[[nodiscard]] std::string to_string(Backend b);
 
 /// Short display name, e.g. "AA-SoA-unrolled". The default (segmented)
 /// path is unsuffixed so model tables and golden files keep their names;

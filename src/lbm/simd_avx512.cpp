@@ -1,0 +1,31 @@
+// AVX-512 backend (512-bit x86 vectors, native masked tails — short RLE
+// spans still run fully vectorized). This TU is compiled with -mavx512f
+// (no FMA contraction) — see src/lbm/CMakeLists.txt.
+#include "lbm/simd_backends.hpp"
+#include "lbm/simd_tile.hpp"
+
+#ifdef HEMO_SIMD_HAVE_AVX512
+
+namespace hemo::lbm::simd::detail {
+
+TileFn<float> avx512_tile_f32(bool with_les, bool nt_stores) {
+  if (with_les) {
+    return nt_stores ? &tile_run<Avx512VecF, true, true>
+                     : &tile_run<Avx512VecF, true, false>;
+  }
+  return nt_stores ? &tile_run<Avx512VecF, false, true>
+                   : &tile_run<Avx512VecF, false, false>;
+}
+
+TileFn<double> avx512_tile_f64(bool with_les, bool nt_stores) {
+  if (with_les) {
+    return nt_stores ? &tile_run<Avx512VecD, true, true>
+                     : &tile_run<Avx512VecD, true, false>;
+  }
+  return nt_stores ? &tile_run<Avx512VecD, false, true>
+                   : &tile_run<Avx512VecD, false, false>;
+}
+
+}  // namespace hemo::lbm::simd::detail
+
+#endif  // HEMO_SIMD_HAVE_AVX512

@@ -1,0 +1,25 @@
+// NEON backend (128-bit AArch64 vectors). NEON is part of the AArch64
+// baseline, so this TU needs no extra ISA flags; it compiles empty on
+// other architectures.
+#include "lbm/simd_backends.hpp"
+#include "lbm/simd_tile.hpp"
+
+#ifdef HEMO_SIMD_HAVE_NEON
+
+namespace hemo::lbm::simd::detail {
+
+TileFn<float> neon_tile_f32(bool with_les, bool nt_stores) {
+  (void)nt_stores;  // no streaming stores on NEON
+  return with_les ? &tile_run<NeonVecF, true, false>
+                  : &tile_run<NeonVecF, false, false>;
+}
+
+TileFn<double> neon_tile_f64(bool with_les, bool nt_stores) {
+  (void)nt_stores;
+  return with_les ? &tile_run<NeonVecD, true, false>
+                  : &tile_run<NeonVecD, false, false>;
+}
+
+}  // namespace hemo::lbm::simd::detail
+
+#endif  // HEMO_SIMD_HAVE_NEON

@@ -1,0 +1,30 @@
+// SSE2 backend (128-bit x86 vectors, part of the x86-64 baseline — this
+// TU needs no extra ISA flags, only the shared -ffp-contract=off).
+#include "lbm/simd_backends.hpp"
+#include "lbm/simd_tile.hpp"
+
+#ifdef HEMO_SIMD_HAVE_SSE2
+
+namespace hemo::lbm::simd::detail {
+
+TileFn<float> sse2_tile_f32(bool with_les, bool nt_stores) {
+  if (with_les) {
+    return nt_stores ? &tile_run<Sse2VecF, true, true>
+                     : &tile_run<Sse2VecF, true, false>;
+  }
+  return nt_stores ? &tile_run<Sse2VecF, false, true>
+                   : &tile_run<Sse2VecF, false, false>;
+}
+
+TileFn<double> sse2_tile_f64(bool with_les, bool nt_stores) {
+  if (with_les) {
+    return nt_stores ? &tile_run<Sse2VecD, true, true>
+                     : &tile_run<Sse2VecD, true, false>;
+  }
+  return nt_stores ? &tile_run<Sse2VecD, false, true>
+                   : &tile_run<Sse2VecD, false, false>;
+}
+
+}  // namespace hemo::lbm::simd::detail
+
+#endif  // HEMO_SIMD_HAVE_SSE2

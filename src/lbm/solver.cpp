@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <utility>
 
 #include "lbm/point_update.hpp"
@@ -41,68 +42,6 @@ namespace {
   const index_t chunk = (n + threads - 1) / threads;
   const index_t lo = std::min(n, chunk * static_cast<index_t>(tid));
   return {lo, std::min(n, lo + chunk)};
-}
-
-/// Tile width of the SoA bulk micro-kernel: long enough to amortize the
-/// per-tile moment temporaries across SIMD lanes, small enough that the
-/// working set (19 direction rows + moments) stays in L1.
-constexpr index_t kTileWidth = 32;
-
-/// SIMD-friendly SoA bulk update: processes w <= kTileWidth consecutive
-/// bulk-interior points whose per-direction source/destination streams are
-/// contiguous (the RLE span property). The arithmetic is the exact
-/// per-point sequence of update_interior_values (moments accumulated in
-/// direction order, the same velocity-shift expressions, equilibria in
-/// direction order), only interleaved across the tile's points — every
-/// individual point sees identical IEEE operations, so the result is
-/// bit-identical to the scalar path while the inner i-loops vectorize.
-///
-/// Arrivals are buffered in gt before any store: for the in-place AA steps
-/// every location is read and written by the same point, so draining all
-/// tile reads first cannot observe another point's write.
-template <typename T>
-void bulk_tile_soa(const T* const* src, T* const* dst, index_t w, T omega,
-                   const std::array<T, 3>& force_shift) {
-  T gt[kQ][kTileWidth];
-  T rho[kTileWidth], jx[kTileWidth], jy[kTileWidth], jz[kTileWidth];
-  for (index_t i = 0; i < w; ++i) {
-    rho[i] = T{0};
-    jx[i] = T{0};
-    jy[i] = T{0};
-    jz[i] = T{0};
-  }
-  for (index_t q = 0; q < kQ; ++q) {
-    const T* s = src[q];
-    T* g = gt[q];
-    const auto& c = kD3Q19[static_cast<std::size_t>(q)];
-    const T cx = static_cast<T>(c.dx), cy = static_cast<T>(c.dy),
-            cz = static_cast<T>(c.dz);
-    for (index_t i = 0; i < w; ++i) {
-      const T fq = s[i];
-      g[i] = fq;
-      rho[i] += fq;
-      jx[i] += fq * cx;
-      jy[i] += fq * cy;
-      jz[i] += fq * cz;
-    }
-  }
-  T fx[kTileWidth], fy[kTileWidth], fz[kTileWidth];
-  for (index_t i = 0; i < w; ++i) {
-    const T inv_rho = T{1} / rho[i];
-    const T ux = jx[i] * inv_rho, uy = jy[i] * inv_rho,
-            uz = jz[i] * inv_rho;
-    fx[i] = ux + force_shift[0] * inv_rho;
-    fy[i] = uy + force_shift[1] * inv_rho;
-    fz[i] = uz + force_shift[2] * inv_rho;
-  }
-  for (index_t q = 0; q < kQ; ++q) {
-    const T* g = gt[q];
-    T* d = dst[q];
-    for (index_t i = 0; i < w; ++i) {
-      const T feq = equilibrium<T>(q, rho[i], fx[i], fy[i], fz[i]);
-      d[i] = bgk_collide(g[i], feq, omega);
-    }
-  }
 }
 
 }  // namespace
@@ -145,6 +84,14 @@ Solver<T>::Solver(const FluidMesh& mesh, const SolverParams& params,
   for (std::size_t d = 0; d < 3; ++d) {
     force_shift_[d] = static_cast<T>(params.tau * params.body_force[d]);
   }
+  HEMO_REQUIRE(params_.num_threads >= 0, "negative num_threads");
+#ifdef _OPENMP
+  threads_ = params_.num_threads > 0
+                 ? params_.num_threads
+                 : static_cast<index_t>(omp_get_max_threads());
+#else
+  threads_ = 1;
+#endif
   bind_kernels();
   initialize();
 }
@@ -167,19 +114,25 @@ void Solver<T>::initialize() {
   };
   if (seg_) {
     const index_t bulk = seg_->bulk_count();
+    const auto n_blocks = static_cast<index_t>(block_bounds_.size()) - 1;
 #ifdef _OPENMP
-#pragma omp parallel
+#pragma omp parallel num_threads(static_cast<int>(threads_))
 #endif
     {
       const auto [tid, nt] = omp_ids();
-      const auto [lo, hi] = static_chunk(bulk, tid, nt);
-      for (index_t i = lo; i < hi; ++i) init_position(i);
+      const auto [b0, b1] = static_chunk(n_blocks, tid, nt);
+      for (index_t b = b0; b < b1; ++b) {
+        const index_t lo = block_bounds_[static_cast<std::size_t>(b)];
+        const index_t hi = block_bounds_[static_cast<std::size_t>(b + 1)];
+        for (index_t i = lo; i < hi; ++i) init_position(i);
+      }
       const auto [blo, bhi] = static_chunk(n_ - bulk, tid, nt);
       for (index_t i = bulk + blo; i < bulk + bhi; ++i) init_position(i);
     }
   } else {
 #ifdef _OPENMP
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) \
+    num_threads(static_cast<int>(threads_))
 #endif
     for (index_t i = 0; i < n_; ++i) init_position(i);
   }
@@ -224,7 +177,8 @@ template <typename T>
 template <Layout L>
 void Solver<T>::step_ab() {
 #ifdef _OPENMP
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) \
+    num_threads(static_cast<int>(threads_))
 #endif
   for (index_t p = 0; p < n_; ++p) {
     T g[kQ], out[kQ];
@@ -246,7 +200,8 @@ template <typename T>
 template <Layout L>
 void Solver<T>::step_aa_even() {
 #ifdef _OPENMP
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) \
+    num_threads(static_cast<int>(threads_))
 #endif
   for (index_t p = 0; p < n_; ++p) {
     T g[kQ], out[kQ];
@@ -264,7 +219,8 @@ template <typename T>
 template <Layout L>
 void Solver<T>::step_aa_odd() {
 #ifdef _OPENMP
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) \
+    num_threads(static_cast<int>(threads_))
 #endif
   for (index_t p = 0; p < n_; ++p) {
     T g[kQ], out[kQ];
@@ -303,26 +259,26 @@ void Solver<T>::seg_bulk_ab(index_t lo, index_t hi) {
       [](index_t v, const SegmentSpan& s) { return v < s.begin + s.length; });
   const T* const f = f_.data();
   T* const f2 = f2_.data();
+  [[maybe_unused]] const simd::TileFn<T> fn =
+      nt_stores_ ? tile_fn_nt_ : tile_fn_;
   for (; it != spans.end() && it->begin < hi; ++it) {
     const index_t s0 = std::max(lo, it->begin);
     const index_t s1 = std::min(hi, it->begin + it->length);
     const auto& off = it->offsets;
-    if constexpr (L == Layout::kSoA && !WithLes) {
+    if constexpr (L == Layout::kSoA) {
       // Every per-direction stream is contiguous across the span, so the
-      // tiled micro-kernel's inner loops vectorize.
-      for (index_t t0 = s0; t0 < s1; t0 += kTileWidth) {
-        const index_t w = std::min(kTileWidth, s1 - t0);
-        const T* src[kQ];
-        T* dst[kQ];
-        for (index_t q = 0; q < kQ; ++q) {
-          const index_t from =
-              t0 + static_cast<index_t>(
-                       off[static_cast<std::size_t>(opposite(q))]);
-          src[q] = f + static_cast<std::size_t>(idx<L>(from, q));
-          dst[q] = f2 + static_cast<std::size_t>(idx<L>(t0, q));
-        }
-        bulk_tile_soa<T>(src, dst, w, omega_, force_shift_);
+      // whole span goes to the backend tile kernel in one call (the LES
+      // mode is baked into the bound function pointer).
+      const T* src[kQ];
+      T* dst[kQ];
+      for (index_t q = 0; q < kQ; ++q) {
+        const index_t from =
+            s0 + static_cast<index_t>(
+                     off[static_cast<std::size_t>(opposite(q))]);
+        src[q] = f + static_cast<std::size_t>(idx<L>(from, q));
+        dst[q] = f2 + static_cast<std::size_t>(idx<L>(s0, q));
       }
+      fn(src, dst, s1 - s0, omega_, force_shift_, cs2_);
       continue;
     }
 #ifdef _OPENMP
@@ -350,17 +306,17 @@ void Solver<T>::seg_bulk_aa_even(index_t lo, index_t hi) {
   // The even AA step touches only the point's own row — no neighbor
   // indexing at all, so spans are irrelevant here.
   T* const f = f_.data();
-  if constexpr (L == Layout::kSoA && !WithLes) {
-    for (index_t t0 = lo; t0 < hi; t0 += kTileWidth) {
-      const index_t w = std::min(kTileWidth, hi - t0);
-      const T* src[kQ];
-      T* dst[kQ];
-      for (index_t q = 0; q < kQ; ++q) {
-        src[q] = f + static_cast<std::size_t>(idx<L>(t0, q));
-        dst[q] = f + static_cast<std::size_t>(idx<L>(t0, opposite(q)));
-      }
-      bulk_tile_soa<T>(src, dst, w, omega_, force_shift_);
+  if constexpr (L == Layout::kSoA) {
+    // In-place safe: each vector group loads all 19 directions before it
+    // stores any, and the even step's reader of every location is its
+    // writer. Never NT — the data is re-read next step.
+    const T* src[kQ];
+    T* dst[kQ];
+    for (index_t q = 0; q < kQ; ++q) {
+      src[q] = f + static_cast<std::size_t>(idx<L>(lo, q));
+      dst[q] = f + static_cast<std::size_t>(idx<L>(lo, opposite(q)));
     }
+    tile_fn_(src, dst, hi - lo, omega_, force_shift_, cs2_);
     return;
   }
 #ifdef _OPENMP
@@ -390,24 +346,22 @@ void Solver<T>::seg_bulk_aa_odd(index_t lo, index_t hi) {
     const index_t s0 = std::max(lo, it->begin);
     const index_t s1 = std::min(hi, it->begin + it->length);
     const auto& off = it->offsets;
-    if constexpr (L == Layout::kSoA && !WithLes) {
-      // In-place safe: gt buffering in the tile plus the reader == writer
-      // property of the odd step (see the parallelization notes above).
-      for (index_t t0 = s0; t0 < s1; t0 += kTileWidth) {
-        const index_t w = std::min(kTileWidth, s1 - t0);
-        const T* src[kQ];
-        T* dst[kQ];
-        for (index_t q = 0; q < kQ; ++q) {
-          const index_t opp = opposite(q);
-          const index_t from =
-              t0 + static_cast<index_t>(off[static_cast<std::size_t>(opp)]);
-          const index_t to =
-              t0 + static_cast<index_t>(off[static_cast<std::size_t>(q)]);
-          src[q] = f + static_cast<std::size_t>(idx<L>(from, opp));
-          dst[q] = f + static_cast<std::size_t>(idx<L>(to, q));
-        }
-        bulk_tile_soa<T>(src, dst, w, omega_, force_shift_);
+    if constexpr (L == Layout::kSoA) {
+      // In-place safe: group-at-a-time load-all/store-all plus the
+      // reader == writer property of the odd step (see the
+      // parallelization notes above). Never NT — in-place sweep.
+      const T* src[kQ];
+      T* dst[kQ];
+      for (index_t q = 0; q < kQ; ++q) {
+        const index_t opp = opposite(q);
+        const index_t from =
+            s0 + static_cast<index_t>(off[static_cast<std::size_t>(opp)]);
+        const index_t to =
+            s0 + static_cast<index_t>(off[static_cast<std::size_t>(q)]);
+        src[q] = f + static_cast<std::size_t>(idx<L>(from, opp));
+        dst[q] = f + static_cast<std::size_t>(idx<L>(to, q));
       }
+      tile_fn_(src, dst, s1 - s0, omega_, force_shift_, cs2_);
       continue;
     }
 #ifdef _OPENMP
@@ -487,17 +441,30 @@ void Solver<T>::seg_boundary_aa_odd(index_t lo, index_t hi) {
   }
 }
 
+// Step drivers: the bulk segment is walked block-by-block (span-aligned
+// block_bounds_, contiguous block ranges per thread — the exact partition
+// initialize() first-touched), the boundary segment by a static chunk. No
+// barrier between the two passes: within a step no point's gather reads a
+// location another point writes (see the parallelization notes above).
+
 template <typename T>
 template <Layout L, bool WithLes>
 void Solver<T>::seg_step_ab() {
   const index_t bulk = seg_->bulk_count();
+  const auto n_blocks = static_cast<index_t>(block_bounds_.size()) - 1;
 #ifdef _OPENMP
-#pragma omp parallel
+#pragma omp parallel num_threads(static_cast<int>(threads_))
 #endif
   {
     const auto [tid, nt] = omp_ids();
-    const auto [lo, hi] = static_chunk(bulk, tid, nt);
-    seg_bulk_ab<L, WithLes>(lo, hi);
+    const auto [b0, b1] = static_chunk(n_blocks, tid, nt);
+    for (index_t b = b0; b < b1; ++b) {
+      seg_bulk_ab<L, WithLes>(block_bounds_[static_cast<std::size_t>(b)],
+                              block_bounds_[static_cast<std::size_t>(b + 1)]);
+    }
+    // Streaming stores are weakly ordered: fence them (per thread) ahead
+    // of the implicit barrier that publishes this step's back array.
+    if (nt_stores_) simd::store_fence(backend_);
     const auto [blo, bhi] = static_chunk(n_ - bulk, tid, nt);
     seg_boundary_ab<L>(bulk + blo, bulk + bhi);
   }
@@ -508,13 +475,18 @@ template <typename T>
 template <Layout L, bool WithLes>
 void Solver<T>::seg_step_aa_even() {
   const index_t bulk = seg_->bulk_count();
+  const auto n_blocks = static_cast<index_t>(block_bounds_.size()) - 1;
 #ifdef _OPENMP
-#pragma omp parallel
+#pragma omp parallel num_threads(static_cast<int>(threads_))
 #endif
   {
     const auto [tid, nt] = omp_ids();
-    const auto [lo, hi] = static_chunk(bulk, tid, nt);
-    seg_bulk_aa_even<L, WithLes>(lo, hi);
+    const auto [b0, b1] = static_chunk(n_blocks, tid, nt);
+    for (index_t b = b0; b < b1; ++b) {
+      seg_bulk_aa_even<L, WithLes>(
+          block_bounds_[static_cast<std::size_t>(b)],
+          block_bounds_[static_cast<std::size_t>(b + 1)]);
+    }
     const auto [blo, bhi] = static_chunk(n_ - bulk, tid, nt);
     seg_boundary_aa_even<L>(bulk + blo, bulk + bhi);
   }
@@ -524,13 +496,18 @@ template <typename T>
 template <Layout L, bool WithLes>
 void Solver<T>::seg_step_aa_odd() {
   const index_t bulk = seg_->bulk_count();
+  const auto n_blocks = static_cast<index_t>(block_bounds_.size()) - 1;
 #ifdef _OPENMP
-#pragma omp parallel
+#pragma omp parallel num_threads(static_cast<int>(threads_))
 #endif
   {
     const auto [tid, nt] = omp_ids();
-    const auto [lo, hi] = static_chunk(bulk, tid, nt);
-    seg_bulk_aa_odd<L, WithLes>(lo, hi);
+    const auto [b0, b1] = static_chunk(n_blocks, tid, nt);
+    for (index_t b = b0; b < b1; ++b) {
+      seg_bulk_aa_odd<L, WithLes>(
+          block_bounds_[static_cast<std::size_t>(b)],
+          block_bounds_[static_cast<std::size_t>(b + 1)]);
+    }
     const auto [blo, bhi] = static_chunk(n_ - bulk, tid, nt);
     seg_boundary_aa_odd<L>(bulk + blo, bulk + bhi);
   }
@@ -570,6 +547,45 @@ void Solver<T>::bind_kernels() {
     if (les) bind.template operator()<Layout::kSoA, true>();
     else bind.template operator()<Layout::kSoA, false>();
   }
+
+  // SIMD backend axis — segmented SoA only: AoS interleaves the 19
+  // directions per point, so there are no unit-stride streams for a
+  // vector kernel to consume (its effective backend stays kScalar, and
+  // that is what backend() reports — benchmarks record what ran).
+  if (!aos) {
+    backend_ = simd::resolve_backend(params_.kernel.backend);
+    tile_fn_ = simd::tile_kernel<T>(backend_, les, false);
+    tile_fn_nt_ = simd::tile_kernel<T>(backend_, les, true);
+    // Streaming stores pay off only when the two distribution arrays
+    // dwarf the cache (otherwise they evict lines the next step would
+    // hit); AB only — the AA sweeps re-read what they write in place.
+    const bool big = static_cast<std::size_t>(n_) * kQ * sizeof(T) * 2 >
+                     (std::size_t{64} << 20);
+    bool want_nt = ab && backend_ != Backend::kScalar && big;
+    if (const char* env = std::getenv("HEMO_NT_STORES")) {
+      want_nt = ab && backend_ != Backend::kScalar && env[0] == '1';
+    }
+    nt_stores_ = want_nt && tile_fn_nt_ != nullptr;
+  }
+
+  // Span-aligned bulk blocks: cut only at RLE span ends so the tile
+  // kernels always see whole spans (no masked tails at partition seams),
+  // sized so a thread's per-block working set stays cache-resident while
+  // still yielding several blocks per thread for an even static split.
+  const index_t bulk = seg_->bulk_count();
+  const index_t target = std::clamp(bulk / (threads_ * 8), index_t{512},
+                                    index_t{4096});
+  block_bounds_.clear();
+  block_bounds_.push_back(0);
+  index_t in_block = 0;
+  for (const auto& s : seg_->spans()) {
+    in_block += s.length;
+    if (in_block >= target) {
+      block_bounds_.push_back(s.begin + s.length);
+      in_block = 0;
+    }
+  }
+  if (block_bounds_.back() != bulk) block_bounds_.push_back(bulk);
 }
 
 template <typename T>
@@ -643,7 +659,8 @@ real_t Solver<T>::total_mass() const {
   const index_t n_blocks = (total + kBlock - 1) / kBlock;
   std::vector<real_t> partial(static_cast<std::size_t>(n_blocks), 0.0);
 #ifdef _OPENMP
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) \
+    num_threads(static_cast<int>(threads_))
 #endif
   for (index_t b = 0; b < n_blocks; ++b) {
     const index_t lo = b * kBlock;
@@ -667,7 +684,8 @@ real_t Solver<T>::mean_speed() const {
   const index_t n_blocks = (n_ + kBlock - 1) / kBlock;
   std::vector<real_t> partial(static_cast<std::size_t>(n_blocks), 0.0);
 #ifdef _OPENMP
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) \
+    num_threads(static_cast<int>(threads_))
 #endif
   for (index_t b = 0; b < n_blocks; ++b) {
     const index_t lo = b * kBlock;

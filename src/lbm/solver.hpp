@@ -41,6 +41,7 @@
 #include "lbm/lattice.hpp"
 #include "lbm/mesh.hpp"
 #include "lbm/mesh_segments.hpp"
+#include "lbm/simd.hpp"
 #include "util/common.hpp"
 
 namespace hemo::lbm {
@@ -56,6 +57,13 @@ struct SolverParams {
   /// Smagorinsky constant for the LES eddy-viscosity model; 0 disables it
   /// (plain BGK). Typical values are 0.1 - 0.2 for high-Re hemodynamics.
   real_t smagorinsky_cs = 0.0;
+
+  /// OpenMP threads for the step kernels and reductions; 0 takes the
+  /// OpenMP default team size. The decomposition layer runs one solver
+  /// per rank and pins this to 1 unless told otherwise — ranks x threads
+  /// should not exceed the physical cores (see runtime/parallel_solver).
+  /// All results are bit-stable across thread counts.
+  index_t num_threads = 0;
 };
 
 /// The solver. T is the distribution storage type (float or double).
@@ -87,6 +95,17 @@ class Solver {
   [[nodiscard]] const SegmentedMesh* segments() const noexcept {
     return seg_.get();
   }
+
+  /// The SIMD backend the bulk kernels actually execute. Only the
+  /// segmented SoA path runs intrinsic kernels; the reference and AoS
+  /// paths always report kScalar (benchmark honesty: what is recorded is
+  /// what ran, not what was requested).
+  [[nodiscard]] Backend backend() const noexcept { return backend_; }
+
+  /// The OpenMP team size the kernels run with (resolved from
+  /// SolverParams::num_threads at construction; 1 in builds without
+  /// OpenMP).
+  [[nodiscard]] index_t threads() const noexcept { return threads_; }
 
   /// True when the distribution array is in natural (direction-aligned)
   /// order; moments are only meaningful then. AB is always natural; AA is
@@ -191,6 +210,27 @@ class Solver {
   using StepFn = void (Solver::*)();
   StepFn step_even_fn_ = nullptr;  ///< AB kernel, or AA even-parity kernel
   StepFn step_odd_fn_ = nullptr;   ///< AA odd-parity kernel (AB: == even)
+
+  /// Effective SIMD backend of the bulk tile kernels (kScalar off the
+  /// segmented SoA path) and the bound tile functions: the normal-store
+  /// variant and, when profitable, the streaming-store variant for the AB
+  /// back array.
+  Backend backend_ = Backend::kScalar;
+  simd::TileFn<T> tile_fn_ = nullptr;
+  simd::TileFn<T> tile_fn_nt_ = nullptr;
+  bool nt_stores_ = false;
+
+  /// Resolved OpenMP team size (>= 1).
+  index_t threads_ = 1;
+
+  /// Span-aligned bulk work blocks: block b covers internal positions
+  /// [block_bounds_[b], block_bounds_[b+1]). Cut only at RLE span
+  /// boundaries so the tile kernels always see whole spans (no artificial
+  /// masked tails at partition seams), sized for L2 residency, and
+  /// assigned to threads statically so the same thread streams the same
+  /// pages every step (first-touch locality; initialize() mirrors the
+  /// partition).
+  std::vector<index_t> block_bounds_;
 
   std::vector<T> f_;   // main array (internal point order)
   std::vector<T> f2_;  // second array (AB only)

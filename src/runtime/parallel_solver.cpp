@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <barrier>
 #include <chrono>
+#include <cstdlib>
 #include <thread>
 #include <utility>
 
@@ -11,6 +12,10 @@
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 namespace hemo::runtime {
 
@@ -22,6 +27,19 @@ using Clock = std::chrono::steady_clock;
 
 real_t seconds_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<real_t>(b - a).count();
+}
+
+/// OpenMP team size for code entered from a rank thread. Each rank is
+/// already one thread of the lockstep ensemble; an OpenMP region that
+/// inherited the process-wide default would multiply to ranks x cores.
+/// Pinned to 1 unless HEMO_RANK_THREADS grants more — keep
+/// ranks x HEMO_RANK_THREADS within the physical core count.
+int rank_omp_threads() {
+  if (const char* env = std::getenv("HEMO_RANK_THREADS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 1;
 }
 
 }  // namespace
@@ -301,6 +319,11 @@ void ParallelSolver::run(index_t n) {
   for (std::size_t r = 0; r < states_.size(); ++r) {
     threads.emplace_back([this, r, t0, n, &sync] {
       obs::set_thread_label("rank" + std::to_string(r));
+#ifdef _OPENMP
+      // Thread-local in the OpenMP runtime: bounds any OpenMP region this
+      // rank enters without touching other ranks or the main thread.
+      omp_set_num_threads(rank_omp_threads());
+#endif
       for (index_t s = 0; s < n; ++s) {
         // timestep_ is written only by the barrier completion step, which
         // happens-before every thread's release from the wait — reading it

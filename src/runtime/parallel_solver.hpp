@@ -30,6 +30,15 @@
 // compares them against the paper's direct model (Eq. 9 byte counts over
 // measured STREAM bandwidth, Eq. 12 per-message times).
 //
+// Ranks x OpenMP threads: the rank ensemble is the process's parallelism
+// — every rank thread pins its OpenMP team to 1 at entry so an OpenMP
+// region reached from rank code (the lbm::Solver kernels are
+// OpenMP-parallel) cannot silently multiply to ranks x cores. Set
+// HEMO_RANK_THREADS=k to grant each rank a k-thread team; keep
+// ranks x k within the physical core count. The main thread is not
+// affected — a serial lbm::Solver in the same process keeps the global
+// default (or its SolverParams::num_threads).
+//
 // Dynamic rebalancing: when measured busy-time imbalance (max/mean) stays
 // above threshold for `patience` windows, a contiguous canonical-order
 // block migrates from the hottest rank to its coolest channel neighbor

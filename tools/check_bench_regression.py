@@ -2,20 +2,36 @@
 """Soft perf gate: compare a fresh bench JSON against the committed baseline.
 
 Usage: check_bench_regression.py BASELINE CURRENT [--tolerance 0.40]
+                                 [--rf-tolerance 0.40]
 
-Supports both bench schemas; baseline and current must use the same one:
+Supports three bench schemas; baseline and current must use the same one:
   hemo-bench-lbm/1      kernel variants keyed on propagation, layout,
-                        precision, path (bench_lbm_json)
+                        precision, path (bench_lbm_json v1)
+  hemo-bench-lbm/2      same, plus the effective SIMD backend and thread
+                        count in the key, and a measured roofline fraction
+                        per result (bench_lbm_json v2)
   hemo-bench-runtime/1  strong-scaling results keyed on ranks
                         (bench_runtime_json)
 
+A result is only ever compared against the baseline entry with the *same*
+key — for the v2 schema that includes the effective backend and thread
+count, so an avx512 run can never be "compared" against a scalar baseline
+or a 4-thread run against a 1-thread one; such pairs simply report as
+missing/new. Files with different geometries or sizes are refused
+outright.
+
 For every variant present in both files, fail if the current MFLUPS fell
-more than ``tolerance`` below the baseline. The default 40% tolerance is
-deliberately loose: CI runners are shared and noisy, and the gate exists to
-catch order-of-magnitude hot-path regressions (a lost vectorization, an
-accidentally re-introduced branch), not small fluctuations. Speedups and
-variants missing from either file never fail the gate, but both are
-reported so baseline drift stays visible.
+more than ``tolerance`` below the baseline. The v2 schema additionally
+gates the roofline fraction (measured MFLUPS over the STREAM-COPY-derived
+bound) with ``rf-tolerance``: because the bound is re-measured on the same
+host in the same run, the fraction cancels most machine-speed noise and
+catches a kernel that got slower *relative to memory bandwidth* even when
+absolute MFLUPS drifted for environmental reasons. Both default tolerances
+are deliberately loose: CI runners are shared and noisy, and the gate
+exists to catch order-of-magnitude hot-path regressions (a lost
+vectorization, an accidentally re-introduced branch), not small
+fluctuations. Speedups and variants missing from either file never fail
+the gate, but both are reported so baseline drift stays visible.
 
 Exit codes: 0 ok, 1 regression, 2 usage/format error.
 """
@@ -25,7 +41,7 @@ import json
 import sys
 
 
-def lbm_variant_key(result):
+def lbm_v1_key(result):
     return (
         result["propagation"],
         result["layout"],
@@ -34,12 +50,20 @@ def lbm_variant_key(result):
     )
 
 
+def lbm_v2_key(result):
+    return lbm_v1_key(result) + (
+        result["backend"],
+        "t%d" % result["threads"],
+    )
+
+
 def runtime_variant_key(result):
     return ("ranks%d" % result["ranks"],)
 
 
 SCHEMAS = {
-    "hemo-bench-lbm/1": lbm_variant_key,
+    "hemo-bench-lbm/1": lbm_v1_key,
+    "hemo-bench-lbm/2": lbm_v2_key,
     "hemo-bench-runtime/1": runtime_variant_key,
 }
 
@@ -61,9 +85,14 @@ def main():
     parser.add_argument("current")
     parser.add_argument("--tolerance", type=float, default=0.40,
                         help="allowed fractional MFLUPS drop (default 0.40)")
+    parser.add_argument("--rf-tolerance", type=float, default=0.40,
+                        help="allowed fractional roofline-fraction drop, "
+                             "v2 schema only (default 0.40)")
     args = parser.parse_args()
     if not 0.0 < args.tolerance < 1.0:
         sys.exit("error: --tolerance must be in (0, 1)")
+    if not 0.0 < args.rf_tolerance < 1.0:
+        sys.exit("error: --rf-tolerance must be in (0, 1)")
 
     baseline = load(args.baseline)
     current = load(args.current)
@@ -73,6 +102,7 @@ def main():
             f"current={current['schema']}"
         )
     variant_key = SCHEMAS[baseline["schema"]]
+    gate_rf = baseline["schema"] == "hemo-bench-lbm/2"
 
     bgeo, cgeo = baseline["geometry"], current["geometry"]
     if bgeo["name"] != cgeo["name"]:
@@ -87,30 +117,44 @@ def main():
     curr = {variant_key(r): r for r in current["results"]}
 
     regressions = []
-    print(f"{'variant':<34} {'baseline':>10} {'current':>10} {'ratio':>7}")
+    head = f"{'variant':<44} {'baseline':>10} {'current':>10} {'ratio':>7}"
+    if gate_rf:
+        head += f" {'rf-base':>8} {'rf-curr':>8}"
+    print(head)
     for key in sorted(base):
         name = "-".join(key)
         if key not in curr:
-            print(f"{name:<34} {base[key]['mflups']:>10.2f} {'missing':>10}")
+            print(f"{name:<44} {base[key]['mflups']:>10.2f} {'missing':>10}"
+                  "   (not gated: no same-backend/threads run)")
             continue
         b, c = base[key]["mflups"], curr[key]["mflups"]
         ratio = c / b if b > 0 else float("inf")
         flag = ""
         if c < b * (1.0 - args.tolerance):
-            regressions.append((name, b, c))
+            regressions.append((name, "MFLUPS", b, c))
             flag = "  << REGRESSION"
-        print(f"{name:<34} {b:>10.2f} {c:>10.2f} {ratio:>7.2f}{flag}")
+        line = f"{name:<44} {b:>10.2f} {c:>10.2f} {ratio:>7.2f}"
+        if gate_rf:
+            brf = base[key]["roofline_fraction"]
+            crf = curr[key]["roofline_fraction"]
+            if crf < brf * (1.0 - args.rf_tolerance):
+                regressions.append((name, "roofline_fraction", brf, crf))
+                flag = "  << RF REGRESSION" if not flag else flag
+            line += f" {brf:>8.3f} {crf:>8.3f}"
+        print(line + flag)
     for key in sorted(set(curr) - set(base)):
-        print(f"{'-'.join(key):<34} {'missing':>10} "
+        print(f"{'-'.join(key):<44} {'missing':>10} "
               f"{curr[key]['mflups']:>10.2f}   (new variant, not gated)")
 
     if regressions:
-        print(f"\nFAIL: {len(regressions)} variant(s) regressed more than "
-              f"{args.tolerance:.0%} below the committed baseline:")
-        for name, b, c in regressions:
-            print(f"  {name}: {b:.2f} -> {c:.2f} MFLUPS")
+        print(f"\nFAIL: {len(regressions)} metric(s) regressed more than "
+              f"their tolerance below the committed baseline:")
+        for name, metric, b, c in regressions:
+            print(f"  {name} {metric}: {b:.3f} -> {c:.3f}")
         return 1
-    print(f"\nOK: no variant regressed more than {args.tolerance:.0%}.")
+    print(f"\nOK: no variant regressed more than {args.tolerance:.0%} "
+          f"(MFLUPS)" + (f" / {args.rf_tolerance:.0%} (roofline)."
+                         if gate_rf else "."))
     return 0
 
 
